@@ -1,0 +1,190 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (printed as paper-style tables from the simulated clock),
+    and registers one Bechamel [Test.make] per table/figure measuring the
+    wall-clock cost of the simulator itself on that experiment's kernel
+    operation.
+
+    Usage: [dune exec bench/main.exe] (paper tables + bechamel)
+           [dune exec bench/main.exe -- --fast] (paper tables only) *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-closures: one per table/figure. Each closure performs *)
+(* a small self-contained batch on a persistent stack so it can run     *)
+(* repeatedly; what Bechamel measures is the real-time cost of the      *)
+(* simulation, complementing the simulated-time tables.                 *)
+(* ------------------------------------------------------------------ *)
+
+let append_closure spec =
+  let stack = Harness.Fs_config.make spec in
+  let fs = stack.Harness.Fs_config.fs in
+  let fd = fs.Fsapi.Fs.open_ "/bench-append" Fsapi.Flags.create_rw in
+  let buf = Bytes.make 4096 'b' in
+  let count = ref 0 in
+  fun () ->
+    ignore (fs.Fsapi.Fs.write fd ~buf ~boff:0 ~len:4096);
+    incr count;
+    if !count mod 256 = 0 then begin
+      fs.Fsapi.Fs.fsync fd;
+      fs.Fsapi.Fs.ftruncate fd 0
+    end
+
+let overwrite_closure spec =
+  let stack = Harness.Fs_config.make spec in
+  let fs = stack.Harness.Fs_config.fs in
+  Fsapi.Fs.write_file fs "/bench-ow" (String.make 65536 'o');
+  let fd = fs.Fsapi.Fs.open_ "/bench-ow" Fsapi.Flags.rdwr in
+  let buf = Bytes.make 4096 'w' in
+  let i = ref 0 in
+  fun () ->
+    ignore (fs.Fsapi.Fs.pwrite fd ~buf ~boff:0 ~len:4096 ~at:(!i mod 16 * 4096));
+    incr i
+
+let read_closure spec =
+  let stack = Harness.Fs_config.make spec in
+  let fs = stack.Harness.Fs_config.fs in
+  Fsapi.Fs.write_file fs "/bench-rd" (String.make 65536 'r');
+  let fd = fs.Fsapi.Fs.open_ "/bench-rd" Fsapi.Flags.rdonly in
+  let buf = Bytes.make 4096 '\000' in
+  let i = ref 0 in
+  fun () ->
+    ignore (fs.Fsapi.Fs.pread fd ~buf ~boff:0 ~len:4096 ~at:(!i mod 16 * 4096));
+    incr i
+
+let varmail_closure spec =
+  let stack = Harness.Fs_config.make spec in
+  let fs = stack.Harness.Fs_config.fs in
+  let buf = Bytes.make 4096 'v' in
+  let i = ref 0 in
+  fun () ->
+    let path = Printf.sprintf "/vm-%d" (!i mod 64) in
+    incr i;
+    let fd = fs.Fsapi.Fs.open_ path Fsapi.Flags.create_rw in
+    ignore (fs.Fsapi.Fs.write fd ~buf ~boff:0 ~len:4096);
+    fs.Fsapi.Fs.fsync fd;
+    fs.Fsapi.Fs.close fd;
+    fs.Fsapi.Fs.unlink path
+
+let kv_closure spec =
+  let stack = Harness.Fs_config.make spec in
+  let lsm = Apps.Lsm.open_ stack.Harness.Fs_config.fs "/bench-lsm" in
+  let rng = Workloads.Rng.create 1 in
+  fun () ->
+    let k = Printf.sprintf "key%06d" (Workloads.Rng.int rng 4096) in
+    Apps.Lsm.put lsm k (Workloads.Rng.payload rng 256);
+    ignore (Apps.Lsm.get lsm k)
+
+let db_closure spec =
+  let stack = Harness.Fs_config.make spec in
+  let db = Apps.Waldb.open_ stack.Harness.Fs_config.fs "/bench-db" () in
+  let rng = Workloads.Rng.create 2 in
+  fun () ->
+    Apps.Waldb.transaction db (fun () ->
+        let k = Printf.sprintf "%06d" (Workloads.Rng.int rng 4096) in
+        Apps.Waldb.put db ~table:"t" k (Workloads.Rng.payload rng 128))
+
+let recovery_closure () =
+  fun () ->
+    let env, kfs, sys =
+      let env = Pmem.Env.create ~capacity:(8 * 1024 * 1024) () in
+      let kfs = Kernelfs.Ext4.mkfs ~journal_len:(2 * 1024 * 1024) env in
+      (env, kfs, Kernelfs.Syscall.make kfs)
+    in
+    ignore kfs;
+    let cfg =
+      {
+        Splitfs.Config.strict with
+        Splitfs.Config.staging_files = 1;
+        staging_size = 512 * 1024;
+        oplog_size = 64 * 1024;
+      }
+    in
+    let u = Splitfs.Usplit.mount ~cfg ~sys ~env ~instance:0 () in
+    let fs = Splitfs.Usplit.as_fsapi u in
+    let fd = fs.Fsapi.Fs.open_ "/f" Fsapi.Flags.create_rw in
+    let buf = Bytes.make 64 'x' in
+    for _ = 1 to 100 do
+      ignore (fs.Fsapi.Fs.write fd ~buf ~boff:0 ~len:64)
+    done;
+    Pmem.Device.crash env.Pmem.Env.dev;
+    ignore (Splitfs.Recovery.recover ~sys ~env ~instance:0)
+
+let bechamel_tests =
+  [
+    (* Table 1: the 4K append on the two headline systems *)
+    Test.make ~name:"table1/append-ext4-dax"
+      (Staged.stage (append_closure Harness.Fs_config.Ext4_dax));
+    Test.make ~name:"table1/append-splitfs-posix"
+      (Staged.stage (append_closure Harness.Fs_config.Splitfs_posix));
+    (* Table 2: raw device op *)
+    Test.make ~name:"table2/device-4k-write"
+      (let env = Pmem.Env.create ~capacity:(1024 * 1024) () in
+       let buf = Bytes.make 4096 'd' in
+       Staged.stage (fun () ->
+           Pmem.Device.store_nt env.Pmem.Env.dev ~addr:0 buf ~off:0 ~len:4096));
+    (* Table 6: the varmail create/append/fsync/unlink sequence *)
+    Test.make ~name:"table6/varmail-splitfs-strict"
+      (Staged.stage (varmail_closure Harness.Fs_config.Splitfs_strict));
+    (* Table 7: the LSM KV op mix on SplitFS-strict *)
+    Test.make ~name:"table7/lsm-splitfs-strict"
+      (Staged.stage (kv_closure Harness.Fs_config.Splitfs_strict));
+    (* Figure 3: staged append with periodic fsync (relink path) *)
+    Test.make ~name:"fig3/append-relink"
+      (Staged.stage (append_closure Harness.Fs_config.Splitfs_posix));
+    (* Figure 4: overwrite and read patterns *)
+    Test.make ~name:"fig4/overwrite-splitfs"
+      (Staged.stage (overwrite_closure Harness.Fs_config.Splitfs_posix));
+    Test.make ~name:"fig4/read-splitfs"
+      (Staged.stage (read_closure Harness.Fs_config.Splitfs_posix));
+    (* Figure 5/6: the embedded database transaction *)
+    Test.make ~name:"fig5/tpcc-tx-splitfs-sync"
+      (Staged.stage (db_closure Harness.Fs_config.Splitfs_sync));
+    Test.make ~name:"fig6/kv-nova-strict"
+      (Staged.stage (kv_closure Harness.Fs_config.Nova_strict));
+    (* §5.3 recovery *)
+    Test.make ~name:"recovery/crash-replay" (Staged.stage (recovery_closure ()));
+  ]
+
+let run_bechamel () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw =
+    List.map
+      (fun test -> Benchmark.all cfg instances test)
+      (List.map (fun t -> Test.make_grouped ~name:(Test.name t) [ t ]) bechamel_tests)
+  in
+  ignore raw;
+  (* analyse and print one line per test *)
+  Printf.printf "\n== Bechamel: wall-clock cost of the simulator per operation ==\n";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          (Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-34s %10.0f ns/op (host)\n" name est
+          | _ -> Printf.printf "%-34s (no estimate)\n" name)
+        ols)
+    bechamel_tests
+
+let () =
+  let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  ignore (Harness.Experiments.table1 ());
+  ignore (Harness.Experiments.table2 ());
+  ignore (Harness.Experiments.table6 ());
+  ignore (Harness.Experiments.fig3 ());
+  ignore (Harness.Experiments.fig4 ());
+  ignore (Harness.Experiments.fig5 ());
+  ignore (Harness.Experiments.fig6 ());
+  ignore (Harness.Experiments.table7 ());
+  ignore (Harness.Experiments.recovery ());
+  ignore (Harness.Experiments.resources ());
+  ignore (Harness.Experiments.ablations ());
+  if not fast then run_bechamel ();
+  print_endline "\nAll experiments completed."

@@ -1,0 +1,111 @@
+(** Command-line driver: run any experiment of the evaluation
+    individually, or poke at a file system interactively via subcommands.
+
+    [dune exec bin/splitfs_cli.exe -- <experiment> [options]] *)
+
+open Cmdliner
+
+let run_table1 total_mb = ignore (Harness.Experiments.table1 ~total_mb ())
+let run_table2 () = ignore (Harness.Experiments.table2 ())
+let run_table6 iterations = ignore (Harness.Experiments.table6 ~iterations ())
+
+let run_table7 records operations =
+  ignore (Harness.Experiments.table7 ~records ~operations ())
+
+let run_fig3 total_mb = ignore (Harness.Experiments.fig3 ~total_mb ())
+let run_fig4 total_mb = ignore (Harness.Experiments.fig4 ~total_mb ())
+
+let run_fig5 records operations =
+  ignore (Harness.Experiments.fig5 ~records ~operations ())
+
+let run_fig6 records operations =
+  ignore (Harness.Experiments.fig6 ~records ~operations ())
+
+let run_recovery () = ignore (Harness.Experiments.recovery ())
+let run_ablations total_mb = ignore (Harness.Experiments.ablations ~total_mb ())
+let run_resources () = ignore (Harness.Experiments.resources ())
+
+let total_mb =
+  Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"Total IO volume in MB.")
+
+let records =
+  Arg.(value & opt int 3000 & info [ "records" ] ~doc:"YCSB record count.")
+
+let operations =
+  Arg.(value & opt int 3000 & info [ "ops" ] ~doc:"Operations per workload.")
+
+let iterations =
+  Arg.(value & opt int 200 & info [ "iterations" ] ~doc:"Microbenchmark iterations.")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let smoke =
+  let run fs_name =
+    let spec = Harness.Fs_config.of_name fs_name in
+    let stack = Harness.Fs_config.make spec in
+    let fs = stack.Harness.Fs_config.fs in
+    Fsapi.Fs.write_file fs "/hello.txt" "hello from the PM simulator";
+    Printf.printf "wrote and read back on %s: %S\n" fs_name
+      (Fsapi.Fs.read_file fs "/hello.txt");
+    Printf.printf "simulated time: %.0f ns\nstats: %s\n"
+      (Pmem.Env.now stack.Harness.Fs_config.env)
+      (Fmt.str "%a" Pmem.Stats.pp stack.Harness.Fs_config.env.Pmem.Env.stats)
+  in
+  let fs_arg =
+    Arg.(
+      value
+      & opt string "splitfs-strict"
+      & info [ "fs" ] ~doc:"File system (e.g. ext4-dax, splitfs-posix, nova-strict).")
+  in
+  cmd "smoke" "Write and read one file, print simulated cost."
+    Term.(const run $ fs_arg)
+
+let all_cmd =
+  let run total_mb records operations iterations =
+    ignore (Harness.Experiments.table1 ~total_mb ());
+    ignore (Harness.Experiments.table2 ());
+    ignore (Harness.Experiments.table6 ~iterations ());
+    ignore (Harness.Experiments.fig3 ~total_mb ());
+    ignore (Harness.Experiments.fig4 ~total_mb ());
+    ignore (Harness.Experiments.fig5 ~records ~operations ());
+    ignore (Harness.Experiments.fig6 ~records ~operations ());
+    ignore (Harness.Experiments.table7 ~records ~operations ());
+    ignore (Harness.Experiments.recovery ());
+    ignore (Harness.Experiments.resources ());
+    ignore (Harness.Experiments.ablations ())
+  in
+  cmd "all" "Run every experiment of the evaluation."
+    Term.(const run $ total_mb $ records $ operations $ iterations)
+
+let () =
+  let info = Cmd.info "splitfs_cli" ~doc:"SplitFS reproduction experiments." in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            cmd "table1" "Software overhead of 4K appends."
+              Term.(const run_table1 $ total_mb);
+            cmd "table2" "PM performance characteristics."
+              Term.(const run_table2 $ const ());
+            cmd "table6" "System call latencies (varmail)."
+              Term.(const run_table6 $ iterations);
+            cmd "table7" "Strata vs SplitFS-strict on YCSB."
+              Term.(const run_table7 $ records $ operations);
+            cmd "fig3" "Technique contribution breakdown."
+              Term.(const run_fig3 $ total_mb);
+            cmd "fig4" "IO patterns across file systems."
+              Term.(const run_fig4 $ total_mb);
+            cmd "fig5" "Relative software overhead in applications."
+              Term.(const run_fig5 $ records $ operations);
+            cmd "fig6" "Application performance."
+              Term.(const run_fig6 $ records $ operations);
+            cmd "recovery" "Crash-recovery time vs log entries."
+              Term.(const run_recovery $ const ());
+            cmd "ablations" "Design-choice ablations (DRAM staging, huge pages, mmap size)."
+              Term.(const run_ablations $ total_mb);
+            cmd "resources" "U-Split resource consumption."
+              Term.(const run_resources $ const ());
+            smoke;
+            all_cmd;
+          ]))

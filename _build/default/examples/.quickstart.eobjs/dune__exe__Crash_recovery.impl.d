@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Fsapi Kernelfs List Pmem Printf Splitfs String

@@ -1,0 +1,1 @@
+examples/database.ml: Apps Harness List Pmem Printf Workloads

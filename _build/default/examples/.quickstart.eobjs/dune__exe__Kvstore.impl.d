@@ -1,0 +1,1 @@
+examples/kvstore.ml: Apps Harness List Pmem Printf Workloads

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Fsapi Kernelfs List Pmem Printf Splitfs String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Fsapi Kernelfs Pmem Printf Splitfs

@@ -1,0 +1,56 @@
+(** Crash and recover: demonstrate strict mode's synchronous, atomic data
+    operations surviving a power failure without a single fsync — the
+    operation log in action (paper §3.3, §5.3).
+
+    Run with: [dune exec examples/crash_recovery.exe] *)
+
+let compact mode =
+  { (Splitfs.Config.with_mode mode) with
+    Splitfs.Config.staging_files = 2;
+    staging_size = 4 * 1024 * 1024;
+    oplog_size = 1024 * 1024 }
+
+let () =
+  let env = Pmem.Env.create ~capacity:(64 * 1024 * 1024) () in
+  let kfs = Kernelfs.Ext4.mkfs env in
+  let sys = Kernelfs.Syscall.make kfs in
+  let u =
+    Splitfs.Usplit.mount ~cfg:(compact Splitfs.Config.Strict) ~sys ~env ~instance:0 ()
+  in
+  let fs = Splitfs.Usplit.as_fsapi u in
+
+  (* a database-style append-only commit log; note: NO fsync anywhere *)
+  let fd = fs.open_ "/commit.log" Fsapi.Flags.create_rw in
+  for i = 1 to 500 do
+    Fsapi.Fs.write_string fs fd (Printf.sprintf "txn %05d committed\n" i)
+  done;
+  Printf.printf "wrote 500 log records, no fsync issued\n";
+  Printf.printf "kernel-visible size before crash: %d bytes (all staged)\n"
+    (Kernelfs.Syscall.stat sys "/commit.log").Fsapi.Fs.st_size;
+
+  (* power failure: every unflushed cache line is gone, all U-Split DRAM
+     state (fd tables, mmap collections, log tail) is gone *)
+  Pmem.Device.crash env.Pmem.Env.dev;
+  print_endline "-- crash --";
+
+  (* mount-time recovery: ext4 journal recovery + operation-log replay *)
+  let report = Splitfs.Recovery.recover ~sys ~env ~instance:0 in
+  Printf.printf
+    "recovery: scanned %d entries, replayed %d, torn %d, files %d (%.2f ms simulated)\n"
+    report.Splitfs.Recovery.entries_scanned
+    report.Splitfs.Recovery.entries_replayed
+    report.Splitfs.Recovery.torn_entries
+    report.Splitfs.Recovery.files_recovered
+    (report.Splitfs.Recovery.replay_ns /. 1e6);
+
+  (* a fresh mount sees every committed record *)
+  let u2 =
+    Splitfs.Usplit.mount ~cfg:(compact Splitfs.Config.Strict) ~sys ~env ~instance:1 ()
+  in
+  let fs2 = Splitfs.Usplit.as_fsapi u2 in
+  let recovered = Fsapi.Fs.read_file fs2 "/commit.log" in
+  let lines = List.length (String.split_on_char '\n' recovered) - 1 in
+  Printf.printf "after recovery: %d bytes, %d records intact\n"
+    (String.length recovered) lines;
+  assert (lines = 500);
+  print_endline "strict mode: every completed write survived the crash."

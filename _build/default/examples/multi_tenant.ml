@@ -1,0 +1,51 @@
+(** Two applications with different consistency needs sharing one kernel
+    file system — the flexible-guarantees feature the paper calls out in
+    §3.2: "Concurrent applications can use different modes at the same
+    time as they run on SplitFS."
+
+    Run with: [dune exec examples/multi_tenant.exe] *)
+
+let compact mode =
+  { (Splitfs.Config.with_mode mode) with
+    Splitfs.Config.staging_files = 2;
+    staging_size = 4 * 1024 * 1024;
+    oplog_size = 1024 * 1024 }
+
+let () =
+  let env = Pmem.Env.create ~capacity:(64 * 1024 * 1024) () in
+  let kfs = Kernelfs.Ext4.mkfs env in
+  let sys = Kernelfs.Syscall.make kfs in
+
+  (* tenant A: an editor-like app that wants atomic saves (strict mode) *)
+  let editor =
+    Splitfs.Usplit.as_fsapi
+      (Splitfs.Usplit.mount ~cfg:(compact Splitfs.Config.Strict) ~sys ~env ~instance:0 ())
+  in
+  (* tenant B: a scratch-data app that only needs POSIX semantics *)
+  let scratch =
+    Splitfs.Usplit.as_fsapi
+      (Splitfs.Usplit.mount ~cfg:(compact Splitfs.Config.Posix) ~sys ~env ~instance:1 ())
+  in
+
+  (* tenant A saves a document atomically: overwrite + fsync *)
+  Fsapi.Fs.write_file editor "/document.txt" (String.make 8192 'v');
+  let fd = editor.open_ "/document.txt" Fsapi.Flags.rdwr in
+  editor.fsync fd;
+  Fsapi.Fs.pwrite_string editor fd "EDITED SECTION" ~at:4000;
+  editor.fsync fd;
+  editor.close fd;
+
+  (* tenant B churns scratch files cheaply *)
+  for i = 0 to 49 do
+    Fsapi.Fs.write_file scratch (Printf.sprintf "/scratch-%02d" i)
+      (String.make 2048 's')
+  done;
+
+  (* both see the same namespace through the shared kernel file system *)
+  let doc = Fsapi.Fs.read_file scratch "/document.txt" in
+  Printf.printf "tenant B reads tenant A's save: %S...\n"
+    (String.sub doc 4000 14);
+  Printf.printf "files visible to tenant A: %d\n"
+    (List.length (editor.readdir "/"));
+  Printf.printf "modes differ, guarantees differ, namespace is shared.\n";
+  Printf.printf "simulated time: %.1f us\n" (Pmem.Env.now env /. 1000.)

@@ -1,0 +1,1 @@
+lib/apps/aof.ml: Fsapi Hashtbl List Printf Str_split String

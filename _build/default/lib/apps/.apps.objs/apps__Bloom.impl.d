@@ -1,0 +1,1 @@
+lib/apps/bloom.ml: Buffer Bytes Char Hashtbl Int32 String

@@ -1,0 +1,1 @@
+lib/apps/btree.ml: Buffer Bytes Fsapi Hashtbl Int32 List Pager String

@@ -1,0 +1,1 @@
+lib/apps/lsm.ml: Filename Fsapi List Map Printf Scanf Sstable String Wal

@@ -1,0 +1,1 @@
+lib/apps/pager.ml: Bytes Fsapi Hashtbl Int32 List String

@@ -1,0 +1,1 @@
+lib/apps/sstable.ml: Array Bloom Buffer Fsapi Int32 List String

@@ -1,0 +1,1 @@
+lib/apps/str_split.ml: List String

@@ -1,0 +1,1 @@
+lib/apps/wal.ml: Array Buffer Char Fsapi Fun Int32 String

@@ -1,0 +1,1 @@
+lib/apps/waldb.ml: Btree Fsapi List String

@@ -1,0 +1,92 @@
+(** Append-only-file key-value store in the style of Redis's AOF
+    persistence (paper §5.2: "Redis in the Append-Only-File mode, where it
+    logs updates to a file and performs fsync() on the file every
+    second").
+
+    Values live in a DRAM hash table; every SET/DEL appends a textual
+    record to the AOF. The fsync cadence is driven by the *simulated*
+    clock via the [now] callback. *)
+
+type fsync_policy = Always | Every_ns of float | Never
+
+type t = {
+  fs : Fsapi.Fs.t;
+  path : string;
+  fd : Fsapi.Fs.fd;
+  table : (string, string) Hashtbl.t;
+  policy : fsync_policy;
+  now : unit -> float;
+  mutable last_fsync : float;
+  mutable appended_bytes : int;
+}
+
+let esc s = String.concat "\\n" (String.split_on_char '\n' s)
+
+let unesc s =
+  let parts = Str_split.split_on_string ~sep:"\\n" s in
+  String.concat "\n" parts
+
+let replay fs path table =
+  match Fsapi.Fs.read_file fs path with
+  | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> 0
+  | data ->
+      let count = ref 0 in
+      String.split_on_char '\n' data
+      |> List.iter (fun line ->
+             match String.index_opt line ' ' with
+             | Some i -> (
+                 let cmd = String.sub line 0 i in
+                 let rest = String.sub line (i + 1) (String.length line - i - 1) in
+                 match cmd with
+                 | "SET" -> (
+                     match String.index_opt rest ' ' with
+                     | Some j ->
+                         let k = String.sub rest 0 j in
+                         let v = String.sub rest (j + 1) (String.length rest - j - 1) in
+                         Hashtbl.replace table (unesc k) (unesc v);
+                         incr count
+                     | None -> ())
+                 | "DEL" ->
+                     Hashtbl.remove table (unesc rest);
+                     incr count
+                 | _ -> ())
+             | None -> ());
+      !count
+
+let open_ (fs : Fsapi.Fs.t) ~path ~now ?(policy = Every_ns 1e9) () =
+  let table = Hashtbl.create 4096 in
+  ignore (replay fs path table);
+  let fd = fs.open_ path Fsapi.Flags.(append (creat wronly)) in
+  { fs; path; fd; table; policy; now; last_fsync = now (); appended_bytes = 0 }
+
+let maybe_fsync t =
+  match t.policy with
+  | Always -> t.fs.fsync t.fd
+  | Never -> ()
+  | Every_ns interval ->
+      let now = t.now () in
+      if now -. t.last_fsync >= interval then begin
+        t.fs.fsync t.fd;
+        t.last_fsync <- now
+      end
+
+let set t key value =
+  let line = Printf.sprintf "SET %s %s\n" (esc key) (esc value) in
+  Fsapi.Fs.write_string t.fs t.fd line;
+  t.appended_bytes <- t.appended_bytes + String.length line;
+  Hashtbl.replace t.table key value;
+  maybe_fsync t
+
+let del t key =
+  let line = Printf.sprintf "DEL %s\n" (esc key) in
+  Fsapi.Fs.write_string t.fs t.fd line;
+  t.appended_bytes <- t.appended_bytes + String.length line;
+  Hashtbl.remove t.table key;
+  maybe_fsync t
+
+let get t key = Hashtbl.find_opt t.table key
+let size t = Hashtbl.length t.table
+
+let close t =
+  t.fs.fsync t.fd;
+  t.fs.close t.fd

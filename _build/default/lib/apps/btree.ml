@@ -1,0 +1,281 @@
+(** B+tree over the WAL pager: the storage engine of the SQLite-like
+    embedded database used for TPC-C.
+
+    Nodes occupy one 4 KB page each. Page 0 is the header (magic + root
+    page id). Mutations run inside a transaction that tracks dirty nodes;
+    commit serialises them and hands the page images to {!Pager.commit} —
+    one WAL append + fsync per transaction, exactly the IO pattern of
+    SQLite in WAL mode. *)
+
+let page_size = Pager.page_size
+let max_payload = page_size - 64
+
+type node =
+  | Leaf of (string * string) list  (** sorted (key, value) *)
+  | Internal of int * (string * int) list
+      (** leftmost child, then (separator key, child): the child holds
+          keys >= separator *)
+
+type t = {
+  pager : Pager.t;
+  nodes : (int, node) Hashtbl.t;  (** decoded working set *)
+  mutable root : int;
+  mutable dirty : (int, unit) Hashtbl.t;
+  mutable entries : int;
+}
+
+(* --- node codec --- *)
+
+let encode_node node =
+  let b = Buffer.create 256 in
+  (match node with
+  | Leaf records ->
+      Buffer.add_char b 'L';
+      Buffer.add_uint16_le b (List.length records);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_uint16_le b (String.length k);
+          Buffer.add_uint16_le b (String.length v);
+          Buffer.add_string b k;
+          Buffer.add_string b v)
+        records
+  | Internal (leftmost, entries) ->
+      Buffer.add_char b 'I';
+      Buffer.add_uint16_le b (List.length entries);
+      Buffer.add_int32_le b (Int32.of_int leftmost);
+      List.iter
+        (fun (k, child) ->
+          Buffer.add_uint16_le b (String.length k);
+          Buffer.add_int32_le b (Int32.of_int child);
+          Buffer.add_string b k)
+        entries);
+  let s = Buffer.contents b in
+  assert (String.length s <= page_size);
+  let page = Bytes.make page_size '\000' in
+  Bytes.blit_string s 0 page 0 (String.length s);
+  page
+
+let decode_node page =
+  match Bytes.get page 0 with
+  | 'L' ->
+      let count = Bytes.get_uint16_le page 1 in
+      let pos = ref 3 in
+      let records = ref [] in
+      for _ = 1 to count do
+        let klen = Bytes.get_uint16_le page !pos in
+        let vlen = Bytes.get_uint16_le page (!pos + 2) in
+        let k = Bytes.sub_string page (!pos + 4) klen in
+        let v = Bytes.sub_string page (!pos + 4 + klen) vlen in
+        records := (k, v) :: !records;
+        pos := !pos + 4 + klen + vlen
+      done;
+      Leaf (List.rev !records)
+  | 'I' ->
+      let count = Bytes.get_uint16_le page 1 in
+      let leftmost = Int32.to_int (Bytes.get_int32_le page 3) in
+      let pos = ref 7 in
+      let entries = ref [] in
+      for _ = 1 to count do
+        let klen = Bytes.get_uint16_le page !pos in
+        let child = Int32.to_int (Bytes.get_int32_le page (!pos + 2)) in
+        let k = Bytes.sub_string page (!pos + 6) klen in
+        entries := (k, child) :: !entries;
+        pos := !pos + 6 + klen
+      done;
+      Internal (leftmost, List.rev !entries)
+  | _ -> Leaf []
+
+let node_bytes = function
+  | Leaf records ->
+      List.fold_left (fun acc (k, v) -> acc + 4 + String.length k + String.length v) 3 records
+  | Internal (_, entries) ->
+      List.fold_left (fun acc (k, _) -> acc + 6 + String.length k) 7 entries
+
+(* --- tree plumbing --- *)
+
+let load_node t page_id =
+  match Hashtbl.find_opt t.nodes page_id with
+  | Some n -> n
+  | None ->
+      let n = decode_node (Pager.read_page t.pager page_id) in
+      Hashtbl.replace t.nodes page_id n;
+      n
+
+let store_node t page_id node =
+  Hashtbl.replace t.nodes page_id node;
+  Hashtbl.replace t.dirty page_id ()
+
+let write_header t =
+  let page = Bytes.make page_size '\000' in
+  Bytes.blit_string "SQLB" 0 page 0 4;
+  Bytes.set_int32_le page 4 (Int32.of_int t.root);
+  Bytes.set_int32_le page 8 (Int32.of_int (Pager.npages t.pager));
+  Bytes.set_int32_le page 12 (Int32.of_int t.entries);
+  page
+
+let open_ (fs : Fsapi.Fs.t) path ~checkpoint_frames =
+  let pager = Pager.open_ fs path ~checkpoint_frames in
+  let t = { pager; nodes = Hashtbl.create 1024; root = 1; dirty = Hashtbl.create 64; entries = 0 } in
+  if Pager.npages pager = 0 then begin
+    (* fresh database: header page + empty root leaf *)
+    let hdr = Pager.allocate_page pager in
+    let root = Pager.allocate_page pager in
+    assert (hdr = 0 && root = 1);
+    t.root <- root;
+    store_node t root (Leaf []);
+    Pager.commit pager [ (0, write_header t); (root, encode_node (Leaf [])) ];
+    Hashtbl.reset t.dirty
+  end
+  else begin
+    let hdr = Pager.read_page pager 0 in
+    if Bytes.sub_string hdr 0 4 = "SQLB" then begin
+      t.root <- Int32.to_int (Bytes.get_int32_le hdr 4);
+      t.entries <- Int32.to_int (Bytes.get_int32_le hdr 12)
+    end
+  end;
+  t
+
+(* --- search --- *)
+
+let rec find_leaf t page_id key path =
+  match load_node t page_id with
+  | Leaf _ -> (page_id, path)
+  | Internal (leftmost, entries) ->
+      let child =
+        List.fold_left
+          (fun acc (sep, c) -> if key >= sep then c else acc)
+          leftmost entries
+      in
+      find_leaf t child key ((page_id, ()) :: path)
+
+let get t key =
+  let leaf_id, _ = find_leaf t t.root key [] in
+  match load_node t leaf_id with
+  | Leaf records -> List.assoc_opt key records
+  | Internal _ -> None
+
+(* --- insertion with splits --- *)
+
+(** Split an oversized node, returning (left, separator, right). *)
+let split_node = function
+  | Leaf records ->
+      let n = List.length records in
+      let left = List.filteri (fun i _ -> i < n / 2) records in
+      let right = List.filteri (fun i _ -> i >= n / 2) records in
+      let sep = fst (List.hd right) in
+      (Leaf left, sep, Leaf right)
+  | Internal (leftmost, entries) ->
+      let n = List.length entries in
+      let left = List.filteri (fun i _ -> i < n / 2) entries in
+      (match List.filteri (fun i _ -> i >= n / 2) entries with
+      | (sep, mid_child) :: right ->
+          (Internal (leftmost, left), sep, Internal (mid_child, right))
+      | [] -> assert false)
+
+(** Insert/replace [key]; splits propagate up the recorded path. *)
+let put t key value =
+  if 4 + String.length key + String.length value > max_payload then
+    Fsapi.Errno.(error EFBIG "btree: record too large");
+  let leaf_id, path = find_leaf t t.root key [] in
+  (match load_node t leaf_id with
+  | Leaf records ->
+      let existed = List.mem_assoc key records in
+      let records =
+        List.merge
+          (fun (a, _) (b, _) -> compare a b)
+          [ (key, value) ]
+          (List.remove_assoc key records)
+      in
+      if not existed then t.entries <- t.entries + 1;
+      store_node t leaf_id (Leaf records)
+  | Internal _ -> assert false);
+  (* propagate splits bottom-up *)
+  let rec fix page_id path =
+    let node = load_node t page_id in
+    if node_bytes node > max_payload then begin
+      let left, sep, right = split_node node in
+      let right_id = Pager.allocate_page t.pager in
+      store_node t right_id right;
+      store_node t page_id left;
+      match path with
+      | (parent_id, ()) :: rest ->
+          (match load_node t parent_id with
+          | Internal (leftmost, entries) ->
+              let entries =
+                List.merge
+                  (fun (a, _) (b, _) -> compare a b)
+                  [ (sep, right_id) ] entries
+              in
+              store_node t parent_id (Internal (leftmost, entries))
+          | Leaf _ -> assert false);
+          fix parent_id rest
+      | [] ->
+          (* the root split: grow the tree *)
+          let new_root = Pager.allocate_page t.pager in
+          store_node t new_root (Internal (page_id, [ (sep, right_id) ]));
+          t.root <- new_root
+    end
+  in
+  fix leaf_id path
+
+let delete t key =
+  let leaf_id, _ = find_leaf t t.root key [] in
+  match load_node t leaf_id with
+  | Leaf records ->
+      if List.mem_assoc key records then begin
+        t.entries <- t.entries - 1;
+        store_node t leaf_id (Leaf (List.remove_assoc key records));
+        true
+      end
+      else false
+  | Internal _ -> false
+
+(** Range scan: up to [count] records with key >= [start]. *)
+let scan t ~start ~count =
+  let results = ref [] and n = ref 0 in
+  let rec walk page_id =
+    if !n < count then
+      match load_node t page_id with
+      | Leaf records ->
+          List.iter
+            (fun (k, v) ->
+              if k >= start && !n < count then begin
+                results := (k, v) :: !results;
+                incr n
+              end)
+            records
+      | Internal (leftmost, entries) ->
+          let relevant =
+            leftmost
+            :: List.filter_map
+                 (fun (sep, c) ->
+                   (* skip subtrees that end before [start] *)
+                   ignore sep;
+                   Some c)
+                 entries
+          in
+          List.iter walk relevant
+  in
+  walk t.root;
+  List.rev !results
+
+(** Commit the running transaction: one WAL append + fsync. *)
+let commit t =
+  if Hashtbl.length t.dirty > 0 then begin
+    let pages =
+      Hashtbl.fold
+        (fun page_id () acc ->
+          if page_id = 0 then acc
+          else (page_id, encode_node (load_node t page_id)) :: acc)
+        t.dirty []
+    in
+    let header = write_header t in
+    Pager.commit t.pager ((0, header) :: pages);
+    Hashtbl.reset t.dirty
+  end
+
+let entries t = t.entries
+
+let close t =
+  commit t;
+  Pager.close t.pager

@@ -1,0 +1,18 @@
+(** Tiny string helper: split on a multi-character separator. *)
+
+let split_on_string ~sep s =
+  let seplen = String.length sep in
+  if seplen = 0 then invalid_arg "split_on_string";
+  let rec go start acc =
+    match
+      let rec find i =
+        if i + seplen > String.length s then None
+        else if String.sub s i seplen = sep then Some i
+        else find (i + 1)
+      in
+      find start
+    with
+    | Some i -> go (i + seplen) (String.sub s start (i - start) :: acc)
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+  in
+  go 0 []

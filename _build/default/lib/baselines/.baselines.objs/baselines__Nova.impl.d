@@ -1,0 +1,1 @@
+lib/baselines/nova.ml: Bytes Device Env Fsapi Pmbase Pmem Printf Stats Timing

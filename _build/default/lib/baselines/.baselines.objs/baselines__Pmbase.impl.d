@@ -1,0 +1,1 @@
+lib/baselines/pmbase.ml: Bytes Device Env Fsapi Hashtbl Kernelfs List Pmem String

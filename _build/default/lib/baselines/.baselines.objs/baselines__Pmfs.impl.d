@@ -1,0 +1,1 @@
+lib/baselines/pmfs.ml: Bytes Device Env Fsapi Pmbase Pmem Stats Timing

@@ -1,0 +1,1 @@
+lib/baselines/strata.ml: Bytes Device Env Fsapi Hashtbl Kernelfs List Pmbase Pmem Stats Timing

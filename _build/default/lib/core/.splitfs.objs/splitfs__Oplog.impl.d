@@ -1,0 +1,1 @@
+lib/core/oplog.ml: Atomic Bytes Crc32 Device Env Fsapi Fun Int32 Int64 Kernelfs List Pmem Stats Timing

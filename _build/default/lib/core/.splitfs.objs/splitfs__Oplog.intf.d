@@ -1,0 +1,1 @@
+lib/core/oplog.mli: Bytes Kernelfs Pmem

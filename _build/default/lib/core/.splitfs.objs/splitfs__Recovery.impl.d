@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Bytes Env Fsapi Fun Hashtbl Kernelfs List Oplog Pmem Printf

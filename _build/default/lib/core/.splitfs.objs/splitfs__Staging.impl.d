@@ -1,0 +1,1 @@
+lib/core/staging.ml: Bytes Device Env Fsapi Kernelfs Pmem Printf Queue Stats Timing

@@ -1,0 +1,1 @@
+lib/core/usplit.ml: Array Bytes Config Device Env Fsapi Fun Hashtbl Kernelfs List Oplog Pmem Printf Staging Stats String Timing

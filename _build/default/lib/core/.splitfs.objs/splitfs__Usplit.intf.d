@@ -1,0 +1,1 @@
+lib/core/usplit.mli: Config Fsapi Kernelfs Oplog Pmem

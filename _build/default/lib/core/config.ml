@@ -1,0 +1,57 @@
+(** SplitFS modes and tunable parameters (paper §3.2, §3.6).
+
+    Each U-Split instance has its own configuration, so concurrently running
+    applications can use different modes without interfering. *)
+
+type mode =
+  | Posix  (** metadata consistency, in-place synchronous overwrites,
+               atomic (but not synchronous) appends — like ext4 DAX *)
+  | Sync  (** + synchronous data and metadata operations — like PMFS /
+              NOVA-relaxed *)
+  | Strict  (** + atomic data operations — like NOVA-strict / Strata *)
+
+let mode_to_string = function
+  | Posix -> "posix"
+  | Sync -> "sync"
+  | Strict -> "strict"
+
+type t = {
+  mode : mode;
+  mmap_size : int;
+      (** granularity of the collection of memory-mappings; default 2 MB so
+          that mappings can use huge pages (§3.6) *)
+  staging_files : int;  (** staging files pre-allocated at startup *)
+  staging_size : int;  (** size of each staging file *)
+  oplog_size : int;  (** operation-log file size; 64 B per entry *)
+  (* Feature flags for the Figure 3 ablation. With [use_staging = false]
+     appends fall through to the kernel; with [use_relink = false] staged
+     data is copied into the target file on fsync instead of relinked. *)
+  use_staging : bool;
+  use_relink : bool;
+  staging_in_dram : bool;
+      (** the alternative design of paper §4 ("Staging writes in DRAM"):
+          staged data lives in DRAM buffers, so staging is cheaper but
+          fsync must copy everything to PM — no relink possible. The paper
+          tried and rejected this; the ablation benchmark shows why. *)
+}
+
+(** Paper defaults are 10 × 160 MB staging files and a 128 MB log; the
+    simulation default scales these down so small experiments stay light.
+    Experiments that need the paper's sizing pass them explicitly. *)
+let default =
+  {
+    mode = Posix;
+    mmap_size = 2 * 1024 * 1024;
+    staging_files = 2;
+    staging_size = 16 * 1024 * 1024;
+    oplog_size = 1024 * 1024;
+    use_staging = true;
+    use_relink = true;
+    staging_in_dram = false;
+  }
+
+let posix = default
+let sync = { default with mode = Sync }
+let strict = { default with mode = Strict }
+
+let with_mode mode = { default with mode }

@@ -1,0 +1,42 @@
+(** SplitFS modes and tunable parameters (paper §3.2, §3.6).
+
+    Each U-Split instance has its own configuration, so concurrently
+    running applications can use different modes without interfering. *)
+
+type mode =
+  | Posix  (** metadata consistency, in-place synchronous overwrites,
+               atomic (but not synchronous) appends — like ext4 DAX *)
+  | Sync  (** + synchronous data and metadata operations — like PMFS /
+              NOVA-relaxed *)
+  | Strict  (** + atomic data operations — like NOVA-strict / Strata *)
+
+val mode_to_string : mode -> string
+
+type t = {
+  mode : mode;
+  mmap_size : int;
+      (** granularity of the collection of memory-mappings; default 2 MB
+          so that mappings can use huge pages (§3.6) *)
+  staging_files : int;  (** staging files pre-allocated at startup *)
+  staging_size : int;  (** size of each staging file *)
+  oplog_size : int;  (** operation-log file size; 64 B per entry *)
+  use_staging : bool;
+      (** Figure 3 ablation: when false, appends fall through to the
+          kernel *)
+  use_relink : bool;
+      (** Figure 3 ablation: when false, staged data is copied into the
+          target file on fsync instead of relinked *)
+  staging_in_dram : bool;
+      (** the alternative design of paper §4 ("Staging writes in DRAM"):
+          staged data lives in DRAM buffers, so staging is cheaper but
+          fsync must copy everything to PM — no relink possible *)
+}
+
+(** Simulation-scaled defaults (the paper's production sizing is 10 ×
+    160 MB staging files and a 128 MB log; experiments pass their own). *)
+val default : t
+
+val posix : t
+val sync : t
+val strict : t
+val with_mode : mode -> t

@@ -1,0 +1,227 @@
+(** The U-Split operation log (paper §3.3, "Optimized logging").
+
+    Logical redo log; in the common case one operation writes exactly one
+    64-byte entry with a single non-temporal store, and the caller issues a
+    single sfence covering both the entry and the staged data. A 4-byte
+    CRC32 inside the entry replaces the second fence that a
+    tail-update-based log (like NOVA's) would need: recovery treats any
+    non-zero entry whose checksum verifies as valid and everything else as
+    torn.
+
+    The tail lives only in DRAM as an [Atomic.int] — concurrent threads
+    advance it with fetch-and-add and write their slots independently. It is
+    never persisted; recovery reconstructs validity purely from checksums
+    over the zero-initialised log file. *)
+
+open Pmem
+
+let entry_size = 64
+
+type data_op = {
+  target_ino : int;
+  file_off : int;
+  staging_ino : int;
+  staging_off : int;
+  len : int;
+}
+
+type entry =
+  | Append of data_op
+  | Overwrite of data_op
+  | Relinked of { target_ino : int }
+      (** all staged data of [target_ino] up to this point has been
+          relinked; earlier entries for it are satisfied *)
+  | Create of { ino : int }
+  | Unlink of { ino : int }
+  | Rename of { ino : int }
+  | Truncate of { ino : int; size : int }
+
+(* --- codec --- *)
+
+let kind_of_entry = function
+  | Append _ -> 1
+  | Overwrite _ -> 2
+  | Relinked _ -> 3
+  | Create _ -> 4
+  | Unlink _ -> 5
+  | Rename _ -> 6
+  | Truncate _ -> 7
+
+let encode entry =
+  let b = Bytes.make entry_size '\000' in
+  Bytes.set_uint8 b 0 (kind_of_entry entry);
+  let set_ino i = Bytes.set_int64_le b 8 (Int64.of_int i) in
+  (match entry with
+  | Append op | Overwrite op ->
+      set_ino op.target_ino;
+      Bytes.set_int64_le b 16 (Int64.of_int op.file_off);
+      Bytes.set_int64_le b 24 (Int64.of_int op.staging_ino);
+      Bytes.set_int64_le b 32 (Int64.of_int op.staging_off);
+      Bytes.set_int64_le b 40 (Int64.of_int op.len)
+  | Relinked { target_ino } -> set_ino target_ino
+  | Create { ino } | Unlink { ino } | Rename { ino } -> set_ino ino
+  | Truncate { ino; size } ->
+      set_ino ino;
+      Bytes.set_int64_le b 16 (Int64.of_int size));
+  let crc = Crc32.bytes b in
+  Bytes.set_int32_le b 4 (Int32.of_int crc);
+  b
+
+type decoded = Valid of entry | Torn | Empty
+
+let decode b ~off =
+  let is_zero = ref true in
+  for i = off to off + entry_size - 1 do
+    if Bytes.get b i <> '\000' then is_zero := false
+  done;
+  if !is_zero then Empty
+  else begin
+    let stored = Int32.to_int (Bytes.get_int32_le b (off + 4)) land 0xFFFFFFFF in
+    let copy = Bytes.sub b off entry_size in
+    Bytes.set_int32_le copy 4 0l;
+    if Crc32.bytes copy <> stored then Torn
+    else begin
+      let geti pos = Int64.to_int (Bytes.get_int64_le copy pos) in
+      let data_op () =
+        {
+          target_ino = geti 8;
+          file_off = geti 16;
+          staging_ino = geti 24;
+          staging_off = geti 32;
+          len = geti 40;
+        }
+      in
+      match Bytes.get_uint8 copy 0 with
+      | 1 -> Valid (Append (data_op ()))
+      | 2 -> Valid (Overwrite (data_op ()))
+      | 3 -> Valid (Relinked { target_ino = geti 8 })
+      | 4 -> Valid (Create { ino = geti 8 })
+      | 5 -> Valid (Unlink { ino = geti 8 })
+      | 6 -> Valid (Rename { ino = geti 8 })
+      | 7 -> Valid (Truncate { ino = geti 8; size = geti 16 })
+      | _ -> Torn
+    end
+  end
+
+(* --- the log itself --- *)
+
+type t = {
+  sys : Kernelfs.Syscall.t;
+  env : Env.t;
+  path : string;
+  kfd : int;
+  mapping : Kernelfs.Ext4.mapping;
+  capacity : int;  (** entries *)
+  tail : int Atomic.t;
+}
+
+let dev_addr t ~off =
+  match
+    Kernelfs.Ext4.translate (Kernelfs.Syscall.kernel t.sys) t.mapping
+      ~file_off:off
+  with
+  | Some (addr, run) when run >= entry_size -> addr
+  | _ -> Fsapi.Errno.(error EINVAL "oplog: unmapped slot")
+
+let zero_range t ~off ~len =
+  let pos = ref off in
+  let kfs = Kernelfs.Syscall.kernel t.sys in
+  while !pos < off + len do
+    match Kernelfs.Ext4.translate kfs t.mapping ~file_off:!pos with
+    | Some (addr, run) ->
+        let n = min run (off + len - !pos) in
+        Device.zero_nt t.env.Env.dev ~addr ~len:n;
+        pos := !pos + n
+    | None -> Fsapi.Errno.(error EINVAL "oplog: hole")
+  done
+
+let create ~sys ~env ~path ~size =
+  let size = size / entry_size * entry_size in
+  let kfd = Kernelfs.Syscall.open_ sys path Fsapi.Flags.create_rw in
+  let allocated = Kernelfs.Syscall.fallocate sys kfd ~off:0 ~len:size in
+  Kernelfs.Syscall.set_size sys kfd size;
+  let mapping = Kernelfs.Syscall.mmap sys kfd ~off:0 ~len:size in
+  let t =
+    {
+      sys;
+      env;
+      path;
+      kfd;
+      mapping;
+      capacity = size / entry_size;
+      tail = Atomic.make 0;
+    }
+  in
+  (* Zero-initialise so recovery can treat non-zero slots as potentially
+     valid; only needed for freshly allocated blocks. *)
+  if allocated > 0 then zero_range t ~off:0 ~len:size;
+  Device.fence env.Env.dev;
+  t
+
+let entries_written t = Atomic.get t.tail
+let capacity t = t.capacity
+let path t = t.path
+
+(** Zero the used prefix and reset the tail (checkpoint, §3.3). *)
+let clear t =
+  let used = Atomic.get t.tail in
+  if used > 0 then begin
+    zero_range t ~off:0 ~len:(used * entry_size);
+    Device.fence t.env.Env.dev;
+    Atomic.set t.tail 0
+  end
+
+(** Append one entry with a single non-temporal store. No fence is issued
+    here: the caller's one sfence covers staged data and the log entry
+    together. The caller (U-Split) checkpoints before the log fills; a
+    genuinely full log is a protocol bug and raises ENOSPC. *)
+let append t entry =
+  let idx = Atomic.fetch_and_add t.tail 1 in
+  if idx >= t.capacity then Fsapi.Errno.(error ENOSPC "oplog full");
+  let tm = t.env.Env.timing in
+  Env.cpu t.env tm.Timing.usplit_log_cpu;
+  let b = encode entry in
+  Device.store_nt t.env.Env.dev ~addr:(dev_addr t ~off:(idx * entry_size)) b
+    ~off:0 ~len:entry_size;
+  let stats = t.env.Env.stats in
+  stats.Stats.log_entries <- stats.Stats.log_entries + 1
+
+(* --- recovery-side scan --- *)
+
+type scan_result = { valid : entry list; torn : int; scanned : int }
+
+(** Read the log file through the kernel and classify every slot: used at
+    mount time by {!Recovery}. Scanning stops at the first all-zero slot
+    (slots are written in tail order over a zeroed file), but torn entries
+    in between are skipped and counted. *)
+let scan sys path =
+  let fd = Kernelfs.Syscall.open_ sys path Fsapi.Flags.rdonly in
+  Fun.protect
+    ~finally:(fun () -> Kernelfs.Syscall.close sys fd)
+    (fun () ->
+      let size = (Kernelfs.Syscall.fstat sys fd).Fsapi.Fs.st_size in
+      let chunk = 64 * 1024 in
+      let buf = Bytes.create chunk in
+      let valid = ref [] and torn = ref 0 and scanned = ref 0 in
+      let stop = ref false in
+      let off = ref 0 in
+      while (not !stop) && !off < size do
+        let len = min chunk (size - !off) in
+        let got = Kernelfs.Syscall.pread sys fd ~buf ~boff:0 ~len ~at:!off in
+        let entries = got / entry_size in
+        let i = ref 0 in
+        while (not !stop) && !i < entries do
+          (match decode buf ~off:(!i * entry_size) with
+          | Empty -> stop := true
+          | Torn ->
+              incr torn;
+              incr scanned
+          | Valid e ->
+              valid := e :: !valid;
+              incr scanned);
+          incr i
+        done;
+        if got < len then stop := true;
+        off := !off + got
+      done;
+      { valid = List.rev !valid; torn = !torn; scanned = !scanned })

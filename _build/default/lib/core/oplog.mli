@@ -1,0 +1,67 @@
+(** The U-Split operation log (paper §3.3, "Optimized logging").
+
+    Logical redo log of 64-byte entries; in the common case one operation
+    writes exactly one entry with a single non-temporal store, and the
+    caller's single sfence covers the staged data and the log entry
+    together. A 4-byte CRC32 inside the entry replaces the second fence a
+    tail-update-based log (like NOVA's) would need: recovery treats a
+    non-zero entry whose checksum verifies as valid, everything else as
+    torn. The tail lives only in DRAM as an [Atomic.int]. *)
+
+val entry_size : int
+(** 64 bytes. *)
+
+type data_op = {
+  target_ino : int;
+  file_off : int;
+  staging_ino : int;
+  staging_off : int;
+  len : int;
+}
+
+type entry =
+  | Append of data_op
+  | Overwrite of data_op
+  | Relinked of { target_ino : int }
+      (** all staged data of [target_ino] up to this point has been
+          relinked; earlier entries for it are satisfied *)
+  | Create of { ino : int }
+  | Unlink of { ino : int }
+  | Rename of { ino : int }
+  | Truncate of { ino : int; size : int }
+
+(** Serialise to a 64-byte slot (checksum filled in). *)
+val encode : entry -> Bytes.t
+
+type decoded = Valid of entry | Torn | Empty
+
+(** Classify the 64-byte slot at [off]: all-zero = [Empty], checksum
+    mismatch = [Torn]. *)
+val decode : Bytes.t -> off:int -> decoded
+
+type t
+
+(** Create (or adopt) the log file at [path], pre-allocate and
+    zero-initialise it, and map it for user-space stores. *)
+val create :
+  sys:Kernelfs.Syscall.t -> env:Pmem.Env.t -> path:string -> size:int -> t
+
+val path : t -> string
+val capacity : t -> int
+(** Slots. *)
+
+val entries_written : t -> int
+(** Current DRAM tail. *)
+
+(** Append one entry: one NT store, no fence (the caller fences). Raises
+    ENOSPC if full — U-Split checkpoints before that can happen. *)
+val append : t -> entry -> unit
+
+(** Zero the used prefix and reset the tail (checkpoint reuse, §3.3). *)
+val clear : t -> unit
+
+type scan_result = { valid : entry list; torn : int; scanned : int }
+
+(** Recovery-side scan through the kernel: collect valid entries in order,
+    count torn ones, stop at the first all-zero slot. *)
+val scan : Kernelfs.Syscall.t -> string -> scan_result

@@ -1,0 +1,24 @@
+(** Crash recovery for SplitFS (paper §5.3).
+
+    POSIX and sync modes need nothing beyond the kernel's journal
+    recovery; in strict (and sync) mode the valid operation-log entries
+    are replayed: every staged data operation whose relink had not
+    completed is relinked now. Replay is idempotent, and the log is
+    zeroed afterwards. *)
+
+type report = {
+  entries_scanned : int;
+  entries_replayed : int;
+  torn_entries : int;
+  files_recovered : int;
+  replay_ns : float;  (** simulated time spent replaying *)
+}
+
+val empty_report : report
+
+(** [recover ~sys ~env ~instance] scans instance [instance]'s operation
+    log, replays pending staged operations onto the kernel file system,
+    zeroes the log, and reports what it did. A missing log file (POSIX
+    mode) yields {!empty_report}. *)
+val recover :
+  sys:Kernelfs.Syscall.t -> env:Pmem.Env.t -> instance:int -> report

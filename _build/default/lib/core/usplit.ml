@@ -1,0 +1,949 @@
+(** U-Split: the user-space library file system of SplitFS (paper §3).
+
+    Data operations (read, overwrite, append) are served in user space
+    through a collection of memory-mappings and staging files; metadata
+    operations pass through to the kernel file system (ext4 DAX). Appends —
+    and, in strict mode, overwrites — are staged and then logically moved to
+    the target file by the relink primitive on fsync or close.
+
+    Each mounted instance has its own mode (POSIX / sync / strict), staging
+    pool and operation log, so concurrent applications can pick different
+    guarantees (§3.2). *)
+
+open Pmem
+
+let block_size = Kernelfs.Ext4.block_size
+
+(* ------------------------------------------------------------------ *)
+(* Per-file state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type file_state = {
+  f_ino : int;
+  mutable f_path : string;
+  f_kfd : int;  (** canonical kernel fd, kept open while the state is cached *)
+  mutable ksize : int;  (** size according to the kernel file system *)
+  mutable usize : int;  (** size including staged appends *)
+  shadow : Kernelfs.Extent_tree.t;
+      (** byte-granular map: target offset -> staging-file offset, holding
+          every staged byte not yet relinked; the newest write wins *)
+  mutable staging : Staging.handle option;
+  mutable mmaps : Kernelfs.Ext4.mapping list;  (** collection of mmaps *)
+  mutable open_count : int;
+  mutable unlinked : bool;
+}
+
+type open_desc = {
+  st : file_state;
+  fpos : int ref;  (** shared between dup'ed descriptors *)
+  oflags : Fsapi.Flags.t;
+  od_kfd : int;  (** kernel fd backing this open; may equal [st.f_kfd] *)
+}
+
+type t = {
+  cfg : Config.t;
+  sys : Kernelfs.Syscall.t;
+  env : Env.t;
+  instance : int;
+  staging_pool : Staging.t;
+  oplog : Oplog.t option;  (** present in sync and strict modes *)
+  files_by_ino : (int, file_state) Hashtbl.t;
+  files_by_path : (string, file_state) Hashtbl.t;
+  fds : (int, open_desc) Hashtbl.t;
+  mutable next_fd : int;
+  mutable checkpointing : bool;
+      (** true while a log-full checkpoint relinks every file; suppresses
+          recursive logging *)
+  mutable checkpoint : unit -> unit;  (** wired to [relink_all] at mount *)
+}
+
+let bookkeeping t = Env.cpu t.env t.env.Env.timing.Timing.usplit_bookkeeping
+let fence t = Device.fence t.env.Env.dev
+
+let logs_ops t =
+  match t.cfg.Config.mode with
+  | Config.Posix -> false
+  | Config.Sync | Config.Strict -> true
+
+(** Margin of log slots kept free so the checkpoint itself can finish. *)
+let checkpoint_slack = 8
+
+let log_entry t entry =
+  match t.oplog with
+  | Some log when logs_ops t && not t.checkpointing ->
+      if Oplog.entries_written log >= Oplog.capacity log - checkpoint_slack
+      then begin
+        (* log full: relink every open file's staged data, then zero the
+           log and reuse it (paper §3.3) *)
+        t.checkpointing <- true;
+        Fun.protect
+          ~finally:(fun () -> t.checkpointing <- false)
+          t.checkpoint
+      end;
+      Oplog.append log entry
+  | _ -> ()
+
+let config t = t.cfg
+let oplog t = t.oplog
+
+(* ------------------------------------------------------------------ *)
+(* Collection of memory-mappings                                        *)
+(* ------------------------------------------------------------------ *)
+
+let kfs t = Kernelfs.Syscall.kernel t.sys
+
+(** Find or establish the mapping covering file offset [off] (within the
+    kernel-visible part of the file). Newly created mappings cover the
+    surrounding [cfg.mmap_size] region and are cached until unlink. *)
+let get_mapping t st ~off =
+  let covers m =
+    off >= m.Kernelfs.Ext4.m_off && off < m.Kernelfs.Ext4.m_off + m.Kernelfs.Ext4.m_len
+  in
+  match List.find_opt covers st.mmaps with
+  | Some m -> Some m
+  | None ->
+      let region = t.cfg.Config.mmap_size in
+      let rstart = off / region * region in
+      let kblocks = (st.ksize + block_size - 1) / block_size in
+      let rlen = min region ((kblocks * block_size) - rstart) in
+      if rlen <= 0 then None
+      else begin
+        let m = Kernelfs.Syscall.mmap t.sys st.f_kfd ~off:rstart ~len:rlen in
+        st.mmaps <- m :: st.mmaps;
+        Some m
+      end
+
+(** Refresh every cached mapping of [st] after the kernel changed the
+    file's block layout underneath them (hole-filling writes, relink
+    replacing blocks). Mirrors how the modified ioctl keeps existing
+    mappings valid. *)
+let refresh_mappings t st =
+  let inode = Kernelfs.Syscall.inode_of_fd t.sys st.f_kfd in
+  List.iter (fun m -> Kernelfs.Ext4.remap_quietly (kfs t) inode m) st.mmaps
+
+(** Retain a mapping over a freshly relinked range without faults (§3.5). *)
+let retain_mapping t st ~off ~len =
+  let rstart = off / block_size * block_size in
+  let rlen = (off + len + block_size - 1) / block_size * block_size - rstart in
+  let inode = Kernelfs.Syscall.inode_of_fd t.sys st.f_kfd in
+  let m = Kernelfs.Ext4.mmap_retained (kfs t) inode ~off:rstart ~len:rlen in
+  st.mmaps <- m :: st.mmaps
+
+(* ------------------------------------------------------------------ *)
+(* File-state lookup                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fd_entry t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some od -> od
+  | None -> Fsapi.Errno.(error EBADF (string_of_int fd))
+
+let install_fd t od =
+  let fd = t.next_fd in
+  t.next_fd <- t.next_fd + 1;
+  Hashtbl.replace t.fds fd od;
+  fd
+
+(* ------------------------------------------------------------------ *)
+(* Staging writes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_staging t st =
+  match st.staging with
+  | Some h -> h
+  | None ->
+      let h = Staging.acquire t.staging_pool in
+      st.staging <- Some h;
+      h
+
+(** Staging end of the shadow extent finishing exactly at [at], if any —
+    enables coalescing consecutive appends into one staged run. *)
+let staged_end_at st ~at =
+  if at = 0 then None
+  else
+    match Kernelfs.Extent_tree.find st.shadow (at - 1) with
+    | Some (s, _) -> Some (s + 1)
+    | None -> None
+
+(** In-place overwrite through the collection of mmaps (POSIX/sync modes);
+    holes within the file fall back to a kernel pwrite. *)
+let write_inplace t st ~at buf ~boff ~len =
+  let pos = ref at and src = ref boff and remaining = ref len in
+  while !remaining > 0 do
+    let continue_at n =
+      pos := !pos + n;
+      src := !src + n;
+      remaining := !remaining - n
+    in
+    match get_mapping t st ~off:!pos with
+    | Some m -> (
+        match Kernelfs.Ext4.translate (kfs t) m ~file_off:!pos with
+        | Some (addr, run) ->
+            let n = min run !remaining in
+            Device.store_nt t.env.Env.dev ~addr buf ~off:!src ~len:n;
+            continue_at n
+        | None ->
+            (* hole: kernel allocates and writes this block, then the
+               cached mappings learn about the fresh block *)
+            let n =
+              min !remaining (block_size - (!pos mod block_size))
+            in
+            let n = Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff:!src ~len:n ~at:!pos in
+            refresh_mappings t st;
+            continue_at n)
+    | None ->
+        let n = Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff:!src ~len:!remaining ~at:!pos in
+        refresh_mappings t st;
+        continue_at n
+  done
+
+
+let rec stage_write t st ~at buf ~boff ~len =
+  let h = ensure_staging t st in
+  let staged_off =
+    let coalesced =
+      match staged_end_at st ~at with
+      | Some s when Staging.reserve_contiguous h ~at:s len -> Some s
+      | _ -> None
+    in
+    match coalesced with
+    | Some s -> Some s
+    | None -> Staging.reserve h ~align_rem:(at mod block_size) len
+  in
+  match staged_off with
+  | None ->
+      (* staging file exhausted: relink now to free it, then retry on a
+         fresh handle *)
+      relink_file t st;
+      stage_write t st ~at buf ~boff ~len
+  | Some s ->
+      Staging.write t.staging_pool h ~off:s buf ~boff ~len;
+      ignore (Kernelfs.Extent_tree.remove_range st.shadow ~logical:at ~len);
+      Kernelfs.Extent_tree.insert st.shadow ~logical:at ~physical:s ~len;
+      let grew = at + len > st.usize in
+      if grew then st.usize <- at + len;
+      if logs_ops t then begin
+        let op =
+          {
+            Oplog.target_ino = st.f_ino;
+            file_off = at;
+            staging_ino = Staging.s_ino h;
+            staging_off = s;
+            len;
+          }
+        in
+        log_entry t (if grew then Oplog.Append op else Oplog.Overwrite op)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Relink (user-space half)                                             *)
+(* ------------------------------------------------------------------ *)
+
+and relink_extent t st h (e : Kernelfs.Extent_tree.extent) ~dst_size =
+  let stats = t.env.Env.stats in
+  (* Boundary bytes are copied in user space: read staged bytes through the
+     staging mapping, store them through the target's mapping (kernel
+     pwrite only as a fallback for unmapped holes). *)
+  let copy ~t_off ~s_off ~len =
+    if len > 0 then begin
+      let buf = Bytes.create len in
+      Staging.read t.staging_pool h ~off:s_off buf ~boff:0 ~len;
+      write_inplace t st ~at:t_off buf ~boff:0 ~len;
+      stats.Stats.relink_copied_bytes <- stats.Stats.relink_copied_bytes + len
+    end
+  in
+  let t_off = e.Kernelfs.Extent_tree.logical in
+  let s_off = e.Kernelfs.Extent_tree.physical in
+  let len = e.Kernelfs.Extent_tree.len in
+  if (not t.cfg.Config.use_relink) || Staging.is_dram h then begin
+    (* Figure 3 ablation (staging without relink) and the §4 DRAM-staging
+       design: fsync copies the staged data into the target file through
+       the kernel *)
+    let buf = Bytes.create len in
+    Staging.read t.staging_pool h ~off:s_off buf ~boff:0 ~len;
+    let n = Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff:0 ~len ~at:t_off in
+    assert (n = len);
+    stats.Stats.relink_copied_bytes <- stats.Stats.relink_copied_bytes + len
+  end
+  else begin
+    (* partial head block: the target's block already exists (it is the old
+       end of file, or an overwritten block); copy just those bytes *)
+    let head =
+      if t_off mod block_size = 0 then 0
+      else min len (block_size - (t_off mod block_size))
+    in
+    copy ~t_off ~s_off ~len:head;
+    let t2 = t_off + head and s2 = s_off + head and rem = len - head in
+    let nfull = rem / block_size in
+    let tail = rem - (nfull * block_size) in
+    (* A partial tail block that reaches the (new) end of file is relinked
+       whole: the file size caps reads, so the slack never becomes visible
+       — but it is zeroed first so a later size extension reads zeros. *)
+    let tail_reaches_eof = tail > 0 && t2 + rem >= st.usize in
+    let relink_blocks = nfull + (if tail_reaches_eof then 1 else 0) in
+    if tail_reaches_eof then begin
+      let slack_off = s2 + rem in
+      let slack = block_size - (slack_off mod block_size) in
+      if slack < block_size then begin
+        let zeros = Bytes.make slack '\000' in
+        Staging.write t.staging_pool h ~off:slack_off zeros ~boff:0 ~len:slack
+      end
+    end;
+    if relink_blocks > 0 then
+      Kernelfs.Syscall.relink t.sys ~src_fd:(Staging.sfd h)
+        ~src_blk:(s2 / block_size) ~dst_fd:st.f_kfd ~dst_blk:(t2 / block_size)
+        ~nblks:relink_blocks ~dst_size;
+    if (not tail_reaches_eof) && tail > 0 then
+      copy
+        ~t_off:(t2 + (nfull * block_size))
+        ~s_off:(s2 + (nfull * block_size))
+        ~len:tail
+  end
+
+(** Relink all staged data of [st] into its file: called on fsync, close and
+    log checkpoint. Afterwards the staged ranges are part of the file, the
+    mappings are retained, and the staging handle returns to the pool. *)
+and relink_file t st =
+  (match st.staging with
+  | None -> ()
+  | Some h ->
+      let extents = Kernelfs.Extent_tree.to_list st.shadow in
+      let last = List.length extents - 1 in
+      List.iteri
+        (fun i e ->
+          (* the size update rides inside the last relink transaction *)
+          let dst_size = if i = last then Some st.usize else None in
+          relink_extent t st h e ~dst_size)
+        extents;
+      Kernelfs.Extent_tree.clear st.shadow;
+      (* if the last extent had no full blocks (boundary copies only), the
+         size still needs one metadata update *)
+      let inode = Kernelfs.Syscall.inode_of_fd t.sys st.f_kfd in
+      if inode.Kernelfs.Ext4.size <> st.usize then
+        Kernelfs.Syscall.set_size t.sys st.f_kfd st.usize;
+      st.ksize <- st.usize;
+      (* retain mappings over the relinked ranges: reads after fsync hit
+         them without page faults *)
+      List.iter
+        (fun e ->
+          retain_mapping t st ~off:e.Kernelfs.Extent_tree.logical
+            ~len:e.Kernelfs.Extent_tree.len)
+        extents;
+      st.staging <- None;
+      Staging.release t.staging_pool h;
+      refresh_mappings t st;
+      if logs_ops t && extents <> [] then begin
+        log_entry t (Oplog.Relinked { target_ino = st.f_ino });
+        fence t
+      end)
+
+(** Checkpoint: relink every file with staged data, then clear the log
+    (runs when the operation log fills up, §3.3). *)
+let relink_all t =
+  Hashtbl.iter
+    (fun _ st ->
+      if not (Kernelfs.Extent_tree.is_empty st.shadow) then relink_file t st)
+    t.files_by_ino;
+  match t.oplog with Some log -> Oplog.clear log | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Data path: writes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let do_pwrite t od ~buf ~boff ~len ~at =
+  if len < 0 || at < 0 then Fsapi.Errno.(error EINVAL "pwrite");
+  if not (Fsapi.Flags.writable od.oflags) then Fsapi.Errno.(error EBADF "pwrite");
+  bookkeeping t;
+  let st = od.st in
+  if len = 0 then 0
+  else begin
+    (if at > st.usize then begin
+       (* write beyond EOF creating a hole: settle staged state first, then
+          let the kernel produce the sparse file *)
+       relink_file t st;
+       let n = Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff ~len ~at in
+       assert (n = len);
+       st.ksize <- max st.ksize (at + len);
+       st.usize <- st.ksize;
+       refresh_mappings t st
+     end
+     else if not t.cfg.Config.use_staging then begin
+       (* Figure 3 ablation: split architecture without staging files —
+          overwrites stay in user space, appends trap into the kernel *)
+       let overwrite_len = max 0 (min len (st.ksize - at)) in
+       if overwrite_len > 0 then
+         write_inplace t st ~at buf ~boff ~len:overwrite_len;
+       if len - overwrite_len > 0 then begin
+         let n =
+           Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf
+             ~boff:(boff + overwrite_len) ~len:(len - overwrite_len)
+             ~at:(at + overwrite_len)
+         in
+         assert (n = len - overwrite_len);
+         st.ksize <- max st.ksize (at + len);
+         st.usize <- max st.usize st.ksize;
+         refresh_mappings t st
+       end;
+       fence t
+     end
+     else
+       match t.cfg.Config.mode with
+       | Config.Strict ->
+           (* atomic data ops: everything is staged and logged *)
+           stage_write t st ~at buf ~boff ~len;
+           fence t
+       | Config.Posix | Config.Sync ->
+           let overwrite_len = max 0 (min len (st.ksize - at)) in
+           (* in-place part, below the kernel size and not shadowed *)
+           if overwrite_len > 0 then
+             write_inplace t st ~at buf ~boff ~len:overwrite_len;
+           (* appends (and writes over staged appends) are staged *)
+           if len - overwrite_len > 0 then
+             stage_write t st ~at:(at + overwrite_len) buf
+               ~boff:(boff + overwrite_len) ~len:(len - overwrite_len);
+           let synchronous =
+             t.cfg.Config.mode = Config.Sync || overwrite_len > 0
+           in
+           if synchronous then fence t);
+    len
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Data path: reads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Read via the collection of mmaps; zero-fills holes. *)
+let read_mapped t st ~at buf ~boff ~len =
+  let pos = ref at and dst = ref boff and remaining = ref len in
+  while !remaining > 0 do
+    let fill_zero n =
+      Bytes.fill buf !dst n '\000';
+      pos := !pos + n;
+      dst := !dst + n;
+      remaining := !remaining - n
+    in
+    match get_mapping t st ~off:!pos with
+    | Some m -> (
+        match Kernelfs.Ext4.translate (kfs t) m ~file_off:!pos with
+        | Some (addr, run) ->
+            let n = min run !remaining in
+            Device.load t.env.Env.dev ~addr buf ~off:!dst ~len:n;
+            pos := !pos + n;
+            dst := !dst + n;
+            remaining := !remaining - n
+        | None -> fill_zero (min !remaining (block_size - (!pos mod block_size))))
+    | None -> fill_zero !remaining
+  done
+
+let do_pread t od ~buf ~boff ~len ~at =
+  if len < 0 || at < 0 then Fsapi.Errno.(error EINVAL "pread");
+  if not (Fsapi.Flags.readable od.oflags) then Fsapi.Errno.(error EBADF "pread");
+  bookkeeping t;
+  let st = od.st in
+  if at >= st.usize then 0
+  else begin
+    let len = min len (st.usize - at) in
+    let pos = ref at and dst = ref boff and remaining = ref len in
+    while !remaining > 0 do
+      (match Kernelfs.Extent_tree.find st.shadow !pos with
+      | Some (s_off, run) ->
+          (* staged data: newest bytes live in the staging file *)
+          let n = min run !remaining in
+          let h =
+            match st.staging with
+            | Some h -> h
+            | None -> Fsapi.Errno.(error EINVAL "shadow without staging")
+          in
+          Staging.read t.staging_pool h ~off:s_off buf ~boff:!dst ~len:n;
+          pos := !pos + n;
+          dst := !dst + n;
+          remaining := !remaining - n
+      | None ->
+          (* plain file data up to the next shadowed byte *)
+          let bound =
+            match Kernelfs.Extent_tree.next_mapped st.shadow !pos with
+            | Some next -> min !remaining (next - !pos)
+            | None -> !remaining
+          in
+          let n = min bound (max 1 bound) in
+          if !pos < st.ksize then begin
+            let n = min n (st.ksize - !pos) in
+            read_mapped t st ~at:!pos buf ~boff:!dst ~len:n;
+            pos := !pos + n;
+            dst := !dst + n;
+            remaining := !remaining - n
+          end
+          else begin
+            (* hole beyond the kernel size (sparse ftruncate growth) *)
+            Bytes.fill buf !dst n '\000';
+            pos := !pos + n;
+            dst := !dst + n;
+            remaining := !remaining - n
+          end);
+    done;
+    len
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metadata operations (routed to the kernel, with U-Split bookkeeping) *)
+(* ------------------------------------------------------------------ *)
+
+let make_state t path kfd =
+  let kstat = Kernelfs.Syscall.fstat t.sys kfd in
+  let st =
+    {
+      f_ino = kstat.Fsapi.Fs.st_ino;
+      f_path = path;
+      f_kfd = kfd;
+      ksize = kstat.Fsapi.Fs.st_size;
+      usize = kstat.Fsapi.Fs.st_size;
+      shadow = Kernelfs.Extent_tree.create ();
+      staging = None;
+      mmaps = [];
+      open_count = 0;
+      unlinked = false;
+    }
+  in
+  Hashtbl.replace t.files_by_ino st.f_ino st;
+  Hashtbl.replace t.files_by_path path st;
+  st
+
+let reset_after_truncate st size =
+  ignore (Kernelfs.Extent_tree.remove_range st.shadow ~logical:size ~len:max_int);
+  st.mmaps <- []
+
+let open_ t path (flags : Fsapi.Flags.t) =
+  bookkeeping t;
+  let st, od_kfd, created =
+    match Hashtbl.find_opt t.files_by_path path with
+    | Some st when not st.unlinked ->
+        (* attribute-cache hit: the open still passes through the kernel *)
+        let kfd = Kernelfs.Syscall.open_ t.sys path flags in
+        if flags.trunc && Fsapi.Flags.writable flags then begin
+          reset_after_truncate st 0;
+          st.ksize <- 0;
+          st.usize <- 0
+        end
+        else if Kernelfs.Extent_tree.is_empty st.shadow then begin
+          (* nothing staged locally: refresh cached attributes so changes
+             made by other processes (fsync'ed appends) become visible *)
+          let kstat = Kernelfs.Syscall.fstat t.sys kfd in
+          if kstat.Fsapi.Fs.st_size <> st.ksize then begin
+            st.ksize <- kstat.Fsapi.Fs.st_size;
+            st.usize <- kstat.Fsapi.Fs.st_size;
+            refresh_mappings t st
+          end
+        end;
+        (st, kfd, false)
+    | _ ->
+        let existed =
+          match Kernelfs.Syscall.stat t.sys path with
+          | (_ : Fsapi.Fs.stat) -> true
+          | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> false
+        in
+        let kfd = Kernelfs.Syscall.open_ t.sys path flags in
+        let st = make_state t path kfd in
+        (st, kfd, not existed)
+  in
+  if created && logs_ops t then begin
+    log_entry t (Oplog.Create { ino = st.f_ino });
+    if t.cfg.Config.mode = Config.Strict then fence t
+  end;
+  st.open_count <- st.open_count + 1;
+  install_fd t { st; fpos = ref 0; oflags = flags; od_kfd }
+
+let cleanup_state t st =
+  (match st.staging with
+  | Some h ->
+      st.staging <- None;
+      Staging.release t.staging_pool h
+  | None -> ());
+  Kernelfs.Extent_tree.clear st.shadow;
+  st.mmaps <- [];
+  Hashtbl.remove t.files_by_ino st.f_ino;
+  Kernelfs.Syscall.close t.sys st.f_kfd
+
+let close t fd =
+  bookkeeping t;
+  let od = fd_entry t fd in
+  let st = od.st in
+  Hashtbl.remove t.fds fd;
+  st.open_count <- st.open_count - 1;
+  if (not st.unlinked) && not (Kernelfs.Extent_tree.is_empty st.shadow) then
+    (* paper §3.4: staged data is relinked on fsync or close *)
+    relink_file t st;
+  if od.od_kfd <> st.f_kfd then Kernelfs.Syscall.close t.sys od.od_kfd;
+  if st.unlinked && st.open_count = 0 then cleanup_state t st
+
+let dup t fd =
+  bookkeeping t;
+  let od = fd_entry t fd in
+  od.st.open_count <- od.st.open_count + 1;
+  (* the new descriptor shares the offset reference, like the kernel's
+     struct file (§3.5), but owns its own kernel fd *)
+  let od_kfd = Kernelfs.Syscall.dup t.sys od.od_kfd in
+  install_fd t { od with od_kfd }
+
+let fsync t fd =
+  bookkeeping t;
+  let od = fd_entry t fd in
+  relink_file t od.st;
+  Kernelfs.Syscall.fsync t.sys od.st.f_kfd
+
+let ftruncate t fd size =
+  if size < 0 then Fsapi.Errno.(error EINVAL "ftruncate");
+  bookkeeping t;
+  let od = fd_entry t fd in
+  let st = od.st in
+  if size < st.ksize then begin
+    reset_after_truncate st size;
+    Kernelfs.Syscall.ftruncate t.sys st.f_kfd size;
+    st.ksize <- size;
+    st.usize <- size
+  end
+  else begin
+    if size <= st.usize then
+      ignore
+        (Kernelfs.Extent_tree.remove_range st.shadow ~logical:size ~len:max_int);
+    st.usize <- size;
+    (* the new size is a metadata change and must be durable in the kernel
+       (truncate is a metadata operation, routed to K-Split); the staged
+       bytes below it are still served from the shadow until relink *)
+    Kernelfs.Syscall.set_size t.sys st.f_kfd size
+  end;
+  if logs_ops t then begin
+    log_entry t (Oplog.Truncate { ino = st.f_ino; size });
+    if t.cfg.Config.mode = Config.Strict then fence t
+  end
+
+let stat_of_state st =
+  {
+    Fsapi.Fs.st_ino = st.f_ino;
+    st_kind = Fsapi.Fs.Regular;
+    st_size = st.usize;
+    st_nlink = if st.unlinked then 0 else 1;
+  }
+
+let fstat t fd =
+  bookkeeping t;
+  (* served from the U-Split attribute cache, no kernel trap (§3.5) *)
+  stat_of_state (fd_entry t fd).st
+
+let stat t path =
+  bookkeeping t;
+  match Hashtbl.find_opt t.files_by_path path with
+  | Some st when not st.unlinked -> stat_of_state st
+  | _ -> Kernelfs.Syscall.stat t.sys path
+
+let unlink t path =
+  bookkeeping t;
+  (match Hashtbl.find_opt t.files_by_path path with
+  | Some st when not st.unlinked ->
+      (* the expensive part of unlink on SplitFS: dropping mappings and
+         cached state (§5.4) *)
+      Hashtbl.remove t.files_by_path path;
+      st.unlinked <- true;
+      Kernelfs.Syscall.unlink t.sys path;
+      if logs_ops t then begin
+        log_entry t (Oplog.Unlink { ino = st.f_ino });
+        if t.cfg.Config.mode = Config.Strict then fence t
+      end;
+      if st.open_count = 0 then cleanup_state t st
+  | _ -> Kernelfs.Syscall.unlink t.sys path)
+
+let rename t src dst =
+  bookkeeping t;
+  Kernelfs.Syscall.rename t.sys src dst;
+  (* only after the kernel succeeded: the destination's cached identity
+     dies with the rename *)
+  (match Hashtbl.find_opt t.files_by_path dst with
+  | Some st when not st.unlinked ->
+      Hashtbl.remove t.files_by_path dst;
+      st.unlinked <- true;
+      if st.open_count = 0 then cleanup_state t st
+  | _ -> ());
+  (match Hashtbl.find_opt t.files_by_path src with
+  | Some st ->
+      Hashtbl.remove t.files_by_path src;
+      st.f_path <- dst;
+      Hashtbl.replace t.files_by_path dst st;
+      if logs_ops t then begin
+        log_entry t (Oplog.Rename { ino = st.f_ino });
+        if t.cfg.Config.mode = Config.Strict then fence t
+      end
+  | None -> ())
+
+let mkdir t path =
+  bookkeeping t;
+  Kernelfs.Syscall.mkdir t.sys path
+
+let rmdir t path =
+  bookkeeping t;
+  Kernelfs.Syscall.rmdir t.sys path
+
+let readdir t path =
+  bookkeeping t;
+  Kernelfs.Syscall.readdir t.sys path
+
+(* ------------------------------------------------------------------ *)
+(* fd-offset wrappers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pwrite t fd ~buf ~boff ~len ~at = do_pwrite t (fd_entry t fd) ~buf ~boff ~len ~at
+
+let pread t fd ~buf ~boff ~len ~at = do_pread t (fd_entry t fd) ~buf ~boff ~len ~at
+
+let write t fd ~buf ~boff ~len =
+  let od = fd_entry t fd in
+  let at = if od.oflags.Fsapi.Flags.append then od.st.usize else !(od.fpos) in
+  let n = do_pwrite t od ~buf ~boff ~len ~at in
+  od.fpos := at + n;
+  n
+
+let read t fd ~buf ~boff ~len =
+  let od = fd_entry t fd in
+  let n = do_pread t od ~buf ~boff ~len ~at:!(od.fpos) in
+  od.fpos := !(od.fpos) + n;
+  n
+
+let lseek t fd off whence =
+  bookkeeping t;
+  let od = fd_entry t fd in
+  let base =
+    match whence with
+    | Fsapi.Flags.Set -> 0
+    | Fsapi.Flags.Cur -> !(od.fpos)
+    | Fsapi.Flags.End -> od.st.usize
+  in
+  let npos = base + off in
+  if npos < 0 then Fsapi.Errno.(error EINVAL "lseek");
+  od.fpos := npos;
+  npos
+
+(* ------------------------------------------------------------------ *)
+(* Mount, resource accounting, Fsapi view                               *)
+(* ------------------------------------------------------------------ *)
+
+let oplog_path instance = Printf.sprintf "/.splitfs-oplog-%d" instance
+
+let mount ?(cfg = Config.default) ~sys ~env ~instance () =
+  let staging_pool =
+    Staging.create ~in_dram:cfg.Config.staging_in_dram ~sys ~env ~instance
+      ~count:cfg.Config.staging_files ~file_size:cfg.Config.staging_size ()
+  in
+  let oplog =
+    match cfg.Config.mode with
+    | Config.Posix -> None
+    | Config.Sync | Config.Strict ->
+        Some
+          (Oplog.create ~sys ~env ~path:(oplog_path instance)
+             ~size:cfg.Config.oplog_size)
+  in
+  let t =
+    {
+      cfg;
+      sys;
+      env;
+      instance;
+      staging_pool;
+      oplog;
+      files_by_ino = Hashtbl.create 256;
+      files_by_path = Hashtbl.create 256;
+      fds = Hashtbl.create 64;
+      next_fd = 3;
+      checkpointing = false;
+      checkpoint = (fun () -> ());
+    }
+  in
+  t.checkpoint <- (fun () -> relink_all t);
+  t
+
+(** Approximate DRAM footprint of U-Split metadata, for the §5.10
+    resource-consumption experiment. *)
+let memory_usage t =
+  let mapping_bytes (m : Kernelfs.Ext4.mapping) =
+    64 + (8 * Array.length m.Kernelfs.Ext4.pages)
+  in
+  let per_file _ st acc =
+    acc + 224
+    + (48 * Kernelfs.Extent_tree.count st.shadow)
+    + List.fold_left (fun a m -> a + mapping_bytes m) 0 st.mmaps
+  in
+  let files = Hashtbl.fold per_file t.files_by_ino 0 in
+  let fds = 64 * Hashtbl.length t.fds in
+  let staging = 256 * Staging.live_files t.staging_pool in
+  files + fds + staging
+
+(* ------------------------------------------------------------------ *)
+(* fork / execve (paper section 3.5)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Rebuild a file-state (and fd entry) in [t'] from a still-open kernel
+    fd, preserving the shared offset structure of dup'ed descriptors. *)
+let adopt_fd t' ~od_kfd ~fpos ~oflags =
+  let kstat = Kernelfs.Syscall.fstat t'.sys od_kfd in
+  let ino = kstat.Fsapi.Fs.st_ino in
+  let st =
+    match Hashtbl.find_opt t'.files_by_ino ino with
+    | Some st -> st
+    | None ->
+        let st =
+          {
+            f_ino = ino;
+            f_path = "";  (* re-learned on the next open by path *)
+            f_kfd = od_kfd;
+            ksize = kstat.Fsapi.Fs.st_size;
+            usize = kstat.Fsapi.Fs.st_size;
+            shadow = Kernelfs.Extent_tree.create ();
+            staging = None;
+            mmaps = [];
+            open_count = 0;
+            unlinked = kstat.Fsapi.Fs.st_nlink = 0;
+          }
+        in
+        Hashtbl.replace t'.files_by_ino ino st;
+        st
+  in
+  st.open_count <- st.open_count + 1;
+  install_fd t' { st; fpos; oflags; od_kfd }
+
+(** [fork t ~instance] models fork(): the U-Split library is copied into
+    the child's address space with the parent's descriptor table, while
+    kernel state (open files) is shared. Staged data is settled first so
+    parent and child do not race on the parent's staging cursors; the
+    child gets its own staging pool and operation log. Returns the child
+    instance and a map from parent fds to child fds. *)
+let fork t ~instance =
+  relink_all t;
+  let child = mount ~cfg:t.cfg ~sys:t.sys ~env:t.env ~instance () in
+  (* duplicate every open descriptor into the child, preserving shared
+     offsets across dup'ed fds *)
+  let shared : (int ref, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let fd_map =
+    Hashtbl.fold
+      (fun fd od acc ->
+        let fpos =
+          match Hashtbl.find_opt shared od.fpos with
+          | Some r -> r
+          | None ->
+              let r = ref !(od.fpos) in
+              Hashtbl.replace shared od.fpos r;
+              r
+        in
+        let od_kfd = Kernelfs.Syscall.dup t.sys od.od_kfd in
+        (fd, adopt_fd child ~od_kfd ~fpos ~oflags:od.oflags) :: acc)
+      t.fds []
+  in
+  (child, fd_map)
+
+let exec_handoff_path instance = Printf.sprintf "/.splitfs-exec-%d" instance
+
+(** [execve t] models exec(): the address space (all U-Split DRAM state)
+    is destroyed but kernel file descriptors survive. Before the exec,
+    U-Split settles staged data and writes its descriptor bookkeeping to a
+    shared-memory file named after the process; the fresh library instance
+    in the new image reads it back and re-adopts the still-open kernel
+    fds. Returns the new instance and the old-fd -> new-fd mapping. *)
+let execve t =
+  relink_all t;
+  (* serialize fd bookkeeping: fd, kernel fd, offset-group, offset, flags *)
+  let groups : (int ref, int) Hashtbl.t = Hashtbl.create 8 in
+  let next_group = ref 0 in
+  let lines =
+    Hashtbl.fold
+      (fun fd od acc ->
+        let group =
+          match Hashtbl.find_opt groups od.fpos with
+          | Some g -> g
+          | None ->
+              let g = !next_group in
+              incr next_group;
+              Hashtbl.replace groups od.fpos g;
+              g
+        in
+        let access =
+          match od.oflags.Fsapi.Flags.access with
+          | Fsapi.Flags.Rdonly -> "r"
+          | Fsapi.Flags.Wronly -> "w"
+          | Fsapi.Flags.Rdwr -> "rw"
+        in
+        Printf.sprintf "%d %d %d %d %s%s" fd od.od_kfd group !(od.fpos) access
+          (if od.oflags.Fsapi.Flags.append then "a" else "")
+        :: acc)
+      t.fds []
+  in
+  let handoff = exec_handoff_path t.instance in
+  let kfd = Kernelfs.Syscall.open_ t.sys handoff Fsapi.Flags.create_trunc in
+  let payload = String.concat "\n" lines in
+  let buf = Bytes.of_string payload in
+  if Bytes.length buf > 0 then
+    ignore
+      (Kernelfs.Syscall.pwrite t.sys kfd ~buf ~boff:0 ~len:(Bytes.length buf)
+         ~at:0);
+  Kernelfs.Syscall.close t.sys kfd;
+  (* --- the exec boundary: all DRAM state of [t] is now dead --- *)
+  let fresh = mount ~cfg:t.cfg ~sys:t.sys ~env:t.env ~instance:t.instance () in
+  (* the new image reads the handoff file and re-adopts its kernel fds *)
+  let kfd = Kernelfs.Syscall.open_ fresh.sys handoff Fsapi.Flags.rdonly in
+  let size = (Kernelfs.Syscall.fstat fresh.sys kfd).Fsapi.Fs.st_size in
+  let data = Bytes.create size in
+  ignore (Kernelfs.Syscall.pread fresh.sys kfd ~buf:data ~boff:0 ~len:size ~at:0);
+  Kernelfs.Syscall.close fresh.sys kfd;
+  Kernelfs.Syscall.unlink fresh.sys handoff;
+  let group_refs : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let fd_map =
+    Bytes.to_string data |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           match String.split_on_char ' ' line with
+           | [ fd; od_kfd; group; pos; flags ] ->
+               let group = int_of_string group in
+               let fpos =
+                 match Hashtbl.find_opt group_refs group with
+                 | Some r -> r
+                 | None ->
+                     let r = ref (int_of_string pos) in
+                     Hashtbl.replace group_refs group r;
+                     r
+               in
+               let oflags =
+                 let base =
+                   if flags = "r" then Fsapi.Flags.rdonly
+                   else if String.length flags > 0 && flags.[0] = 'w' then
+                     Fsapi.Flags.wronly
+                   else Fsapi.Flags.rdwr
+                 in
+                 if String.length flags > 0 && flags.[String.length flags - 1] = 'a'
+                 then Fsapi.Flags.append base
+                 else base
+               in
+               Some
+                 ( int_of_string fd,
+                   adopt_fd fresh ~od_kfd:(int_of_string od_kfd) ~fpos ~oflags )
+           | _ -> None)
+  in
+  (fresh, fd_map)
+
+let as_fsapi t : Fsapi.Fs.t =
+  let name =
+    Printf.sprintf "splitfs-%s" (Config.mode_to_string t.cfg.Config.mode)
+  in
+  {
+    Fsapi.Fs.fs_name = name;
+    open_ = open_ t;
+    close = close t;
+    dup = dup t;
+    pread = (fun fd ~buf ~boff ~len ~at -> pread t fd ~buf ~boff ~len ~at);
+    pwrite = (fun fd ~buf ~boff ~len ~at -> pwrite t fd ~buf ~boff ~len ~at);
+    read = (fun fd ~buf ~boff ~len -> read t fd ~buf ~boff ~len);
+    write = (fun fd ~buf ~boff ~len -> write t fd ~buf ~boff ~len);
+    lseek = lseek t;
+    fsync = fsync t;
+    ftruncate = ftruncate t;
+    fstat = fstat t;
+    stat = stat t;
+    unlink = unlink t;
+    rename = rename t;
+    mkdir = mkdir t;
+    rmdir = rmdir t;
+    readdir = readdir t;
+  }

@@ -1,0 +1,1 @@
+lib/fsapi/errno.ml: Printexc Printf

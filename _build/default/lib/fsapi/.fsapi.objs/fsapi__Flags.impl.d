@@ -1,0 +1,1 @@
+lib/fsapi/flags.ml:

@@ -1,0 +1,1 @@
+lib/fsapi/fs.ml: Bytes Errno Flags Fun List String

@@ -1,0 +1,1 @@
+lib/fsapi/ref_fs.ml: Bytes Errno Flags Fs Hashtbl List String

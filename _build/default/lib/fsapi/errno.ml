@@ -1,0 +1,36 @@
+(** POSIX-style error codes raised by every file system in this repository. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | EBADF
+  | EISDIR
+  | ENOTDIR
+  | ENOTEMPTY
+  | EINVAL
+  | ENOSPC
+  | EACCES
+  | EFBIG
+  | EROFS
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | EBADF -> "EBADF"
+  | EISDIR -> "EISDIR"
+  | ENOTDIR -> "ENOTDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EINVAL -> "EINVAL"
+  | ENOSPC -> "ENOSPC"
+  | EACCES -> "EACCES"
+  | EFBIG -> "EFBIG"
+  | EROFS -> "EROFS"
+
+exception Error of t * string
+
+let error e ctx = raise (Error (e, ctx))
+
+let () =
+  Printexc.register_printer (function
+    | Error (e, ctx) -> Some (Printf.sprintf "Errno.Error(%s, %S)" (to_string e) ctx)
+    | _ -> None)

@@ -1,0 +1,30 @@
+(** open(2) flags and lseek whence values. *)
+
+type access = Rdonly | Wronly | Rdwr
+
+type t = {
+  access : access;
+  creat : bool;
+  excl : bool;
+  trunc : bool;
+  append : bool;
+}
+
+let rdonly = { access = Rdonly; creat = false; excl = false; trunc = false; append = false }
+let wronly = { rdonly with access = Wronly }
+let rdwr = { rdonly with access = Rdwr }
+let creat t = { t with creat = true }
+let excl t = { t with excl = true }
+let trunc t = { t with trunc = true }
+let append t = { t with append = true }
+
+(** The common [O_CREAT|O_RDWR] combination. *)
+let create_rw = creat rdwr
+
+(** [O_CREAT|O_TRUNC|O_WRONLY], what most applications use for fresh files. *)
+let create_trunc = trunc (creat wronly)
+
+let readable t = t.access <> Wronly
+let writable t = t.access <> Rdonly
+
+type whence = Set | Cur | End

@@ -1,0 +1,104 @@
+(** The POSIX-like surface shared by every file system in this repository.
+
+    Applications and workload generators are written against this record of
+    operations, so the same application code runs unmodified on ext4 DAX,
+    SplitFS (any mode), NOVA, PMFS and Strata — mirroring how the paper runs
+    unmodified POSIX applications on each file system. *)
+
+type fd = int
+
+type file_kind = Regular | Directory
+
+type stat = { st_ino : int; st_kind : file_kind; st_size : int; st_nlink : int }
+
+type t = {
+  fs_name : string;
+  open_ : string -> Flags.t -> fd;
+  close : fd -> unit;
+  dup : fd -> fd;
+  pread : fd -> buf:Bytes.t -> boff:int -> len:int -> at:int -> int;
+  pwrite : fd -> buf:Bytes.t -> boff:int -> len:int -> at:int -> int;
+  read : fd -> buf:Bytes.t -> boff:int -> len:int -> int;
+  write : fd -> buf:Bytes.t -> boff:int -> len:int -> int;
+  lseek : fd -> int -> Flags.whence -> int;
+  fsync : fd -> unit;
+  ftruncate : fd -> int -> unit;
+  fstat : fd -> stat;
+  stat : string -> stat;
+  unlink : string -> unit;
+  rename : string -> string -> unit;
+  mkdir : string -> unit;
+  rmdir : string -> unit;
+  readdir : string -> string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Convenience helpers layered on the record.                          *)
+(* ------------------------------------------------------------------ *)
+
+let exists fs path =
+  match fs.stat path with
+  | (_ : stat) -> true
+  | exception Errno.Error (Errno.ENOENT, _) -> false
+
+let file_size fs path = (fs.stat path).st_size
+
+(** Write the whole string at the fd's current offset. *)
+let write_string fs fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let len = Bytes.length buf in
+  let written = ref 0 in
+  while !written < len do
+    let n = fs.write fd ~buf ~boff:!written ~len:(len - !written) in
+    if n <= 0 then Errno.error Errno.EINVAL "write_string: short write";
+    written := !written + n
+  done
+
+let pwrite_string fs fd s ~at =
+  let buf = Bytes.unsafe_of_string s in
+  let n = fs.pwrite fd ~buf ~boff:0 ~len:(Bytes.length buf) ~at in
+  if n <> Bytes.length buf then Errno.error Errno.EINVAL "pwrite_string: short"
+
+(** Read exactly [len] bytes at [at]; raises if the file is shorter. *)
+let pread_exact fs fd ~len ~at =
+  let buf = Bytes.create len in
+  let got = ref 0 in
+  while !got < len do
+    let n = fs.pread fd ~buf ~boff:!got ~len:(len - !got) ~at:(at + !got) in
+    if n = 0 then Errno.error Errno.EINVAL "pread_exact: eof";
+    got := !got + n
+  done;
+  Bytes.unsafe_to_string buf
+
+(** Read a whole file as a string. *)
+let read_file fs path =
+  let fd = fs.open_ path Flags.rdonly in
+  Fun.protect
+    ~finally:(fun () -> fs.close fd)
+    (fun () ->
+      let size = (fs.fstat fd).st_size in
+      if size = 0 then "" else pread_exact fs fd ~len:size ~at:0)
+
+(** Create/overwrite a whole file from a string (no fsync). *)
+let write_file fs path s =
+  let fd = fs.open_ path Flags.create_trunc in
+  Fun.protect
+    ~finally:(fun () -> fs.close fd)
+    (fun () -> write_string fs fd s)
+
+(** Ensure a directory exists (no error if it already does). *)
+let mkdir_p fs path =
+  let parts = String.split_on_char '/' path in
+  let _ =
+    List.fold_left
+      (fun prefix part ->
+        if part = "" then prefix
+        else
+          let p = prefix ^ "/" ^ part in
+          (match fs.mkdir p with
+          | () -> ()
+          | exception Errno.Error (Errno.EEXIST, _) -> ());
+          p)
+      "" parts
+  in
+  ()

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Apps Bytes Fs_config Fsapi Kernelfs List Option Pmem Printf Runner Splitfs String Workloads

@@ -1,0 +1,1 @@
+lib/harness/fs_config.ml: Baselines Fsapi Kernelfs List Pmem Printf Splitfs

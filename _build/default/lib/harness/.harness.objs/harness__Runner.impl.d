@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Fs_config List Pmem Printf String

@@ -1,0 +1,742 @@
+(** One function per table/figure of the paper's evaluation. Every function
+    prints a paper-style table and returns its measurements so tests can
+    assert the expected shapes (who wins, by roughly what factor).
+
+    Absolute numbers come from the simulation's cost model (see
+    [Pmem.Timing]); the paper's published values are printed alongside
+    where the paper gives them. *)
+
+open Fs_config
+
+let mb = 1024 * 1024
+
+(* the paper's media baseline: writing 4 KB to PM takes 671 ns (§1) *)
+let media_4k = 671.
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: software overhead of a 4 KB append                          *)
+(* ------------------------------------------------------------------ *)
+
+type table1_row = {
+  t1_fs : string;
+  t1_append_ns : float;
+  t1_overhead_ns : float;
+  t1_overhead_pct : float;
+}
+
+let append_bench stack ~total_bytes =
+  (* the paper's Table 1 measures the bare append operation: no periodic
+     fsync (relink amortises over the whole run via staging turnover) *)
+  let cfg =
+    {
+      Workloads.Iopattern.default_config with
+      Workloads.Iopattern.file_size = total_bytes;
+      fsync_every = max_int;
+    }
+  in
+  Runner.measure stack "append" (fun () ->
+      Workloads.Iopattern.run stack.fs cfg Workloads.Iopattern.Append)
+
+let table1_specs =
+  [
+    (Ext4_dax, Some (9002., 8331., 1241.));
+    (Pmfs, Some (4150., 3479., 518.));
+    (Nova_strict, Some (3021., 2350., 350.));
+    (Splitfs_strict, Some (1251., 580., 86.));
+    (Splitfs_posix, Some (1160., 488., 73.));
+  ]
+
+let table1 ?(total_mb = 16) ?(print = true) () =
+  let rows =
+    List.map
+      (fun (spec, _) ->
+        let stack = make spec in
+        let m = append_bench stack ~total_bytes:(total_mb * mb) in
+        let per_op = Runner.ns_per_op m in
+        {
+          t1_fs = name spec;
+          t1_append_ns = per_op;
+          t1_overhead_ns = per_op -. media_4k;
+          t1_overhead_pct = (per_op -. media_4k) /. media_4k *. 100.;
+        })
+      table1_specs
+  in
+  if print then
+    Runner.print_table ~title:"Table 1: software overhead of a 4K append"
+      [ "file system"; "append (ns)"; "overhead (ns)"; "overhead (%)";
+        "paper append"; "paper overhead" ]
+      (List.map2
+         (fun r (_, paper) ->
+           let pa, po =
+             match paper with
+             | Some (a, o, _) -> (Runner.f0 a, Runner.f0 o)
+             | None -> ("-", "-")
+           in
+           [
+             r.t1_fs;
+             Runner.f0 r.t1_append_ns;
+             Runner.f0 r.t1_overhead_ns;
+             Runner.f0 r.t1_overhead_pct ^ "%";
+             pa;
+             po;
+           ])
+         rows table1_specs);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: PM performance characteristics                              *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ?(print = true) () =
+  let env = Pmem.Env.create ~capacity:(16 * mb) () in
+  let dev = env.Pmem.Env.dev in
+  let timed f =
+    let t0 = Pmem.Env.now env in
+    f ();
+    Pmem.Env.now env -. t0
+  in
+  let line = Bytes.make 64 'x' in
+  let buf = Bytes.create 64 in
+  (* sequential read latency: second of two adjacent line loads *)
+  Pmem.Device.load dev ~addr:0 buf ~off:0 ~len:64;
+  let seq_read = timed (fun () -> Pmem.Device.load dev ~addr:64 buf ~off:0 ~len:64) in
+  (* random read latency: non-adjacent load *)
+  let rand_read = timed (fun () -> Pmem.Device.load dev ~addr:524288 buf ~off:0 ~len:64) in
+  (* store + flush + fence of one cache line *)
+  let sff =
+    timed (fun () ->
+        Pmem.Device.store dev ~addr:4096 line ~off:0 ~len:64;
+        Pmem.Device.flush dev ~addr:4096 ~len:64;
+        Pmem.Device.fence dev)
+  in
+  (* bandwidths over a 4 MB transfer *)
+  let big = Bytes.make (4 * mb) 'b' in
+  let wr = timed (fun () -> Pmem.Device.store_nt dev ~addr:0 big ~off:0 ~len:(4 * mb)) in
+  Pmem.Device.load dev ~addr:(8 * mb) buf ~off:0 ~len:64;
+  let rd = timed (fun () -> Pmem.Device.load dev ~addr:0 big ~off:0 ~len:(4 * mb)) in
+  let read_bw = float_of_int (4 * mb) /. rd in
+  let write_bw = float_of_int (4 * mb) /. wr in
+  let rows =
+    [
+      ("sequential read latency (ns)", seq_read, 169.);
+      ("random read latency (ns)", rand_read, 305.);
+      ("store + flush + fence (ns)", sff, 91.);
+      ("read bandwidth (GB/s)", read_bw, 39.4);
+      ("effective 4K write (ns)", Pmem.Timing.nt_write_cost env.Pmem.Env.timing 4096, 671.);
+      ("write bandwidth (GB/s)", write_bw, float_of_int (4 * mb) /. (671. /. 4096. *. float_of_int (4 * mb)));
+    ]
+  in
+  if print then
+    Runner.print_table ~title:"Table 2: PM performance characteristics"
+      [ "property"; "measured"; "paper / target" ]
+      (List.map (fun (p, m, t) -> [ p; Runner.f1 m; Runner.f1 t ]) rows);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: system call latencies (varmail microbenchmark)              *)
+(* ------------------------------------------------------------------ *)
+
+let table6 ?(iterations = 200) ?(print = true) () =
+  let specs = [ Splitfs_strict; Splitfs_sync; Splitfs_posix; Ext4_dax ] in
+  let rows =
+    List.map
+      (fun spec ->
+        let stack = make spec in
+        let env = stack.env in
+        let lat =
+          Workloads.Varmail.run stack.fs
+            ~now:(fun () -> Pmem.Env.now env)
+            ~iterations
+        in
+        (name spec, lat))
+      specs
+  in
+  if print then begin
+    let us x = Runner.f2 (x /. 1000.) in
+    Runner.print_table ~title:"Table 6: system call latency (us), varmail sequence"
+      ("syscall" :: List.map fst rows)
+      (List.map
+         (fun (label, get) ->
+           label :: List.map (fun (_, l) -> us (get l)) rows)
+         [
+           ("open", fun l -> l.Workloads.Varmail.open_ns);
+           ("close", fun l -> l.Workloads.Varmail.close_ns);
+           ("append", fun l -> l.Workloads.Varmail.append_ns);
+           ("fsync", fun l -> l.Workloads.Varmail.fsync_ns);
+           ("read", fun l -> l.Workloads.Varmail.read_ns);
+           ("unlink", fun l -> l.Workloads.Varmail.unlink_ns);
+         ])
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* YCSB on the LSM store (Figure 6 data-intensive part, Table 7)        *)
+(* ------------------------------------------------------------------ *)
+
+let ycsb_workloads =
+  Workloads.Ycsb.[ Load; A; B; C; D; E; F ]
+
+(** Run LoadA then each Run workload on one stack; returns
+    (workload, measurement) pairs. *)
+let ycsb_series stack ~records ~operations =
+  (* per-op application CPU: request handling, memtable walk, comparisons *)
+  let think () = Pmem.Env.cpu stack.env 2500. in
+  let cfg =
+    {
+      Workloads.Ycsb.default_config with
+      Workloads.Ycsb.records;
+      operations;
+      value_size = 1024;
+    }
+  in
+  let lsm =
+    Apps.Lsm.open_ stack.fs
+      ~cfg:{ Apps.Lsm.default_config with Apps.Lsm.memtable_budget = 512 * 1024 }
+      "/leveldb"
+  in
+  let results =
+    List.map
+      (fun w ->
+        let operations =
+          (* workload E is scan-heavy; the paper also halves its op count *)
+          if w = Workloads.Ycsb.E then { cfg with Workloads.Ycsb.operations = operations / 2 }
+          else cfg
+        in
+        let m =
+          Runner.measure stack (Workloads.Ycsb.workload_name w) (fun () ->
+              (Workloads.Ycsb.run ~think lsm w operations).Workloads.Ycsb.ops_done)
+        in
+        (w, m))
+      ycsb_workloads
+  in
+  Apps.Lsm.close lsm;
+  results
+
+let table7 ?(records = 4000) ?(operations = 4000) ?(print = true) () =
+  let strata_stack = make Strata in
+  let split_stack = make Splitfs_strict in
+  let strata = ycsb_series strata_stack ~records ~operations in
+  let split = ycsb_series split_stack ~records ~operations in
+  let rows =
+    List.map2
+      (fun (w, (ms : Runner.measurement)) (_, mp) ->
+        (Workloads.Ycsb.workload_name w, Runner.kops ms, Runner.kops mp))
+      strata split
+  in
+  if print then
+    Runner.print_table ~title:"Table 7: Strata vs SplitFS-strict (YCSB on LSM store)"
+      [ "workload"; "strata kops/s"; "splitfs kops/s"; "splitfs/strata"; "paper" ]
+      (List.map2
+         (fun (w, s, p) paper ->
+           [ w; Runner.f1 s; Runner.f1 p; Runner.f2 (p /. s) ^ "x"; paper ])
+         rows
+         [ "1.73x"; "1.76x"; "2.16x"; "2.14x"; "2.25x"; "2.03x"; "2.25x" ]);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: contribution of each technique                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 ?(total_mb = 16) ?(print = true) () =
+  let specs =
+    [ Ext4_dax; Splitfs_split_only; Splitfs_staging_only; Splitfs_posix ]
+  in
+  let run spec pattern =
+    let stack = make spec in
+    let cfg =
+      {
+        Workloads.Iopattern.default_config with
+        Workloads.Iopattern.file_size = total_mb * mb;
+      }
+    in
+    (match pattern with
+    | Workloads.Iopattern.Append -> ()
+    | _ -> Workloads.Iopattern.prepare stack.fs cfg);
+    Runner.measure stack (Workloads.Iopattern.pattern_name pattern) (fun () ->
+        Workloads.Iopattern.run stack.fs cfg pattern)
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        let ow = run spec Workloads.Iopattern.Seq_write in
+        let ap = run spec Workloads.Iopattern.Append in
+        (name spec, Runner.kops ow, Runner.kops ap))
+      specs
+  in
+  if print then begin
+    let base_ow, base_ap =
+      match rows with (_, ow, ap) :: _ -> (ow, ap) | [] -> (1., 1.)
+    in
+    Runner.print_table
+      ~title:"Figure 3: technique contributions (4K ops, fsync every 10)"
+      [ "configuration"; "seq-overwrite kops/s"; "vs ext4"; "append kops/s"; "vs ext4" ]
+      (List.map
+         (fun (n, ow, ap) ->
+           [
+             n;
+             Runner.f1 ow;
+             Runner.f2 (ow /. base_ow) ^ "x";
+             Runner.f1 ap;
+             Runner.f2 (ap /. base_ap) ^ "x";
+           ])
+         rows)
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: IO patterns per guarantee group                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_groups =
+  [
+    ("POSIX", Ext4_dax, [ Splitfs_posix ]);
+    ("sync", Pmfs, [ Splitfs_sync ]);
+    ("strict", Nova_strict, [ Strata; Splitfs_strict ]);
+  ]
+
+let fig4 ?(total_mb = 16) ?(print = true) () =
+  let patterns =
+    Workloads.Iopattern.[ Seq_read; Rand_read; Seq_write; Rand_write; Append ]
+  in
+  let run_all spec =
+    let stack = make spec in
+    (* §5.6: whole file in 4K ops, no periodic fsync; the timed section is
+       the op loop, the final fsync/close are outside it *)
+    let cfg =
+      {
+        Workloads.Iopattern.default_config with
+        Workloads.Iopattern.file_size = total_mb * mb;
+        fsync_every = max_int;
+      }
+    in
+    Workloads.Iopattern.prepare stack.fs cfg;
+    List.map
+      (fun p ->
+        let fd = Workloads.Iopattern.open_for stack.fs p in
+        let m =
+          Runner.measure stack (Workloads.Iopattern.pattern_name p) (fun () ->
+              Workloads.Iopattern.run_ops stack.fs fd cfg p)
+        in
+        Workloads.Iopattern.finish stack.fs fd p;
+        (p, m))
+      patterns
+  in
+  let results =
+    List.map
+      (fun (group, baseline, challengers) ->
+        (group, (baseline, run_all baseline),
+         List.map (fun c -> (c, run_all c)) challengers))
+      fig4_groups
+  in
+  if print then
+    List.iter
+      (fun (group, (bspec, bruns), cruns) ->
+        Runner.print_table
+          ~title:(Printf.sprintf "Figure 4 (%s mode): throughput, normalised to %s" group (name bspec))
+          ("pattern" :: (name bspec ^ " kops/s")
+           :: List.concat_map (fun (c, _) -> [ name c ^ " kops/s"; "vs base" ]) cruns)
+          (List.map
+             (fun (p, bm) ->
+               let base = Runner.kops bm in
+               Workloads.Iopattern.pattern_name p :: Runner.f1 base
+               :: List.concat_map
+                    (fun (_, runs) ->
+                      let m = List.assoc p runs in
+                      [ Runner.f1 (Runner.kops m); Runner.f2 (Runner.kops m /. base) ^ "x" ])
+                    cruns)
+             bruns))
+      results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: relative software overhead on applications                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Software overhead = simulated time − ideal media time for the logical
+    IO volume (§5.7's definition, with the ideal modelled from the
+    workload's logical reads/writes). *)
+let software_overhead (m : Runner.measurement) =
+  m.Runner.sim_ns -. m.Runner.media_ns
+
+let fig5_groups =
+  [
+    ("POSIX", [ Ext4_dax ], Splitfs_posix);
+    ("sync", [ Pmfs; Nova_relaxed ], Splitfs_sync);
+    ("strict", [ Nova_strict ], Splitfs_strict);
+  ]
+
+let fig5 ?(records = 3000) ?(operations = 3000) ?(print = true) () =
+  let ycsb_load_run spec =
+    let stack = make spec in
+    let series = ycsb_series stack ~records ~operations in
+    let pick w = List.assq w series in
+    ignore pick;
+    let load = List.assoc Workloads.Ycsb.Load series in
+    let runa = List.assoc Workloads.Ycsb.A series in
+    (load, runa)
+  in
+  let tpcc_run spec =
+    let stack = make spec in
+    let db = Apps.Waldb.open_ stack.fs "/tpcc.db" () in
+    let cfg =
+      {
+        Workloads.Tpcc.default_config with
+        Workloads.Tpcc.transactions = operations / 4;
+        customers_per_district = 30;
+        items = 200;
+      }
+    in
+    Workloads.Tpcc.load db cfg;
+    let think () = Pmem.Env.cpu stack.env 30000. in
+    let m =
+      Runner.measure stack "tpcc" (fun () ->
+          Workloads.Tpcc.total (Workloads.Tpcc.run ~think db cfg))
+    in
+    Apps.Waldb.close db;
+    m
+  in
+  let results =
+    List.map
+      (fun (group, others, split_spec) ->
+        let all = others @ [ split_spec ] in
+        let per_fs =
+          List.map
+            (fun spec ->
+              let load, runa = ycsb_load_run spec in
+              let tpcc = tpcc_run spec in
+              (spec, [ ("LoadA", load); ("RunA", runa); ("TPCC", tpcc) ]))
+            all
+        in
+        (group, per_fs))
+      fig5_groups
+  in
+  if print then
+    List.iter
+      (fun (group, per_fs) ->
+        let split_spec, split_runs = List.nth per_fs (List.length per_fs - 1) in
+        Runner.print_table
+          ~title:
+            (Printf.sprintf
+               "Figure 5 (%s mode): software overhead relative to %s" group
+               (name split_spec))
+          ("workload"
+           :: List.concat_map (fun (spec, _) -> [ name spec ]) per_fs)
+          (List.map
+             (fun wname ->
+               let base = software_overhead (List.assoc wname split_runs) in
+               wname
+               :: List.map
+                    (fun (_, runs) ->
+                      Runner.f2 (software_overhead (List.assoc wname runs) /. base)
+                      ^ "x")
+                    per_fs)
+             [ "LoadA"; "RunA"; "TPCC" ]))
+      results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: real applications                                          *)
+(* ------------------------------------------------------------------ *)
+
+let redis_run stack ~sets =
+  let env = stack.env in
+  let kv =
+    Apps.Aof.open_ stack.fs ~path:"/redis.aof"
+      ~now:(fun () -> Pmem.Env.now env)
+      ()
+  in
+  let rng = Workloads.Rng.create 5 in
+  let m =
+    Runner.measure stack "redis-set" (fun () ->
+        for i = 0 to sets - 1 do
+          (* command parsing + hash table work *)
+          Pmem.Env.cpu env 10000.;
+          Apps.Aof.set kv
+            (Printf.sprintf "key:%08d" (Workloads.Rng.int rng sets))
+            (Workloads.Rng.payload rng 100)
+          |> ignore;
+          ignore i
+        done;
+        sets)
+  in
+  Apps.Aof.close kv;
+  m
+
+let utility_run stack ~files =
+  let fs = stack.fs in
+  let paths = Workloads.Utility.make_tree fs ~root:"/src" ~files ~seed:2 in
+  (* application CPU per byte processed: git hashes and deflates (~3 ns/B),
+     tar gzip-compresses (~15 ns/B), rsync checksums (~1 ns/B) *)
+  let per_byte rate n = Pmem.Env.cpu stack.env (rate *. float_of_int n) in
+  let git =
+    Runner.measure stack "git" (fun () ->
+        (Workloads.Utility.git fs ~think_bytes:(per_byte 3.) ~root:"/src" ~paths
+           ~commits:8 ~seed:3).Workloads.Utility.files)
+  in
+  let tar =
+    Runner.measure stack "tar" (fun () ->
+        (Workloads.Utility.tar fs ~think_bytes:(per_byte 15.) ~paths
+           ~archive:"/backup.tar").Workloads.Utility.files)
+  in
+  let rsync =
+    Runner.measure stack "rsync" (fun () ->
+        (Workloads.Utility.rsync fs ~think_bytes:(per_byte 1.) ~paths
+           ~src_root:"/src" ~dst_root:"/dst").Workloads.Utility.files)
+  in
+  [ ("git", git); ("tar", tar); ("rsync", rsync) ]
+
+let fig6_groups =
+  [
+    ("POSIX", Ext4_dax, Splitfs_posix);
+    ("sync", Pmfs, Splitfs_sync);
+    ("strict", Nova_strict, Splitfs_strict);
+  ]
+
+let fig6 ?(records = 3000) ?(operations = 3000) ?(print = true) () =
+  let app_suite spec =
+    let stack = make spec in
+    let ycsb = ycsb_series stack ~records ~operations in
+    let redis = redis_run stack ~sets:operations in
+    let tpcc_stack = make spec in
+    let db = Apps.Waldb.open_ tpcc_stack.fs "/tpcc.db" () in
+    let tcfg =
+      {
+        Workloads.Tpcc.default_config with
+        Workloads.Tpcc.transactions = operations / 4;
+        customers_per_district = 30;
+        items = 200;
+      }
+    in
+    Workloads.Tpcc.load db tcfg;
+    let think () = Pmem.Env.cpu tpcc_stack.env 30000. in
+    let tpcc =
+      Runner.measure tpcc_stack "tpcc" (fun () ->
+          Workloads.Tpcc.total (Workloads.Tpcc.run ~think db tcfg))
+    in
+    Apps.Waldb.close db;
+    let util_stack = make spec in
+    let utils = utility_run util_stack ~files:200 in
+    (ycsb, redis, tpcc, utils)
+  in
+  let results =
+    List.map
+      (fun (group, base_spec, split_spec) ->
+        (group, (base_spec, app_suite base_spec), (split_spec, app_suite split_spec)))
+      fig6_groups
+  in
+  if print then
+    List.iter
+      (fun (group, (bspec, (bycsb, bredis, btpcc, butils)), (sspec, (sycsb, sredis, stpcc, sutils))) ->
+        let row label (bm : Runner.measurement) (sm : Runner.measurement) ~higher_better =
+          let b = Runner.kops bm and s = Runner.kops sm in
+          let rel = if higher_better then s /. b else b /. s in
+          [ label; Runner.f1 b; Runner.f1 s; Runner.f2 rel ^ "x" ]
+        in
+        Runner.print_table
+          ~title:(Printf.sprintf "Figure 6 (%s mode): application performance" group)
+          [ "workload"; name bspec ^ " kops/s"; name sspec ^ " kops/s"; "splitfs speedup" ]
+          (List.map
+             (fun (w, bm) ->
+               let sm = List.assoc w sycsb in
+               row (Workloads.Ycsb.workload_name w) bm sm ~higher_better:true)
+             bycsb
+          @ [ row "Redis-SET" bredis sredis ~higher_better:true ]
+          @ [ row "TPCC" btpcc stpcc ~higher_better:true ]
+          @ List.map
+              (fun (n, bm) ->
+                let sm = List.assoc n sutils in
+                (* utilities are runtime (lower better): report as relative
+                   runtime of splitfs vs baseline *)
+                [
+                  n;
+                  Runner.f2 (bm.Runner.sim_ns /. 1e9) ^ "s";
+                  Runner.f2 (sm.Runner.sim_ns /. 1e9) ^ "s";
+                  Runner.f2 (bm.Runner.sim_ns /. sm.Runner.sim_ns) ^ "x";
+                ])
+              butils))
+      results;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* §5.3: recovery time vs number of valid log entries                   *)
+(* ------------------------------------------------------------------ *)
+
+let recovery ?(print = true) () =
+  let entry_counts = [ 1_000; 5_000; 18_000; 50_000 ] in
+  let rows =
+    List.map
+      (fun entries ->
+        let stack =
+          make Splitfs_strict
+            ~splitfs_cfg:
+              {
+                (splitfs_experiment_cfg Splitfs.Config.Strict) with
+                Splitfs.Config.oplog_size = 8 * mb;
+                staging_size = 16 * mb;
+              }
+        in
+        let fs = stack.fs in
+        let fd = fs.open_ "/victim" Fsapi.Flags.create_rw in
+        (* cache-line-sized appends like the paper's worst case (§5.3) *)
+        let buf = Bytes.make 64 'r' in
+        for _ = 1 to entries do
+          ignore (fs.write fd ~buf ~boff:0 ~len:64)
+        done;
+        Pmem.Device.crash stack.env.Pmem.Env.dev;
+        let sys = Option.get stack.sys in
+        let report = Splitfs.Recovery.recover ~sys ~env:stack.env ~instance:0 in
+        (entries, report))
+      entry_counts
+  in
+  if print then
+    Runner.print_table ~title:"Recovery time vs valid log entries (section 5.3)"
+      [ "log entries"; "replayed"; "torn"; "files"; "replay time (ms, simulated)" ]
+      (List.map
+         (fun (entries, (r : Splitfs.Recovery.report)) ->
+           [
+             string_of_int entries;
+             string_of_int r.Splitfs.Recovery.entries_replayed;
+             string_of_int r.Splitfs.Recovery.torn_entries;
+             string_of_int r.Splitfs.Recovery.files_recovered;
+             Runner.f2 (r.Splitfs.Recovery.replay_ns /. 1e6);
+           ])
+         rows);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices discussed in paper sections 4 and 3.6  *)
+(* ------------------------------------------------------------------ *)
+
+type ablation_row = { ab_name : string; ab_variant : string; ab_kops : float }
+
+(** Three ablations:
+    - staging in DRAM vs PM (the authors tried DRAM staging and found the
+      fsync-time copy overshadowed the cheaper staging, section 4);
+    - huge pages on vs off (reads drop ~50% without huge pages, section 4);
+    - mmap region size sweep (section 3.6 tunable). *)
+let ablations ?(total_mb = 8) ?(print = true) () =
+  let io_cfg fsync_every =
+    {
+      Workloads.Iopattern.default_config with
+      Workloads.Iopattern.file_size = total_mb * mb;
+      fsync_every;
+    }
+  in
+  let staging_row variant ~in_dram =
+    let stack =
+      make Splitfs_posix
+        ~splitfs_cfg:
+          {
+            (splitfs_experiment_cfg Splitfs.Config.Posix) with
+            Splitfs.Config.staging_in_dram = in_dram;
+          }
+    in
+    let m =
+      Runner.measure stack "append" (fun () ->
+          Workloads.Iopattern.run stack.fs (io_cfg 10) Workloads.Iopattern.Append)
+    in
+    { ab_name = "staging medium (append+fsync/10)"; ab_variant = variant; ab_kops = Runner.kops m }
+  in
+  (* huge pages: sequential read of a kernel-written file, so U-Split must
+     establish fresh mappings and pay the faults *)
+  let huge_row variant ~enabled =
+    let timing = { Pmem.Timing.default with Pmem.Timing.huge_pages_enabled = enabled } in
+    let stack = make Splitfs_posix ~timing in
+    let sys = Option.get stack.sys in
+    let kernel_fs = Kernelfs.Syscall.as_fsapi sys in
+    Workloads.Iopattern.prepare kernel_fs (io_cfg max_int);
+    let m =
+      Runner.measure stack "seq-read" (fun () ->
+          Workloads.Iopattern.run stack.fs (io_cfg max_int) Workloads.Iopattern.Seq_read)
+    in
+    { ab_name = "huge pages (seq-read, cold mmaps)"; ab_variant = variant; ab_kops = Runner.kops m }
+  in
+  let mmap_row size =
+    let stack =
+      make Splitfs_posix
+        ~splitfs_cfg:
+          {
+            (splitfs_experiment_cfg Splitfs.Config.Posix) with
+            Splitfs.Config.mmap_size = size;
+          }
+    in
+    let sys = Option.get stack.sys in
+    let kernel_fs = Kernelfs.Syscall.as_fsapi sys in
+    Workloads.Iopattern.prepare kernel_fs (io_cfg max_int);
+    let m =
+      Runner.measure stack "seq-read" (fun () ->
+          Workloads.Iopattern.run stack.fs (io_cfg max_int) Workloads.Iopattern.Seq_read)
+    in
+    {
+      ab_name = "mmap region size (seq-read, cold mmaps)";
+      ab_variant = Printf.sprintf "%d MB" (size / mb);
+      ab_kops = Runner.kops m;
+    }
+  in
+  let rows =
+    [
+      staging_row "PM staging (relink)" ~in_dram:false;
+      staging_row "DRAM staging (copy on fsync)" ~in_dram:true;
+      huge_row "huge pages" ~enabled:true;
+      huge_row "4K pages only" ~enabled:false;
+      mmap_row (2 * mb);
+      mmap_row (8 * mb);
+      mmap_row (32 * mb);
+    ]
+  in
+  if print then
+    Runner.print_table ~title:"Ablations (paper sections 4 and 3.6)"
+      [ "ablation"; "variant"; "kops/s" ]
+      (List.map (fun r -> [ r.ab_name; r.ab_variant; Runner.f1 r.ab_kops ]) rows);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* §5.10: resource consumption                                          *)
+(* ------------------------------------------------------------------ *)
+
+let resources ?(files = 500) ?(print = true) () =
+  let run mode =
+    (* a small staging pool so the background thread has pre-allocation
+       work to do, plus a broad working set of files and mappings *)
+    let stack =
+      make mode
+        ~splitfs_cfg:
+          {
+            (splitfs_experiment_cfg
+               (match mode with
+               | Splitfs_strict -> Splitfs.Config.Strict
+               | _ -> Splitfs.Config.Posix))
+            with
+            Splitfs.Config.staging_size = 2 * mb;
+            staging_files = 2;
+          }
+    in
+    let fs = stack.fs in
+    let body = String.make 8192 'm' in
+    for i = 0 to files - 1 do
+      let p = Printf.sprintf "/res-%04d" i in
+      Fsapi.Fs.write_file fs p body;
+      ignore (Fsapi.Fs.read_file fs p)
+    done;
+    (* churn one big appending file through several staging files *)
+    let fd = fs.open_ "/res-big" Fsapi.Flags.create_rw in
+    let chunk = Bytes.make 65536 'c' in
+    for _ = 1 to 128 do
+      ignore (fs.write fd ~buf:chunk ~boff:0 ~len:65536)
+    done;
+    fs.fsync fd;
+    fs.close fd;
+    let u = Option.get stack.usplit in
+    let mem = Splitfs.Usplit.memory_usage u in
+    let bg = stack.env.Pmem.Env.stats.Pmem.Stats.background_ns in
+    let total = Pmem.Env.now stack.env in
+    (name mode, mem, bg /. (total +. 1.) *. 100.)
+  in
+  let rows = List.map run [ Splitfs_posix; Splitfs_strict ] in
+  if print then
+    Runner.print_table ~title:"Resource consumption (section 5.10)"
+      [ "configuration"; "U-Split DRAM (KB)"; "background thread (% of run)" ]
+      (List.map
+         (fun (n, mem, bg) -> [ n; string_of_int (mem / 1024); Runner.f1 bg ^ "%" ])
+         rows);
+  rows

@@ -1,0 +1,1 @@
+lib/kernelfs/alloc.ml: Bytes Fsapi List

@@ -1,0 +1,1 @@
+lib/kernelfs/alloc.mli:

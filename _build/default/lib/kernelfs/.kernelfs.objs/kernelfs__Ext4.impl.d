@@ -1,0 +1,1 @@
+lib/kernelfs/ext4.ml: Alloc Array Bytes Device Env Extent_tree Fsapi Hashtbl Journal List Pmem Printf Stats String Timing

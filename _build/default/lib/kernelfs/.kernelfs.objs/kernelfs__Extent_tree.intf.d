@@ -1,0 +1,1 @@
+lib/kernelfs/extent_tree.mli:

@@ -1,0 +1,1 @@
+lib/kernelfs/journal.ml: Bytes Pmem

@@ -1,0 +1,1 @@
+lib/kernelfs/syscall.ml: Env Ext4 Fsapi Hashtbl Pmem Stats Timing

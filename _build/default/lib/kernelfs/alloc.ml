@@ -1,0 +1,113 @@
+type t = {
+  nblocks : int;
+  bitmap : Bytes.t;  (** one byte per block: '\000' free, '\001' used *)
+  mutable free : int;
+  mutable next_fit : int;
+}
+
+let create ~nblocks =
+  assert (nblocks > 0);
+  { nblocks; bitmap = Bytes.make nblocks '\000'; free = nblocks; next_fit = 0 }
+
+let nblocks t = t.nblocks
+let free_blocks t = t.free
+let used_blocks t = t.nblocks - t.free
+let is_free t b = Bytes.get t.bitmap b = '\000'
+let is_allocated t b = not (is_free t b)
+
+let mark t ~start ~len v =
+  Bytes.fill t.bitmap start len v;
+  t.free <- (t.free + if v = '\000' then len else -len)
+
+(** Length of the free run starting at [b], capped at [cap]. *)
+let run_length t b cap =
+  let n = ref 0 in
+  while !n < cap && b + !n < t.nblocks && is_free t (b + !n) do
+    incr n
+  done;
+  !n
+
+let find_free_from t start =
+  let b = ref start in
+  while !b < t.nblocks && not (is_free t !b) do
+    incr b
+  done;
+  if !b < t.nblocks then Some !b else None
+
+let alloc_extent t ~goal ~len =
+  if len <= 0 then invalid_arg "Alloc.alloc_extent";
+  if t.free = 0 then Fsapi.Errno.(error ENOSPC "alloc_extent");
+  let goal = if goal >= 0 && goal < t.nblocks then goal else t.next_fit in
+  let try_at start =
+    match find_free_from t start with
+    | None -> None
+    | Some b ->
+        let n = run_length t b len in
+        Some (b, n)
+  in
+  let best =
+    (* Prefer the goal (extends the previous extent of the same file), then
+       the next-fit cursor, then the beginning of the device. *)
+    match try_at goal with
+    | Some (b, n) when b = goal || n = len -> Some (b, n)
+    | fallback -> (
+        match try_at t.next_fit with
+        | Some (b, n) when n = len -> Some (b, n)
+        | other -> (
+            match (fallback, other, try_at 0) with
+            | _, _, Some (b, n) when n = len -> Some (b, n)
+            | Some r, _, _ -> Some r
+            | _, Some r, _ -> Some r
+            | _, _, r -> r))
+  in
+  match best with
+  | None -> Fsapi.Errno.(error ENOSPC "alloc_extent")
+  | Some (b, n) ->
+      mark t ~start:b ~len:n '\001';
+      t.next_fit <- (if b + n >= t.nblocks then 0 else b + n);
+      (b, n)
+
+let alloc_aligned t ~align ~len =
+  if align <= 0 || len <= 0 then invalid_arg "Alloc.alloc_aligned";
+  let rec scan b =
+    if b + len > t.nblocks then None
+    else if run_length t b len = len then begin
+      mark t ~start:b ~len '\001';
+      Some b
+    end
+    else scan (b + align)
+  in
+  scan 0
+
+let alloc_many t ~goal ~len =
+  let rec go goal remaining acc =
+    if remaining = 0 then List.rev acc
+    else
+      let b, n = alloc_extent t ~goal ~len:remaining in
+      go (b + n) (remaining - n) ((b, n) :: acc)
+  in
+  go goal len []
+
+let free_extent t ~start ~len =
+  if start < 0 || len < 0 || start + len > t.nblocks then
+    invalid_arg "Alloc.free_extent";
+  for b = start to start + len - 1 do
+    if is_free t b then invalid_arg "Alloc.free_extent: double free"
+  done;
+  mark t ~start ~len '\000'
+
+let fragmentation t ~run =
+  if t.free = 0 then 0.
+  else begin
+    let short = ref 0 in
+    let b = ref 0 in
+    while !b < t.nblocks do
+      if is_free t !b then begin
+        let n = run_length t !b t.nblocks in
+        if n < run then short := !short + n;
+        b := !b + n
+      end
+      else incr b
+    done;
+    float_of_int !short /. float_of_int t.free
+  end

@@ -1,0 +1,38 @@
+(** Bitmap block allocator for the data area of the simulated ext4 file
+    system.
+
+    Allocation is next-fit with an optional goal block, and supports
+    alignment requests so that staging files and large mmap regions can be
+    backed by 2 MB-aligned physical extents (the huge-page discussion of
+    paper §4). *)
+
+type t
+
+(** [create ~nblocks] makes an allocator over [nblocks] free blocks. *)
+val create : nblocks:int -> t
+
+val nblocks : t -> int
+val free_blocks : t -> int
+val used_blocks : t -> int
+
+(** [alloc_extent t ~goal ~len] allocates up to [len] contiguous blocks,
+    preferring to start at [goal]. Returns [(start, n)] with [1 <= n <= len],
+    or raises [Errno.Error ENOSPC] if the device is full. The caller loops to
+    obtain more extents when [n < len]. *)
+val alloc_extent : t -> goal:int -> len:int -> int * int
+
+(** [alloc_aligned t ~align ~len] allocates exactly [len] contiguous blocks
+    starting at a multiple of [align] blocks, or returns [None] when no such
+    region exists (fragmentation — the huge-page failure mode). *)
+val alloc_aligned : t -> align:int -> len:int -> int option
+
+(** [alloc_many t ~goal ~len] allocates exactly [len] blocks as a list of
+    extents. *)
+val alloc_many : t -> goal:int -> len:int -> (int * int) list
+
+val free_extent : t -> start:int -> len:int -> unit
+val is_allocated : t -> int -> bool
+
+(** Fraction of free space that is in runs shorter than [run] blocks; a
+    fragmentation measure used by the huge-page experiments. *)
+val fragmentation : t -> run:int -> float

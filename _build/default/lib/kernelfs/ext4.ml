@@ -1,0 +1,675 @@
+(** Simulated ext4 DAX — the kernel half ("K-Split") of SplitFS.
+
+    File *data* genuinely lives in the simulated PM device at the physical
+    blocks chosen by the allocator; metadata (inodes, directories, extent
+    trees) lives in heap structures whose durability cost is charged through
+    the jbd2-like {!Journal}. Public operations commit their journal
+    transaction before returning, giving the metadata-atomicity contract of
+    ext4 DAX.
+
+    The [swap_extents] ioctl implements the kernel half of the paper's
+    relink primitive: it exchanges logical->physical mappings between two
+    files inside one journal transaction, without touching data. *)
+
+open Pmem
+
+let block_size = 4096
+let blocks_per_huge = 512 (* 2 MB *)
+
+type inode = {
+  ino : int;
+  mutable kind : Fsapi.Fs.file_kind;
+  mutable size : int;
+  mutable nlink : int;
+  mutable refcount : int;  (** open file descriptors *)
+  extents : Extent_tree.t;
+  dir : (string, int) Hashtbl.t option;  (** [Some _] for directories *)
+}
+
+type t = {
+  env : Env.t;
+  alloc : Alloc.t;
+  journal : Journal.t;
+  data_start : int;  (** device address of physical block 0; 2 MB aligned *)
+  inodes : (int, inode) Hashtbl.t;
+  mutable next_ino : int;
+  root : inode;
+  zero_block : Bytes.t;
+  mutable running_meta : int;
+      (** metadata blocks dirtied by data-path operations and not yet
+          committed; jbd2 batches these into one transaction that commits on
+          fsync or, off the critical path, when it grows large *)
+}
+
+(** jbd2 commits a large running transaction from its own thread. *)
+let running_meta_limit = 128
+
+let cpu t ns = Env.cpu t.env ns
+let timing t = t.env.Env.timing
+
+(* ------------------------------------------------------------------ *)
+(* mkfs                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mkfs ?(journal_len = 8 * 1024 * 1024) (env : Env.t) =
+  let capacity = Device.capacity env.Env.dev in
+  let huge = blocks_per_huge * block_size in
+  let journal_len = (journal_len + huge - 1) / huge * huge in
+  if journal_len >= capacity then invalid_arg "Ext4.mkfs: journal too large";
+  let data_len = (capacity - journal_len) / block_size * block_size in
+  let journal =
+    Journal.create ~env ~region_start:0 ~region_len:journal_len ~block_size
+  in
+  let root =
+    {
+      ino = 2;
+      kind = Fsapi.Fs.Directory;
+      size = 0;
+      nlink = 2;
+      refcount = 0;
+      extents = Extent_tree.create ();
+      dir = Some (Hashtbl.create 64);
+    }
+  in
+  let t =
+    {
+      env;
+      alloc = Alloc.create ~nblocks:(data_len / block_size);
+      journal;
+      data_start = journal_len;
+      inodes = Hashtbl.create 1024;
+      next_ino = 3;
+      root;
+      zero_block = Bytes.make block_size '\000';
+      running_meta = 0;
+    }
+  in
+  Hashtbl.replace t.inodes root.ino root;
+  t
+
+let block_addr t phys = t.data_start + (phys * block_size)
+let env t = t.env
+let allocator t = t.alloc
+let root_inode t = t.root
+
+(* ------------------------------------------------------------------ *)
+(* Path resolution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let split_path path =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+let inode_of t ino =
+  match Hashtbl.find_opt t.inodes ino with
+  | Some i -> i
+  | None -> Fsapi.Errno.(error ENOENT (Printf.sprintf "inode %d" ino))
+
+let dir_table inode =
+  match inode.dir with
+  | Some d -> d
+  | None -> Fsapi.Errno.(error ENOTDIR (string_of_int inode.ino))
+
+let rec walk t inode = function
+  | [] -> inode
+  | part :: rest ->
+      let d = dir_table inode in
+      cpu t (timing t).Timing.ext4_dir_cpu;
+      (match Hashtbl.find_opt d part with
+      | Some ino -> walk t (inode_of t ino) rest
+      | None -> Fsapi.Errno.(error ENOENT part))
+
+(** Resolve a full path to its inode. *)
+let namei t path = walk t t.root (split_path path)
+
+(** Resolve to the parent directory inode and the final component. *)
+let lookup_parent t path =
+  match List.rev (split_path path) with
+  | [] -> Fsapi.Errno.(error EINVAL path)
+  | name :: rev_parents -> (walk t t.root (List.rev rev_parents), name)
+
+(* ------------------------------------------------------------------ *)
+(* Inode lifecycle                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let free_inode_blocks t inode =
+  Extent_tree.iter
+    (fun e -> Alloc.free_extent t.alloc ~start:e.Extent_tree.physical ~len:e.Extent_tree.len)
+    inode.extents;
+  ignore (Extent_tree.remove_range inode.extents ~logical:0 ~len:max_int)
+
+let maybe_reap t inode =
+  if inode.nlink = 0 && inode.refcount = 0 && inode.kind = Fsapi.Fs.Regular
+  then begin
+    free_inode_blocks t inode;
+    Hashtbl.remove t.inodes inode.ino
+  end
+
+let incref inode = inode.refcount <- inode.refcount + 1
+
+let decref t inode =
+  inode.refcount <- inode.refcount - 1;
+  maybe_reap t inode
+
+(* ------------------------------------------------------------------ *)
+(* Namespace operations (each commits its own journal transaction)      *)
+(* ------------------------------------------------------------------ *)
+
+let make_inode t kind =
+  let inode =
+    {
+      ino = t.next_ino;
+      kind;
+      size = 0;
+      nlink = 1;
+      refcount = 0;
+      extents = Extent_tree.create ();
+      dir =
+        (match kind with
+        | Fsapi.Fs.Directory -> Some (Hashtbl.create 16)
+        | Fsapi.Fs.Regular -> None);
+    }
+  in
+  t.next_ino <- t.next_ino + 1;
+  Hashtbl.replace t.inodes inode.ino inode;
+  inode
+
+(** Fold data-path metadata dirtying into the running transaction; a large
+    transaction is committed by the journal thread off the critical path. *)
+let stage_meta t blocks =
+  t.running_meta <- t.running_meta + blocks;
+  if t.running_meta >= running_meta_limit then begin
+    let blocks = t.running_meta in
+    t.running_meta <- 0;
+    Env.in_background t.env (fun () ->
+        Journal.commit t.journal ~meta_blocks:blocks)
+  end
+
+let create t path =
+  let parent, name = lookup_parent t path in
+  let d = dir_table parent in
+  if Hashtbl.mem d name then Fsapi.Errno.(error EEXIST path);
+  let inode = make_inode t Fsapi.Fs.Regular in
+  Hashtbl.replace d name inode.ino;
+  cpu t ((timing t).Timing.ext4_dir_cpu +. (timing t).Timing.ext4_inode_cpu);
+  (* inode bitmap + inode table block + directory block join the running
+     transaction; jbd2 batches namespace ops until fsync or its timer *)
+  stage_meta t 3;
+  inode
+
+let mkdir t path =
+  let parent, name = lookup_parent t path in
+  let d = dir_table parent in
+  if Hashtbl.mem d name then Fsapi.Errno.(error EEXIST path);
+  let inode = make_inode t Fsapi.Fs.Directory in
+  inode.nlink <- 2;
+  parent.nlink <- parent.nlink + 1;
+  Hashtbl.replace d name inode.ino;
+  cpu t ((timing t).Timing.ext4_dir_cpu +. (timing t).Timing.ext4_inode_cpu);
+  stage_meta t 4
+
+let unlink t path =
+  let parent, name = lookup_parent t path in
+  let d = dir_table parent in
+  match Hashtbl.find_opt d name with
+  | None -> Fsapi.Errno.(error ENOENT path)
+  | Some ino ->
+      let inode = inode_of t ino in
+      if inode.kind = Fsapi.Fs.Directory then Fsapi.Errno.(error EISDIR path);
+      Hashtbl.remove d name;
+      inode.nlink <- inode.nlink - 1;
+      cpu t ((timing t).Timing.ext4_dir_cpu +. (timing t).Timing.ext4_inode_cpu);
+      (* dir block + inode + block bitmap + inode bitmap *)
+      stage_meta t 4;
+      maybe_reap t inode
+
+let rmdir t path =
+  let parent, name = lookup_parent t path in
+  let d = dir_table parent in
+  match Hashtbl.find_opt d name with
+  | None -> Fsapi.Errno.(error ENOENT path)
+  | Some ino ->
+      let inode = inode_of t ino in
+      let table = dir_table inode in
+      if Hashtbl.length table > 0 then Fsapi.Errno.(error ENOTEMPTY path);
+      Hashtbl.remove d name;
+      parent.nlink <- parent.nlink - 1;
+      Hashtbl.remove t.inodes ino;
+      cpu t ((timing t).Timing.ext4_dir_cpu +. (timing t).Timing.ext4_inode_cpu);
+      stage_meta t 4
+
+let rename t src dst =
+  let sparent, sname = lookup_parent t src in
+  let sd = dir_table sparent in
+  match Hashtbl.find_opt sd sname with
+  | None -> Fsapi.Errno.(error ENOENT src)
+  | Some ino ->
+      let dparent, dname = lookup_parent t dst in
+      let dd = dir_table dparent in
+      (match Hashtbl.find_opt dd dname with
+      | Some old_ino when old_ino <> ino ->
+          let old = inode_of t old_ino in
+          (match old.kind with
+          | Fsapi.Fs.Directory ->
+              if Hashtbl.length (dir_table old) > 0 then
+                Fsapi.Errno.(error ENOTEMPTY dst);
+              Hashtbl.remove t.inodes old_ino
+          | Fsapi.Fs.Regular ->
+              old.nlink <- old.nlink - 1;
+              maybe_reap t old)
+      | _ -> ());
+      Hashtbl.remove sd sname;
+      Hashtbl.replace dd dname ino;
+      cpu t (2. *. (timing t).Timing.ext4_dir_cpu);
+      stage_meta t 4
+
+let readdir t path =
+  let inode = namei t path in
+  let d = dir_table inode in
+  cpu t ((timing t).Timing.ext4_dir_cpu *. float_of_int (1 + Hashtbl.length d));
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) d [])
+
+let stat_of_inode inode =
+  {
+    Fsapi.Fs.st_ino = inode.ino;
+    st_kind = inode.kind;
+    st_size = inode.size;
+    st_nlink = inode.nlink;
+  }
+
+let stat t path = stat_of_inode (namei t path)
+
+(* ------------------------------------------------------------------ *)
+(* Block mapping and data IO                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Map logical block [lblk], allocating if absent. Returns the physical
+    block and whether an allocation happened. *)
+let get_or_alloc_block t inode lblk =
+  match Extent_tree.find inode.extents lblk with
+  | Some (phys, _) -> (phys, false)
+  | None ->
+      cpu t (timing t).Timing.ext4_alloc_cpu;
+      let goal =
+        match Extent_tree.find inode.extents (lblk - 1) with
+        | Some (p, _) -> p + 1
+        | None -> -1
+      in
+      let start, _n = Alloc.alloc_extent t.alloc ~goal ~len:1 in
+      cpu t (timing t).Timing.ext4_extent_cpu;
+      Extent_tree.insert inode.extents ~logical:lblk ~physical:start ~len:1;
+      (start, true)
+
+(** Pre-allocate [len] bytes starting at byte [off] (fallocate). Tries to
+    grab 2 MB-aligned physical extents so the region can be mapped with
+    huge pages. Does not change [size] (KEEP_SIZE semantics). *)
+let fallocate t inode ~off ~len =
+  if off mod block_size <> 0 then Fsapi.Errno.(error EINVAL "fallocate");
+  let first = off / block_size in
+  let nblocks = (len + block_size - 1) / block_size in
+  let allocated = ref 0 in
+  let lblk = ref first in
+  let remaining = ref nblocks in
+  while !remaining > 0 do
+    match Extent_tree.find inode.extents !lblk with
+    | Some (_, run) ->
+        let n = min run !remaining in
+        lblk := !lblk + n;
+        remaining := !remaining - n
+    | None ->
+        cpu t (timing t).Timing.ext4_alloc_cpu;
+        let chunk = min !remaining blocks_per_huge in
+        (* never allocate past the next already-mapped block (the file may
+           be fragmented by earlier relinks) *)
+        let chunk =
+          match Extent_tree.next_mapped inode.extents !lblk with
+          | Some next when next - !lblk < chunk -> next - !lblk
+          | _ -> chunk
+        in
+        let start, n =
+          match
+            (* huge-page friendly path first *)
+            if chunk = blocks_per_huge && !lblk mod blocks_per_huge = 0 then
+              Alloc.alloc_aligned t.alloc ~align:blocks_per_huge ~len:chunk
+            else None
+          with
+          | Some start -> (start, chunk)
+          | None -> Alloc.alloc_extent t.alloc ~goal:(-1) ~len:chunk
+        in
+        cpu t (timing t).Timing.ext4_extent_cpu;
+        Extent_tree.insert inode.extents ~logical:!lblk ~physical:start ~len:n;
+        allocated := !allocated + n;
+        lblk := !lblk + n;
+        remaining := !remaining - n
+  done;
+  if !allocated > 0 then
+    Journal.commit t.journal
+      ~meta_blocks:(2 + (!allocated / blocks_per_huge));
+  !allocated
+
+(** Kernel data-write path (DAX: non-temporal copy straight to media).
+    Returns the number of metadata blocks dirtied, so callers can fold the
+    charge into one journal transaction. *)
+let write_data t inode ~off buf ~boff ~len =
+  let dirtied = ref 0 in
+  let pos = ref off and src = ref boff and remaining = ref len in
+  while !remaining > 0 do
+    let lblk = !pos / block_size in
+    let in_block = !pos mod block_size in
+    let n = min !remaining (block_size - in_block) in
+    let phys, fresh = get_or_alloc_block t inode lblk in
+    if fresh then begin
+      incr dirtied;
+      (* a partially covered fresh block must be zeroed first so reclaimed
+         blocks never leak stale bytes (dax_iomap zeroing) *)
+      if n < block_size then
+        Device.store_nt t.env.Env.dev ~addr:(block_addr t phys) t.zero_block
+          ~off:0 ~len:block_size
+    end;
+    Device.store_nt t.env.Env.dev
+      ~addr:(block_addr t phys + in_block)
+      buf ~off:!src ~len:n;
+    pos := !pos + n;
+    src := !src + n;
+    remaining := !remaining - n
+  done;
+  if off + len > inode.size then begin
+    inode.size <- off + len;
+    incr dirtied
+  end;
+  (* bitmap + extent blocks, folded: roughly one bitmap + one extent block
+     per allocating write plus the inode *)
+  if !dirtied > 0 then min 3 (1 + !dirtied) else 0
+
+(** pwrite(2) as ext4 DAX performs it: data copied with NT stores, metadata
+    dirtied by allocation or size change joins the running transaction. *)
+let pwrite t inode ~off buf ~boff ~len =
+  if len < 0 || off < 0 then Fsapi.Errno.(error EINVAL "pwrite");
+  let allocating = off + len > inode.size in
+  cpu t
+    (if allocating then (timing t).Timing.ext4_append_cpu
+     else (timing t).Timing.ext4_write_cpu);
+  let meta = write_data t inode ~off buf ~boff ~len in
+  stage_meta t meta;
+  Device.fence t.env.Env.dev;
+  len
+
+(** pread(2): DAX read, media cost charged per contiguous extent. *)
+let pread t inode ~off buf ~boff ~len =
+  if len < 0 || off < 0 then Fsapi.Errno.(error EINVAL "pread");
+  cpu t (timing t).Timing.ext4_read_cpu;
+  if off >= inode.size then 0
+  else begin
+    let len = min len (inode.size - off) in
+    let pos = ref off and dst = ref boff and remaining = ref len in
+    while !remaining > 0 do
+      let lblk = !pos / block_size in
+      let in_block = !pos mod block_size in
+      let n = min !remaining (block_size - in_block) in
+      (match Extent_tree.find inode.extents lblk with
+      | Some (phys, _) ->
+          Device.load t.env.Env.dev
+            ~addr:(block_addr t phys + in_block)
+            buf ~off:!dst ~len:n
+      | None -> Bytes.fill buf !dst n '\000');
+      pos := !pos + n;
+      dst := !dst + n;
+      remaining := !remaining - n
+    done;
+    len
+  end
+
+let truncate t inode size =
+  if size < 0 then Fsapi.Errno.(error EINVAL "truncate");
+  cpu t (timing t).Timing.ext4_inode_cpu;
+  let old_blocks = (inode.size + block_size - 1) / block_size in
+  let new_blocks = (size + block_size - 1) / block_size in
+  if size < inode.size then begin
+    if new_blocks < old_blocks then begin
+      let removed =
+        Extent_tree.remove_range inode.extents ~logical:new_blocks
+          ~len:(old_blocks - new_blocks)
+      in
+      List.iter
+        (fun e ->
+          Alloc.free_extent t.alloc ~start:e.Extent_tree.physical
+            ~len:e.Extent_tree.len)
+        removed
+    end;
+    (* zero the now-unused tail of the last kept block so a later size
+       extension reads zeros, not the truncated bytes *)
+    if size mod block_size <> 0 then
+      match Extent_tree.find inode.extents (size / block_size) with
+      | Some (phys, _) ->
+          let in_block = size mod block_size in
+          Device.store_nt t.env.Env.dev
+            ~addr:(block_addr t phys + in_block)
+            t.zero_block ~off:0 ~len:(block_size - in_block)
+      | None -> ()
+  end
+  else if size > inode.size then begin
+    (* zero the tail of the last partial block so stale bytes never leak *)
+    let last = inode.size in
+    if last mod block_size <> 0 then
+      match Extent_tree.find inode.extents (last / block_size) with
+      | Some (phys, _) ->
+          let in_block = last mod block_size in
+          let n = min (size - last) (block_size - in_block) in
+          Device.store_nt t.env.Env.dev
+            ~addr:(block_addr t phys + in_block)
+            t.zero_block ~off:0 ~len:n
+      | None -> ()
+  end;
+  inode.size <- size;
+  Journal.commit t.journal ~meta_blocks:2
+
+(** fsync(2) on ext4 DAX: force the running transaction to commit. The cost
+    grows with the metadata dirtied since the last commit, which is what
+    makes ext4 DAX fsync expensive after a burst of appends (paper
+    Table 6). *)
+let fsync t inode =
+  ignore inode;
+  cpu t (timing t).Timing.ext4_inode_cpu;
+  if t.running_meta > 0 then begin
+    let blocks = t.running_meta in
+    t.running_meta <- 0;
+    Journal.commit t.journal ~meta_blocks:blocks;
+    (* wake jbd2, wait for the commit to land *)
+    cpu t (timing t).Timing.jbd2_fsync_wait
+  end
+  else
+    (* no running transaction: jbd2 fast path *)
+    Device.fence t.env.Env.dev
+
+(* ------------------------------------------------------------------ *)
+(* swap_extents — the kernel half of relink                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [swap_extents t ~src ~src_blk ~dst ~dst_blk ~nblks] atomically exchanges
+    the logical→physical mappings of the two block ranges inside one journal
+    transaction, without moving, copying or flushing data (the paper's
+    modified [EXT4_IOC_MOVE_EXT]). Existing memory-mappings of the physical
+    blocks remain valid; U-Split re-points its collection of mmaps. *)
+let swap_extents t ~src ~src_blk ~dst ~dst_blk ~nblks =
+  if nblks <= 0 then Fsapi.Errno.(error EINVAL "swap_extents");
+  let ex_src = Extent_tree.remove_range src.extents ~logical:src_blk ~len:nblks in
+  let ex_dst = Extent_tree.remove_range dst.extents ~logical:dst_blk ~len:nblks in
+  let shift into delta e =
+    Extent_tree.insert into
+      ~logical:(e.Extent_tree.logical + delta)
+      ~physical:e.Extent_tree.physical ~len:e.Extent_tree.len
+  in
+  List.iter (shift dst.extents (dst_blk - src_blk)) ex_src;
+  List.iter (shift src.extents (src_blk - dst_blk)) ex_dst;
+  let touched = List.length ex_src + List.length ex_dst in
+  cpu t ((timing t).Timing.ext4_extent_cpu *. float_of_int (2 + touched));
+  (* two inodes + two extent blocks in one transaction *)
+  Journal.commit t.journal ~meta_blocks:4
+
+(** [relink t ~src ~src_blk ~dst ~dst_blk ~nblks ~dst_size] is the paper's
+    new primitive as one kernel operation: logically and atomically move the
+    block range of [src] (a staging file) into [dst], de-allocating any
+    blocks it replaces, and update [dst]'s size — all inside a single journal
+    transaction, with no data movement or flushing. Built from the same
+    extent manipulation as {!swap_extents}. *)
+let relink t ~src ~src_blk ~dst ~dst_blk ~nblks ~dst_size =
+  if nblks <= 0 then Fsapi.Errno.(error EINVAL "relink");
+  let replaced = Extent_tree.remove_range dst.extents ~logical:dst_blk ~len:nblks in
+  List.iter
+    (fun e ->
+      Alloc.free_extent t.alloc ~start:e.Extent_tree.physical
+        ~len:e.Extent_tree.len)
+    replaced;
+  let moved = Extent_tree.remove_range src.extents ~logical:src_blk ~len:nblks in
+  List.iter
+    (fun e ->
+      Extent_tree.insert dst.extents
+        ~logical:(e.Extent_tree.logical - src_blk + dst_blk)
+        ~physical:e.Extent_tree.physical ~len:e.Extent_tree.len)
+    moved;
+  (match dst_size with
+  | Some size -> dst.size <- size
+  | None -> ());
+  let touched = List.length replaced + List.length moved in
+  cpu t ((timing t).Timing.ext4_extent_cpu *. float_of_int (2 + touched));
+  (* both inodes' extent updates fit two journal blocks, one transaction *)
+  Journal.commit t.journal ~meta_blocks:2;
+  let stats = t.env.Env.stats in
+  stats.Stats.relinks <- stats.Stats.relinks + 1
+
+(** Free a block range of [inode] (relink uses this to drop the staging
+    file's temporarily allocated blocks). Metadata-only. *)
+let dealloc_range t inode ~blk ~nblks =
+  let removed = Extent_tree.remove_range inode.extents ~logical:blk ~len:nblks in
+  List.iter
+    (fun e ->
+      Alloc.free_extent t.alloc ~start:e.Extent_tree.physical
+        ~len:e.Extent_tree.len)
+    removed;
+  cpu t ((timing t).Timing.ext4_extent_cpu *. float_of_int (1 + List.length removed));
+  Journal.commit t.journal ~meta_blocks:2
+
+let set_size t inode size =
+  cpu t (timing t).Timing.ext4_inode_cpu;
+  inode.size <- size;
+  Journal.commit t.journal ~meta_blocks:1
+
+(* ------------------------------------------------------------------ *)
+(* DAX mmap                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type mapping = {
+  m_ino : int;
+  m_off : int;  (** file offset of the first mapped byte (block aligned) *)
+  m_len : int;
+  pages : int array;  (** per 4K page: physical block, or -1 for a hole *)
+  m_huge : bool;
+}
+
+(** [mmap t inode ~off ~len] maps the byte range with MAP_POPULATE
+    semantics: all page faults are taken now, 2 MB faults when the backing
+    extent allows it. Returns the mapping used for direct loads/stores. *)
+let mmap t inode ~off ~len =
+  if off mod block_size <> 0 || len <= 0 then Fsapi.Errno.(error EINVAL "mmap");
+  let npages = (len + block_size - 1) / block_size in
+  let pages = Array.make npages (-1) in
+  let first = off / block_size in
+  let covered = ref 0 in
+  while !covered < npages do
+    match Extent_tree.find inode.extents (first + !covered) with
+    | Some (phys, run) ->
+        let n = min run (npages - !covered) in
+        for i = 0 to n - 1 do
+          pages.(!covered + i) <- phys + i
+        done;
+        covered := !covered + n
+    | None -> incr covered
+  done;
+  (* Huge mapping iff the whole range is one physically-contiguous,
+     2 MB-aligned run of 2 MB multiples. *)
+  let huge =
+    (timing t).Timing.huge_pages_enabled
+    && npages mod blocks_per_huge = 0
+    && npages > 0
+    && pages.(0) >= 0
+    && pages.(0) mod blocks_per_huge = 0
+    && first mod blocks_per_huge = 0
+    &&
+    let ok = ref true in
+    for i = 1 to npages - 1 do
+      if pages.(i) <> pages.(0) + i then ok := false
+    done;
+    !ok
+  in
+  let stats = t.env.Env.stats in
+  let tm = timing t in
+  if huge then begin
+    let faults = npages / blocks_per_huge in
+    stats.Stats.page_faults <- stats.Stats.page_faults + faults;
+    stats.Stats.page_faults_huge <- stats.Stats.page_faults_huge + faults;
+    cpu t (float_of_int faults *. tm.Timing.page_fault_huge)
+  end
+  else begin
+    let faults = Array.fold_left (fun acc p -> if p >= 0 then acc + 1 else acc) 0 pages in
+    stats.Stats.page_faults <- stats.Stats.page_faults + faults;
+    cpu t (float_of_int faults *. tm.Timing.page_fault)
+  end;
+  stats.Stats.mmap_setups <- stats.Stats.mmap_setups + 1;
+  { m_ino = inode.ino; m_off = off; m_len = len; pages; m_huge = huge }
+
+(** [translate m ~file_off] gives the device address backing [file_off] and
+    the number of contiguously mapped bytes from there; [None] on a hole or
+    outside the mapping. *)
+let translate t m ~file_off =
+  if file_off < m.m_off || file_off >= m.m_off + m.m_len then None
+  else begin
+    let rel = file_off - m.m_off in
+    let page = rel / block_size in
+    let in_page = rel mod block_size in
+    if m.pages.(page) < 0 then None
+    else begin
+      (* extend across physically-contiguous pages *)
+      let run = ref (block_size - in_page) in
+      let p = ref page in
+      while
+        !p + 1 < Array.length m.pages
+        && m.pages.(!p + 1) = m.pages.(!p) + 1
+        && m.m_off + ((!p + 1) * block_size) < m.m_off + m.m_len
+      do
+        incr p;
+        run := !run + block_size
+      done;
+      let limit = m.m_len - rel in
+      Some (block_addr t m.pages.(page) + in_page, min !run limit)
+    end
+  end
+
+(** Build a mapping over an already-faulted range without charging traps or
+    faults — used by U-Split to retain mappings across relink (the modified
+    ioctl keeps existing mappings valid, §3.5). *)
+let mmap_retained (_t : t) inode ~off ~len =
+  if off mod block_size <> 0 || len <= 0 then
+    Fsapi.Errno.(error EINVAL "mmap_retained");
+  let npages = (len + block_size - 1) / block_size in
+  let pages = Array.make npages (-1) in
+  let first = off / block_size in
+  for i = 0 to npages - 1 do
+    pages.(i) <-
+      (match Extent_tree.find inode.extents (first + i) with
+      | Some (phys, _) -> phys
+      | None -> -1)
+  done;
+  { m_ino = inode.ino; m_off = off; m_len = len; pages; m_huge = false }
+
+(** Re-derive the page array of an existing mapping after [swap_extents]
+    re-pointed the file's extents; charges nothing (the paper's modified
+    ioctl keeps mappings valid without faults). *)
+let remap_quietly t inode m =
+  let npages = Array.length m.pages in
+  let first = m.m_off / block_size in
+  for i = 0 to npages - 1 do
+    m.pages.(i) <-
+      (match Extent_tree.find inode.extents (first + i) with
+      | Some (phys, _) -> phys
+      | None -> -1)
+  done;
+  ignore t

@@ -1,0 +1,208 @@
+(** System-call layer over {!Ext4}: file-descriptor table plus the cost of
+    crossing into the kernel. Everything an application (or U-Split) asks of
+    the kernel goes through here and pays [syscall_trap + vfs_path]. *)
+
+open Pmem
+
+type open_desc = { inode : Ext4.inode; pos : int ref; flags : Fsapi.Flags.t }
+
+type t = {
+  kfs : Ext4.t;
+  fds : (int, open_desc) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let make kfs = { kfs; fds = Hashtbl.create 64; next_fd = 3 }
+let kernel t = t.kfs
+
+let trap t =
+  let env = Ext4.env t.kfs in
+  let tm = env.Env.timing in
+  Env.cpu env (tm.Timing.syscall_trap +. tm.Timing.vfs_path);
+  env.Env.stats.Stats.syscalls <- env.Env.stats.Stats.syscalls + 1
+
+let fd_entry t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some e -> e
+  | None -> Fsapi.Errno.(error EBADF (string_of_int fd))
+
+let inode_of_fd t fd = (fd_entry t fd).inode
+
+let install t inode flags =
+  let fd = t.next_fd in
+  t.next_fd <- t.next_fd + 1;
+  Ext4.incref inode;
+  Hashtbl.replace t.fds fd { inode; pos = ref 0; flags };
+  fd
+
+let open_ t path (flags : Fsapi.Flags.t) =
+  trap t;
+  let inode =
+    match Ext4.namei t.kfs path with
+    | inode ->
+        if inode.Ext4.kind = Fsapi.Fs.Directory && Fsapi.Flags.writable flags
+        then Fsapi.Errno.(error EISDIR path);
+        if flags.creat && flags.excl then Fsapi.Errno.(error EEXIST path);
+        if flags.trunc && Fsapi.Flags.writable flags then
+          Ext4.truncate t.kfs inode 0;
+        inode
+    | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) when flags.creat ->
+        Ext4.create t.kfs path
+  in
+  install t inode flags
+
+let close t fd =
+  trap t;
+  let e = fd_entry t fd in
+  Hashtbl.remove t.fds fd;
+  Ext4.decref t.kfs e.inode
+
+let dup t fd =
+  trap t;
+  let e = fd_entry t fd in
+  let nfd = t.next_fd in
+  t.next_fd <- t.next_fd + 1;
+  Ext4.incref e.inode;
+  Hashtbl.replace t.fds nfd e;
+  nfd
+
+let pwrite t fd ~buf ~boff ~len ~at =
+  trap t;
+  let e = fd_entry t fd in
+  if not (Fsapi.Flags.writable e.flags) then Fsapi.Errno.(error EBADF "pwrite");
+  Ext4.pwrite t.kfs e.inode ~off:at buf ~boff ~len
+
+let pread t fd ~buf ~boff ~len ~at =
+  trap t;
+  let e = fd_entry t fd in
+  if not (Fsapi.Flags.readable e.flags) then Fsapi.Errno.(error EBADF "pread");
+  Ext4.pread t.kfs e.inode ~off:at buf ~boff ~len
+
+let write t fd ~buf ~boff ~len =
+  trap t;
+  let e = fd_entry t fd in
+  if not (Fsapi.Flags.writable e.flags) then Fsapi.Errno.(error EBADF "write");
+  let at = if e.flags.append then e.inode.Ext4.size else !(e.pos) in
+  let n = Ext4.pwrite t.kfs e.inode ~off:at buf ~boff ~len in
+  e.pos := at + n;
+  n
+
+let read t fd ~buf ~boff ~len =
+  trap t;
+  let e = fd_entry t fd in
+  if not (Fsapi.Flags.readable e.flags) then Fsapi.Errno.(error EBADF "read");
+  let n = Ext4.pread t.kfs e.inode ~off:!(e.pos) buf ~boff ~len in
+  e.pos := !(e.pos) + n;
+  n
+
+let lseek t fd off whence =
+  trap t;
+  let e = fd_entry t fd in
+  let base =
+    match whence with
+    | Fsapi.Flags.Set -> 0
+    | Fsapi.Flags.Cur -> !(e.pos)
+    | Fsapi.Flags.End -> e.inode.Ext4.size
+  in
+  let npos = base + off in
+  if npos < 0 then Fsapi.Errno.(error EINVAL "lseek");
+  e.pos := npos;
+  npos
+
+let fsync t fd =
+  trap t;
+  let e = fd_entry t fd in
+  Ext4.fsync t.kfs e.inode
+
+let ftruncate t fd size =
+  trap t;
+  let e = fd_entry t fd in
+  Ext4.truncate t.kfs e.inode size
+
+let fstat t fd =
+  trap t;
+  Ext4.stat_of_inode (fd_entry t fd).inode
+
+let stat t path =
+  trap t;
+  Ext4.stat t.kfs path
+
+let unlink t path =
+  trap t;
+  Ext4.unlink t.kfs path
+
+let rename t src dst =
+  trap t;
+  Ext4.rename t.kfs src dst
+
+let mkdir t path =
+  trap t;
+  Ext4.mkdir t.kfs path
+
+let rmdir t path =
+  trap t;
+  Ext4.rmdir t.kfs path
+
+let readdir t path =
+  trap t;
+  Ext4.readdir t.kfs path
+
+(* --- kernel services used by U-Split (each is one trap) --- *)
+
+let fallocate t fd ~off ~len =
+  trap t;
+  Ext4.fallocate t.kfs (inode_of_fd t fd) ~off ~len
+
+(** The relink system call added by SplitFS: one trap, one transaction. *)
+let relink t ~src_fd ~src_blk ~dst_fd ~dst_blk ~nblks ~dst_size =
+  trap t;
+  Ext4.relink t.kfs
+    ~src:(inode_of_fd t src_fd)
+    ~src_blk
+    ~dst:(inode_of_fd t dst_fd)
+    ~dst_blk ~nblks ~dst_size
+
+(** The relink ioctl: swap extents between two open files. *)
+let ioctl_swap_extents t ~src_fd ~src_blk ~dst_fd ~dst_blk ~nblks =
+  trap t;
+  Ext4.swap_extents t.kfs
+    ~src:(inode_of_fd t src_fd)
+    ~src_blk
+    ~dst:(inode_of_fd t dst_fd)
+    ~dst_blk ~nblks
+
+let dealloc_range t fd ~blk ~nblks =
+  trap t;
+  Ext4.dealloc_range t.kfs (inode_of_fd t fd) ~blk ~nblks
+
+let set_size t fd size =
+  trap t;
+  Ext4.set_size t.kfs (inode_of_fd t fd) size
+
+let mmap t fd ~off ~len =
+  trap t;
+  Ext4.mmap t.kfs (inode_of_fd t fd) ~off ~len
+
+(* ------------------------------------------------------------------ *)
+
+let as_fsapi ?(name = "ext4-dax") t : Fsapi.Fs.t =
+  {
+    Fsapi.Fs.fs_name = name;
+    open_ = open_ t;
+    close = close t;
+    dup = dup t;
+    pread = (fun fd ~buf ~boff ~len ~at -> pread t fd ~buf ~boff ~len ~at);
+    pwrite = (fun fd ~buf ~boff ~len ~at -> pwrite t fd ~buf ~boff ~len ~at);
+    read = (fun fd ~buf ~boff ~len -> read t fd ~buf ~boff ~len);
+    write = (fun fd ~buf ~boff ~len -> write t fd ~buf ~boff ~len);
+    lseek = lseek t;
+    fsync = fsync t;
+    ftruncate = ftruncate t;
+    fstat = fstat t;
+    stat = stat t;
+    unlink = unlink t;
+    rename = rename t;
+    mkdir = mkdir t;
+    rmdir = rmdir t;
+    readdir = readdir t;
+  }

@@ -1,0 +1,1 @@
+lib/pmem/device.ml: Array Bytes Hashtbl Simclock Stats Timing

@@ -1,0 +1,1 @@
+lib/pmem/env.ml: Device Simclock Stats Timing

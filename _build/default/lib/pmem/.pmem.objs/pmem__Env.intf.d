@@ -1,0 +1,1 @@
+lib/pmem/env.mli: Device Simclock Stats Timing

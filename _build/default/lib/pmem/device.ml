@@ -1,0 +1,195 @@
+(** Simulated byte-addressable persistent-memory device.
+
+    The device models the persistence behaviour of Intel Optane DC PMM under
+    ADR: non-temporal stores are durable once they reach the memory
+    controller, temporal stores live in the (volatile) CPU cache until the
+    line is flushed. A crash discards every dirty cache line.
+
+    [persistent] holds the durable image; [dirty] holds cache lines that
+    have been written with temporal stores but not yet flushed. All accesses
+    charge simulated time on the shared clock and update the shared
+    statistics. *)
+
+let line_size = 64
+let block_size = 4096
+
+type t = {
+  capacity : int;
+  persistent : Bytes.t;
+  dirty : (int, Bytes.t) Hashtbl.t;  (** line index -> line content *)
+  wear : int array;  (** write count per 4 KB block *)
+  clock : Simclock.t;
+  timing : Timing.t;
+  stats : Stats.t;
+  mutable last_read_end : int;  (** to classify sequential vs random reads *)
+}
+
+let create ?(capacity = 64 * 1024 * 1024) ~clock ~timing ~stats () =
+  assert (capacity mod block_size = 0);
+  {
+    capacity;
+    persistent = Bytes.make capacity '\000';
+    dirty = Hashtbl.create 4096;
+    wear = Array.make (capacity / block_size) 0;
+    clock;
+    timing;
+    stats;
+    last_read_end = -1;
+  }
+
+let capacity t = t.capacity
+let check_range t addr len = addr >= 0 && len >= 0 && addr + len <= t.capacity
+
+let charge_media t ns =
+  Simclock.advance t.clock ns;
+  t.stats.Stats.media_ns <- t.stats.Stats.media_ns +. ns
+
+let add_wear t addr len =
+  let first = addr / block_size and last = (addr + len - 1) / block_size in
+  for b = first to last do
+    t.wear.(b) <- t.wear.(b) + 1
+  done
+
+(** Temporal store: data lands in the CPU cache and is lost on crash unless
+    flushed. *)
+let store t ~addr src ~off ~len =
+  assert (check_range t addr len);
+  if len > 0 then begin
+    Simclock.advance t.clock
+      (float_of_int len *. t.timing.Timing.cache_store_per_byte);
+    let pos = ref addr and soff = ref off and remaining = ref len in
+    while !remaining > 0 do
+      let line = !pos / line_size in
+      let in_line = !pos mod line_size in
+      let n = min !remaining (line_size - in_line) in
+      let content =
+        match Hashtbl.find_opt t.dirty line with
+        | Some c -> c
+        | None ->
+            let c = Bytes.create line_size in
+            Bytes.blit t.persistent (line * line_size) c 0 line_size;
+            Hashtbl.replace t.dirty line c;
+            c
+      in
+      Bytes.blit src !soff content in_line n;
+      pos := !pos + n;
+      soff := !soff + n;
+      remaining := !remaining - n
+    done
+  end
+
+let persist_line t line =
+  match Hashtbl.find_opt t.dirty line with
+  | None -> ()
+  | Some content ->
+      Bytes.blit content 0 t.persistent (line * line_size) line_size;
+      Hashtbl.remove t.dirty line
+
+(** Non-temporal store: bypasses the cache; durable once a subsequent fence
+    orders it (ADR makes it durable on arrival, the fence is ordering). *)
+let store_nt t ~addr src ~off ~len =
+  assert (check_range t addr len);
+  if len > 0 then begin
+    (* A line may hold older cached data; the NT store must invalidate it. *)
+    let first = addr / line_size and last = (addr + len - 1) / line_size in
+    for line = first to last do
+      persist_line t line
+    done;
+    Bytes.blit src off t.persistent addr len;
+    charge_media t (Timing.nt_write_cost t.timing len);
+    t.stats.Stats.nt_stores <- t.stats.Stats.nt_stores + 1;
+    t.stats.Stats.pm_write_bytes <- t.stats.Stats.pm_write_bytes + len;
+    add_wear t addr len
+  end
+
+(** Flush (clwb) every dirty line intersecting [addr, addr+len). *)
+let flush t ~addr ~len =
+  assert (check_range t addr len);
+  if len > 0 then begin
+    let first = addr / line_size and last = (addr + len - 1) / line_size in
+    for line = first to last do
+      if Hashtbl.mem t.dirty line then begin
+        persist_line t line;
+        Simclock.advance t.clock t.timing.Timing.clwb;
+        charge_media t (Timing.nt_write_cost t.timing line_size);
+        t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
+        t.stats.Stats.pm_write_bytes <- t.stats.Stats.pm_write_bytes + line_size;
+        add_wear t (line * line_size) line_size
+      end
+    done
+  end
+
+let fence t =
+  Simclock.advance t.clock t.timing.Timing.sfence;
+  t.stats.Stats.fences <- t.stats.Stats.fences + 1
+
+(** Load [len] bytes at [addr] into [dst]. Dirty (cached) lines are served
+    from the cache at cache speed; the rest is charged PM media cost, with
+    the first-access latency picked by read adjacency. *)
+let load t ~addr dst ~off ~len =
+  assert (check_range t addr len);
+  if len > 0 then begin
+    let random = addr <> t.last_read_end in
+    t.last_read_end <- addr + len;
+    let pos = ref addr and doff = ref off and remaining = ref len in
+    let cached = ref 0 and uncached = ref 0 in
+    while !remaining > 0 do
+      let line = !pos / line_size in
+      let in_line = !pos mod line_size in
+      let n = min !remaining (line_size - in_line) in
+      (match Hashtbl.find_opt t.dirty line with
+      | Some content ->
+          Bytes.blit content in_line dst !doff n;
+          cached := !cached + n
+      | None ->
+          Bytes.blit t.persistent !pos dst !doff n;
+          uncached := !uncached + n);
+      pos := !pos + n;
+      doff := !doff + n;
+      remaining := !remaining - n
+    done;
+    if !cached > 0 then
+      Simclock.advance t.clock
+        (float_of_int !cached *. t.timing.Timing.cache_read_per_byte);
+    if !uncached > 0 then begin
+      charge_media t (Timing.pm_read_cost t.timing ~random !uncached);
+      t.stats.Stats.pm_read_bytes <- t.stats.Stats.pm_read_bytes + !uncached
+    end
+  end
+
+(** Convenience wrappers over whole buffers. *)
+let load_bytes t ~addr ~len =
+  let b = Bytes.create len in
+  load t ~addr b ~off:0 ~len;
+  b
+
+let store_nt_bytes t ~addr b = store_nt t ~addr b ~off:0 ~len:(Bytes.length b)
+let store_bytes t ~addr b = store t ~addr b ~off:0 ~len:(Bytes.length b)
+
+(** Write zeros with non-temporal stores (used to initialise log files). *)
+let zero_nt t ~addr ~len =
+  let z = Bytes.make (min len 65536) '\000' in
+  let pos = ref addr and remaining = ref len in
+  while !remaining > 0 do
+    let n = min !remaining (Bytes.length z) in
+    store_nt t ~addr:!pos z ~off:0 ~len:n;
+    pos := !pos + n;
+    remaining := !remaining - n
+  done
+
+(** Crash: all cache lines not yet flushed (and not written with NT stores)
+    are lost. The durable image is untouched. *)
+let crash t =
+  Hashtbl.reset t.dirty;
+  t.last_read_end <- -1
+
+(** Number of dirty (would-be-lost) cache lines; exposed for tests. *)
+let dirty_lines t = Hashtbl.length t.dirty
+
+let wear_of_block t b = t.wear.(b)
+let max_wear t = Array.fold_left max 0 t.wear
+
+let total_wear t = Array.fold_left ( + ) 0 t.wear
+
+(** Peek at the durable image without charging time (test/debug only). *)
+let peek_persistent t ~addr ~len = Bytes.sub t.persistent addr len

@@ -1,0 +1,63 @@
+(** Simulated byte-addressable persistent-memory device.
+
+    Models the persistence behaviour of Intel Optane DC PMM under ADR:
+    non-temporal stores are durable once they reach the memory controller,
+    temporal stores live in the (volatile) CPU cache until the line is
+    flushed. A crash discards every dirty cache line. All accesses charge
+    simulated time on the shared clock and update the shared statistics. *)
+
+val line_size : int
+(** 64 bytes. *)
+
+val block_size : int
+(** 4096 bytes (wear-tracking granularity). *)
+
+type t
+
+val create :
+  ?capacity:int -> clock:Simclock.t -> timing:Timing.t -> stats:Stats.t ->
+  unit -> t
+
+val capacity : t -> int
+
+(** Temporal store: data lands in the CPU cache and is lost on crash
+    unless flushed. *)
+val store : t -> addr:int -> Bytes.t -> off:int -> len:int -> unit
+
+(** Non-temporal store: bypasses the cache; durable once a subsequent
+    fence orders it. Invalidates stale cached lines it covers. *)
+val store_nt : t -> addr:int -> Bytes.t -> off:int -> len:int -> unit
+
+(** Flush (clwb) every dirty line intersecting the range. *)
+val flush : t -> addr:int -> len:int -> unit
+
+(** Ordering fence (sfence). *)
+val fence : t -> unit
+
+(** Load into [dst]; dirty lines are served from the cache at cache speed,
+    the rest is charged PM media cost with sequential/random latency
+    picked by read adjacency. *)
+val load : t -> addr:int -> Bytes.t -> off:int -> len:int -> unit
+
+val load_bytes : t -> addr:int -> len:int -> Bytes.t
+val store_nt_bytes : t -> addr:int -> Bytes.t -> unit
+val store_bytes : t -> addr:int -> Bytes.t -> unit
+
+(** Write zeros with non-temporal stores (log-file initialisation). *)
+val zero_nt : t -> addr:int -> len:int -> unit
+
+(** Crash: all cache lines not yet flushed (and not written with NT
+    stores) are lost; the durable image is untouched. *)
+val crash : t -> unit
+
+(** Number of dirty (would-be-lost) cache lines; exposed for tests. *)
+val dirty_lines : t -> int
+
+(** Write-cycle counters per 4 KB block (PM endurance, §2.1). *)
+val wear_of_block : t -> int -> int
+
+val max_wear : t -> int
+val total_wear : t -> int
+
+(** Peek at the durable image without charging time (test/debug only). *)
+val peek_persistent : t -> addr:int -> len:int -> Bytes.t

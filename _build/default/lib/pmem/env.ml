@@ -1,0 +1,44 @@
+(** An experiment environment: one PM device plus the clock, timing model and
+    statistics shared by every layer of the stack. *)
+
+type t = {
+  clock : Simclock.t;
+  timing : Timing.t;
+  stats : Stats.t;
+  dev : Device.t;
+}
+
+let create ?(capacity = 64 * 1024 * 1024) ?(timing = Timing.default) () =
+  let clock = Simclock.create () in
+  let stats = Stats.create () in
+  let dev = Device.create ~capacity ~clock ~timing ~stats () in
+  { clock; timing; stats; dev }
+
+let now t = Simclock.now t.clock
+let advance t ns = Simclock.advance t.clock ns
+
+(** Charge pure CPU time (no PM traffic). *)
+let cpu t ns = Simclock.advance t.clock ns
+
+let snapshot_stats t = Stats.copy t.stats
+
+(** [in_background t f] runs [f] on behalf of a background thread: the
+    simulated time it consumes is moved off the foreground clock and
+    accumulated in [stats.background_ns] (the paper keeps staging-file
+    pre-allocation and similar work off the critical path, §4). *)
+let in_background t f =
+  let t0 = Simclock.now t.clock in
+  let x = f () in
+  let t1 = Simclock.now t.clock in
+  t.clock.Simclock.now_ns <- t0;
+  t.stats.Stats.background_ns <- t.stats.Stats.background_ns +. (t1 -. t0);
+  x
+
+(** [measure t f] returns [f ()] along with elapsed simulated time and the
+    statistics delta. *)
+let measure t f =
+  let s0 = Stats.copy t.stats in
+  let t0 = Simclock.now t.clock in
+  let x = f () in
+  let t1 = Simclock.now t.clock in
+  (x, t1 -. t0, Stats.diff t.stats s0)

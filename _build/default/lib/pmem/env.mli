@@ -1,0 +1,32 @@
+(** An experiment environment: one PM device plus the clock, timing model
+    and statistics shared by every layer of the stack. *)
+
+type t = {
+  clock : Simclock.t;
+  timing : Timing.t;
+  stats : Stats.t;
+  dev : Device.t;
+}
+
+(** Fresh device (default 64 MB) with zeroed stats and clock. *)
+val create : ?capacity:int -> ?timing:Timing.t -> unit -> t
+
+(** Current simulated time, in nanoseconds. *)
+val now : t -> float
+
+val advance : t -> float -> unit
+
+(** Charge pure CPU time (no PM traffic). *)
+val cpu : t -> float -> unit
+
+val snapshot_stats : t -> Stats.t
+
+(** [in_background t f] runs [f] on behalf of a background thread: the
+    simulated time it consumes is moved off the foreground clock and
+    accumulated in [stats.background_ns] (the paper keeps staging-file
+    pre-allocation and similar work off the critical path, §4). *)
+val in_background : t -> (unit -> 'a) -> 'a
+
+(** [measure t f] returns [f ()] along with elapsed simulated time and the
+    statistics delta. *)
+val measure : t -> (unit -> 'a) -> 'a * float * Stats.t

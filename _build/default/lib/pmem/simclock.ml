@@ -1,0 +1,25 @@
+(** Simulated clock, in nanoseconds.
+
+    Every component of the simulation charges time here instead of measuring
+    wall-clock time, which makes experiments deterministic and independent of
+    the host machine. *)
+
+type t = { mutable now_ns : float }
+
+let create () = { now_ns = 0. }
+
+let now t = t.now_ns
+
+(** [advance t ns] charges [ns] nanoseconds of simulated time. *)
+let advance t ns =
+  assert (ns >= 0.);
+  t.now_ns <- t.now_ns +. ns
+
+let reset t = t.now_ns <- 0.
+
+(** [timed t f] runs [f ()] and returns its result together with the
+    simulated time it consumed. *)
+let timed t f =
+  let start = t.now_ns in
+  let x = f () in
+  (x, t.now_ns -. start)

@@ -1,0 +1,106 @@
+(** Counters for everything the evaluation needs to report: PM traffic,
+    ordering instructions, kernel crossings, page faults, journal activity.
+
+    One [t] is shared by the device, the kernel file system and the
+    user-space library so that a single snapshot describes a whole
+    experiment. *)
+
+type t = {
+  mutable pm_read_bytes : int;
+  mutable pm_write_bytes : int;  (** bytes that reached the PM media *)
+  mutable nt_stores : int;  (** non-temporal store instructions issued *)
+  mutable flushes : int;  (** clwb/clflush instructions *)
+  mutable fences : int;  (** sfence instructions *)
+  mutable syscalls : int;  (** kernel traps *)
+  mutable page_faults : int;
+  mutable page_faults_huge : int;  (** subset of faults served by 2MB pages *)
+  mutable journal_commits : int;
+  mutable journal_bytes : int;
+  mutable relinks : int;
+  mutable relink_copied_bytes : int;  (** partial-block copies during relink *)
+  mutable log_entries : int;  (** U-Split operation-log entries written *)
+  mutable staged_bytes : int;  (** bytes routed to staging files *)
+  mutable mmap_setups : int;  (** new memory-mappings established *)
+  mutable media_ns : float;
+      (** simulated time spent on the PM media itself; software overhead of
+          an experiment = total simulated time - media_ns *)
+  mutable background_ns : float;
+      (** work done by background threads (staging pre-allocation, deferred
+          closes); charged here instead of the foreground clock, and
+          reported by the resource-consumption experiment (§5.10) *)
+}
+
+let create () =
+  {
+    pm_read_bytes = 0;
+    pm_write_bytes = 0;
+    nt_stores = 0;
+    flushes = 0;
+    fences = 0;
+    syscalls = 0;
+    page_faults = 0;
+    page_faults_huge = 0;
+    journal_commits = 0;
+    journal_bytes = 0;
+    relinks = 0;
+    relink_copied_bytes = 0;
+    log_entries = 0;
+    staged_bytes = 0;
+    mmap_setups = 0;
+    media_ns = 0.;
+    background_ns = 0.;
+  }
+
+let reset t =
+  t.pm_read_bytes <- 0;
+  t.pm_write_bytes <- 0;
+  t.nt_stores <- 0;
+  t.flushes <- 0;
+  t.fences <- 0;
+  t.syscalls <- 0;
+  t.page_faults <- 0;
+  t.page_faults_huge <- 0;
+  t.journal_commits <- 0;
+  t.journal_bytes <- 0;
+  t.relinks <- 0;
+  t.relink_copied_bytes <- 0;
+  t.log_entries <- 0;
+  t.staged_bytes <- 0;
+  t.mmap_setups <- 0;
+  t.media_ns <- 0.;
+  t.background_ns <- 0.
+
+let copy t = { t with pm_read_bytes = t.pm_read_bytes }
+
+(** [diff later earlier] gives the counters accumulated between two
+    snapshots. *)
+let diff a b =
+  {
+    pm_read_bytes = a.pm_read_bytes - b.pm_read_bytes;
+    pm_write_bytes = a.pm_write_bytes - b.pm_write_bytes;
+    nt_stores = a.nt_stores - b.nt_stores;
+    flushes = a.flushes - b.flushes;
+    fences = a.fences - b.fences;
+    syscalls = a.syscalls - b.syscalls;
+    page_faults = a.page_faults - b.page_faults;
+    page_faults_huge = a.page_faults_huge - b.page_faults_huge;
+    journal_commits = a.journal_commits - b.journal_commits;
+    journal_bytes = a.journal_bytes - b.journal_bytes;
+    relinks = a.relinks - b.relinks;
+    relink_copied_bytes = a.relink_copied_bytes - b.relink_copied_bytes;
+    log_entries = a.log_entries - b.log_entries;
+    staged_bytes = a.staged_bytes - b.staged_bytes;
+    mmap_setups = a.mmap_setups - b.mmap_setups;
+    media_ns = a.media_ns -. b.media_ns;
+    background_ns = a.background_ns -. b.background_ns;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "pm_read=%dB pm_write=%dB nt_stores=%d flushes=%d fences=%d syscalls=%d \
+     faults=%d(huge %d) jcommits=%d jbytes=%d relinks=%d relink_copy=%dB \
+     log_entries=%d staged=%dB mmaps=%d media=%.0fns bg=%.0fns"
+    t.pm_read_bytes t.pm_write_bytes t.nt_stores t.flushes t.fences t.syscalls
+    t.page_faults t.page_faults_huge t.journal_commits t.journal_bytes
+    t.relinks t.relink_copied_bytes t.log_entries t.staged_bytes t.mmap_setups
+    t.media_ns t.background_ns

@@ -1,0 +1,112 @@
+(** Cost model for the simulation, in nanoseconds.
+
+    Media parameters follow Izraelevitz et al. (paper Table 2); software-path
+    parameters are calibrated so that the five append latencies of paper
+    Table 1 are reproduced. Tests pin the calibration (test_timing.ml,
+    bench target [table1]). *)
+
+type t = {
+  (* --- PM media (paper Table 2) --- *)
+  pm_read_seq_lat : float;  (** sequential read, first line of a run *)
+  pm_read_rand_lat : float;  (** random read, first line of a run *)
+  pm_read_bw : float;  (** bytes per ns; 39.4 GB/s *)
+  pm_write_per_byte : float;
+      (** effective non-temporal write cost per byte; calibrated so a 4 KB
+          write costs 671 ns as measured in the paper (§1) *)
+  cache_store_per_byte : float;  (** temporal store into the CPU cache *)
+  cache_read_per_byte : float;  (** load served by the CPU cache *)
+  clwb : float;  (** flush one dirty cache line towards PM *)
+  sfence : float;
+  (* --- DRAM (used by Strata emulation & staging-in-DRAM ablation) --- *)
+  dram_read_lat : float;
+  dram_read_bw : float;  (** bytes per ns; 120 GB/s *)
+  dram_write_per_byte : float;  (** 80 GB/s *)
+  (* --- kernel crossing & VFS --- *)
+  syscall_trap : float;  (** user/kernel mode switch, both ways *)
+  vfs_path : float;  (** VFS dispatch, fd lookup, permission checks *)
+  page_fault : float;  (** minor fault on a 4 KB DAX mapping *)
+  page_fault_huge : float;  (** minor fault on a 2 MB DAX mapping *)
+  (* --- ext4 DAX software path (calibrated) --- *)
+  ext4_alloc_cpu : float;  (** bitmap search + group locking *)
+  ext4_extent_cpu : float;  (** extent-tree lookup/insert *)
+  ext4_inode_cpu : float;  (** inode update, timestamps *)
+  ext4_dir_cpu : float;  (** directory entry manipulation *)
+  ext4_append_cpu : float;
+      (** residual CPU path length of the ext4 DAX append (delalloc,
+          locking, dax iomap); calibrated against Table 1 *)
+  ext4_write_cpu : float;  (** same for a non-allocating overwrite *)
+  ext4_read_cpu : float;
+  journal_block : int;  (** journal IO granularity, bytes *)
+  jbd2_fsync_wait : float;
+      (** latency of waking jbd2 and waiting for a running transaction to
+          commit on fsync; paid only when the fsync has dirty metadata to
+          commit (the relink ioctl commits its transaction synchronously,
+          so SplitFS fsyncs hit the no-wait fast path) *)
+  (* --- PMFS software path (calibrated) --- *)
+  pmfs_op_cpu : float;
+  (* --- NOVA software path (calibrated) --- *)
+  nova_op_cpu : float;
+  nova_alloc_cpu : float;
+  (* --- Strata --- *)
+  strata_op_cpu : float;
+      (** libfs operation path including lease validation against the
+          kernel file-system process *)
+  strata_digest_per_byte : float;  (** coalescing + copy to shared area *)
+  (* --- U-Split (SplitFS user-space library) --- *)
+  usplit_bookkeeping : float;
+      (** fd table, collection-of-mmaps lookup, offset update *)
+  usplit_log_cpu : float;  (** compose + checksum one 64 B log entry *)
+  memcpy_per_byte : float;  (** user-space memcpy DRAM<->cache *)
+  huge_pages_enabled : bool;
+      (** when false, every DAX mapping faults at 4 KB granularity — the
+          fragmentation failure mode of paper §4 ("huge pages are
+          fragile"); used by the huge-page ablation *)
+}
+
+(** Default configuration: Intel Optane DC PMM as characterised by the
+    paper. *)
+let default =
+  {
+    pm_read_seq_lat = 169.;
+    pm_read_rand_lat = 305.;
+    pm_read_bw = 39.4;
+    pm_write_per_byte = 671. /. 4096.;
+    cache_store_per_byte = 0.08;
+    cache_read_per_byte = 0.03;
+    clwb = 70.;
+    sfence = 15.;
+    dram_read_lat = 81.;
+    dram_read_bw = 120.;
+    dram_write_per_byte = 1. /. 80.;
+    syscall_trap = 250.;
+    vfs_path = 350.;
+    page_fault = 1400.;
+    page_fault_huge = 2500.;
+    ext4_alloc_cpu = 400.;
+    ext4_extent_cpu = 300.;
+    ext4_inode_cpu = 150.;
+    ext4_dir_cpu = 400.;
+    ext4_append_cpu = 7000.;
+    ext4_write_cpu = 700.;
+    ext4_read_cpu = 400.;
+    journal_block = 4096;
+    jbd2_fsync_wait = 22000.;
+    pmfs_op_cpu = 2770.;
+    nova_op_cpu = 1300.;
+    nova_alloc_cpu = 250.;
+    strata_op_cpu = 2200.;
+    strata_digest_per_byte = 0.05;
+    usplit_bookkeeping = 480.;
+    usplit_log_cpu = 40.;
+    memcpy_per_byte = 0.03;
+    huge_pages_enabled = true;
+  }
+
+(** Cost of one non-temporal write of [len] bytes to PM. *)
+let nt_write_cost t len = float_of_int len *. t.pm_write_per_byte
+
+(** Cost of reading [len] bytes from PM media, [random] selects the
+    first-access latency. *)
+let pm_read_cost t ~random len =
+  let lat = if random then t.pm_read_rand_lat else t.pm_read_seq_lat in
+  lat +. (float_of_int len /. t.pm_read_bw)

@@ -1,0 +1,1 @@
+lib/workloads/iopattern.ml: Bytes Fsapi Rng

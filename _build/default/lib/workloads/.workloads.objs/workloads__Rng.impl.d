@@ -1,0 +1,1 @@
+lib/workloads/rng.ml: Char Int64 String

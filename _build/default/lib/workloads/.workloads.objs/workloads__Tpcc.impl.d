@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Apps List Printf Rng

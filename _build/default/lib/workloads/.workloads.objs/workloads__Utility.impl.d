@@ -1,0 +1,1 @@
+lib/workloads/utility.ml: Fsapi Hashtbl List Printf Rng String

@@ -1,0 +1,1 @@
+lib/workloads/varmail.ml: Bytes Fsapi Printf

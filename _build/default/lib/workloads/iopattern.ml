@@ -1,0 +1,88 @@
+(** The five file-IO micro-benchmark patterns of Figure 4 (and the append
+    pattern of Table 1 / Figure 3): read or write a whole file in 4 KB
+    operations, sequentially or at random offsets, with an fsync every
+    [fsync_every] writes. *)
+
+type pattern = Seq_read | Rand_read | Seq_write | Rand_write | Append
+
+let pattern_name = function
+  | Seq_read -> "seq-read"
+  | Rand_read -> "rand-read"
+  | Seq_write -> "seq-write"
+  | Rand_write -> "rand-write"
+  | Append -> "append"
+
+type config = { file_size : int; op_size : int; fsync_every : int; seed : int }
+
+let default_config =
+  { file_size = 16 * 1024 * 1024; op_size = 4096; fsync_every = 10; seed = 3 }
+
+let path = "/iopattern-file"
+
+(** Create the input file for the read/overwrite patterns. *)
+let prepare (fs : Fsapi.Fs.t) cfg =
+  let fd = fs.open_ path Fsapi.Flags.create_trunc in
+  let chunk = Bytes.make 65536 'i' in
+  let written = ref 0 in
+  while !written < cfg.file_size do
+    let n = min 65536 (cfg.file_size - !written) in
+    ignore (fs.write fd ~buf:chunk ~boff:0 ~len:n);
+    written := !written + n
+  done;
+  fs.fsync fd;
+  fs.close fd
+
+(** The op loop alone, on an already open fd — this is the section the
+    paper's microbenchmarks time (final fsync/close are outside). Returns
+    the number of operations. *)
+let run_ops (fs : Fsapi.Fs.t) fd cfg pattern =
+  let nops = cfg.file_size / cfg.op_size in
+  let rng = Rng.create cfg.seed in
+  let buf = Bytes.make cfg.op_size 'w' in
+  (match pattern with
+  | Append ->
+      for i = 1 to nops do
+        ignore (fs.write fd ~buf ~boff:0 ~len:cfg.op_size);
+        if i mod cfg.fsync_every = 0 then fs.fsync fd
+      done
+  | Seq_write | Rand_write ->
+      for i = 0 to nops - 1 do
+        let at =
+          match pattern with
+          | Seq_write -> i * cfg.op_size
+          | _ -> Rng.int rng nops * cfg.op_size
+        in
+        ignore (fs.pwrite fd ~buf ~boff:0 ~len:cfg.op_size ~at);
+        if (i + 1) mod cfg.fsync_every = 0 then fs.fsync fd
+      done
+  | Seq_read | Rand_read ->
+      for i = 0 to nops - 1 do
+        let at =
+          match pattern with
+          | Seq_read -> i * cfg.op_size
+          | _ -> Rng.int rng nops * cfg.op_size
+        in
+        ignore (fs.pread fd ~buf ~boff:0 ~len:cfg.op_size ~at)
+      done);
+  nops
+
+(** Open the right file for [pattern]. *)
+let open_for (fs : Fsapi.Fs.t) pattern =
+  match pattern with
+  | Append -> fs.open_ "/iopattern-append" Fsapi.Flags.create_trunc
+  | Seq_write | Rand_write -> fs.open_ path Fsapi.Flags.rdwr
+  | Seq_read | Rand_read -> fs.open_ path Fsapi.Flags.rdonly
+
+let finish (fs : Fsapi.Fs.t) fd pattern =
+  (match pattern with
+  | Append | Seq_write | Rand_write -> fs.fsync fd
+  | Seq_read | Rand_read -> ());
+  fs.close fd;
+  match pattern with Append -> fs.unlink "/iopattern-append" | _ -> ()
+
+(** Whole-benchmark convenience: open, run, fsync, close. *)
+let run (fs : Fsapi.Fs.t) cfg pattern =
+  let fd = open_for fs pattern in
+  let nops = run_ops fs fd cfg pattern in
+  finish fs fd pattern;
+  nops

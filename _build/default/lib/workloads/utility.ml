@@ -1,0 +1,117 @@
+(** Metadata-heavy utility workloads standing in for git, tar and rsync
+    (paper §5.2, §5.9). Each issues the dominant system-call mix of its
+    namesake:
+
+    - git:   many small-file creates, content-addressed object writes,
+             renames into place (git add/commit over a source tree);
+    - tar:   read every file of a tree, append everything to one archive;
+    - rsync: read every file of a tree, recreate it (create + write +
+             fsync) under a destination directory. *)
+
+type result = { files : int; bytes : int }
+
+let file_body rng =
+  (* small, source-code-like files: 256 B – 16 KB *)
+  Rng.payload rng (256 + Rng.int rng 16128)
+
+(** Build a synthetic source tree with [files] files spread over
+    subdirectories; returns the file paths. *)
+let make_tree (fs : Fsapi.Fs.t) ~root ~files ~seed =
+  let rng = Rng.create seed in
+  Fsapi.Fs.mkdir_p fs root;
+  let paths = ref [] in
+  for i = 0 to files - 1 do
+    let dir = Printf.sprintf "%s/d%02d" root (i mod 16) in
+    if i < 16 then Fsapi.Fs.mkdir_p fs dir;
+    let path = Printf.sprintf "%s/f%04d.src" dir i in
+    Fsapi.Fs.write_file fs path (file_body rng);
+    paths := path :: !paths
+  done;
+  List.rev !paths
+
+(** git-like: hash every file's content, write it as an object under a
+    temporary name, fsync, rename into the content-addressed location;
+    finish with tree + commit objects. Repeated [commits] times with small
+    modifications in between. *)
+let git ?(think_bytes = fun (_ : int) -> ()) (fs : Fsapi.Fs.t) ~root ~paths ~commits ~seed =
+  let rng = Rng.create (seed + 1) in
+  let objects = root ^ "/.git/objects" in
+  Fsapi.Fs.mkdir_p fs objects;
+  let bytes = ref 0 and files = ref 0 in
+  for c = 0 to commits - 1 do
+    (* modify a handful of files *)
+    List.iteri
+      (fun i p ->
+        if i mod 7 = c mod 7 then begin
+          let body = file_body rng in
+          Fsapi.Fs.write_file fs p body
+        end)
+      paths;
+    (* add: write an object per (modified) file *)
+    List.iteri
+      (fun i p ->
+        if i mod 7 = c mod 7 then begin
+          let body = Fsapi.Fs.read_file fs p in
+          (* SHA-1 + zlib deflate of the object body *)
+          think_bytes (String.length body);
+          let hash = Printf.sprintf "%08x%04d%02d" (Hashtbl.hash body) i c in
+          let tmp = Printf.sprintf "%s/tmp-%d-%d" objects c i in
+          let fd = fs.open_ tmp Fsapi.Flags.create_trunc in
+          Fsapi.Fs.write_string fs fd body;
+          (* loose objects are not fsynced (git's default of the era) *)
+          fs.close fd;
+          fs.rename tmp (objects ^ "/" ^ hash);
+          bytes := !bytes + String.length body;
+          incr files
+        end)
+      paths;
+    (* commit: tree object + commit object + ref update *)
+    let tree = Printf.sprintf "%s/tree-%08d" objects c in
+    Fsapi.Fs.write_file fs tree (Rng.payload rng 2048);
+    let commit = Printf.sprintf "%s/commit-%08d" objects c in
+    Fsapi.Fs.write_file fs commit (Rng.payload rng 256);
+    let head = root ^ "/.git/HEAD.tmp" in
+    Fsapi.Fs.write_file fs head (Printf.sprintf "ref: %d" c);
+    fs.rename head (root ^ "/.git/HEAD")
+  done;
+  { files = !files; bytes = !bytes }
+
+(** tar-like: read every file and append name + content to one archive. *)
+let tar ?(think_bytes = fun (_ : int) -> ()) (fs : Fsapi.Fs.t) ~paths ~archive =
+  let fd = fs.open_ archive Fsapi.Flags.create_trunc in
+  let bytes = ref 0 in
+  List.iter
+    (fun p ->
+      let body = Fsapi.Fs.read_file fs p in
+      think_bytes (String.length body);
+      let header = Printf.sprintf "%-100s%012d" p (String.length body) in
+      Fsapi.Fs.write_string fs fd header;
+      Fsapi.Fs.write_string fs fd body;
+      bytes := !bytes + String.length body + 112)
+    paths;
+  fs.fsync fd;
+  fs.close fd;
+  { files = List.length paths; bytes = !bytes }
+
+(** rsync-like: copy the tree file by file (read, create, write, fsync). *)
+let rsync ?(think_bytes = fun (_ : int) -> ()) (fs : Fsapi.Fs.t) ~paths ~src_root ~dst_root =
+  Fsapi.Fs.mkdir_p fs dst_root;
+  let bytes = ref 0 in
+  List.iter
+    (fun p ->
+      let body = Fsapi.Fs.read_file fs p in
+      (* rolling + strong checksums *)
+      think_bytes (String.length body);
+      let rel = String.sub p (String.length src_root) (String.length p - String.length src_root) in
+      (* ensure the destination subdirectory exists *)
+      (match String.rindex_opt rel '/' with
+      | Some i -> Fsapi.Fs.mkdir_p fs (dst_root ^ String.sub rel 0 i)
+      | None -> ());
+      let dst = dst_root ^ rel in
+      let fd = fs.open_ dst Fsapi.Flags.create_trunc in
+      Fsapi.Fs.write_string fs fd body;
+      (* rsync does not fsync destination files by default *)
+      fs.close fd;
+      bytes := !bytes + String.length body)
+    paths;
+  { files = List.length paths; bytes = !bytes }

@@ -1,0 +1,60 @@
+(** The Table 6 micro-benchmark: a FileBench-Varmail-like sequence that
+    exercises every system call the paper reports latencies for.
+
+    Per iteration (paper §5.4): create a file and append 16 KB as four 4 KB
+    appends each followed by fsync; close; open; read the whole file in
+    one call; close; open and close once more; finally unlink. Latencies
+    are measured on the simulated clock and averaged per call type. *)
+
+type latencies = {
+  open_ns : float;
+  close_ns : float;
+  append_ns : float;
+  fsync_ns : float;
+  read_ns : float;
+  unlink_ns : float;
+}
+
+let run (fs : Fsapi.Fs.t) ~(now : unit -> float) ~iterations =
+  let opens = ref 0. and nopen = ref 0 in
+  let closes = ref 0. and nclose = ref 0 in
+  let appends = ref 0. and nappend = ref 0 in
+  let fsyncs = ref 0. and nfsync = ref 0 in
+  let reads = ref 0. and nread = ref 0 in
+  let unlinks = ref 0. and nunlink = ref 0 in
+  let timed acc n f =
+    let t0 = now () in
+    let x = f () in
+    acc := !acc +. (now () -. t0);
+    incr n;
+    x
+  in
+  let block = Bytes.make 4096 'v' in
+  for i = 0 to iterations - 1 do
+    let path = Printf.sprintf "/varmail-%d" i in
+    let fd =
+      timed opens nopen (fun () -> fs.open_ path Fsapi.Flags.create_rw)
+    in
+    for _ = 1 to 4 do
+      ignore
+        (timed appends nappend (fun () -> fs.write fd ~buf:block ~boff:0 ~len:4096));
+      timed fsyncs nfsync (fun () -> fs.fsync fd)
+    done;
+    timed closes nclose (fun () -> fs.close fd);
+    let fd = timed opens nopen (fun () -> fs.open_ path Fsapi.Flags.rdonly) in
+    let buf = Bytes.create 16384 in
+    ignore (timed reads nread (fun () -> fs.pread fd ~buf ~boff:0 ~len:16384 ~at:0));
+    timed closes nclose (fun () -> fs.close fd);
+    let fd = timed opens nopen (fun () -> fs.open_ path Fsapi.Flags.rdonly) in
+    timed closes nclose (fun () -> fs.close fd);
+    timed unlinks nunlink (fun () -> fs.unlink path)
+  done;
+  let avg acc n = !acc /. float_of_int (max 1 !n) in
+  {
+    open_ns = avg opens nopen;
+    close_ns = avg closes nclose;
+    append_ns = avg appends nappend;
+    fsync_ns = avg fsyncs nfsync;
+    read_ns = avg reads nread;
+    unlink_ns = avg unlinks nunlink;
+  }

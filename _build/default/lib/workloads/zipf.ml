@@ -1,0 +1,46 @@
+(** Zipfian distribution over [0, n) using the Gray et al. rejection-free
+    method YCSB itself uses (constant-time sampling after O(1) setup). *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  zeta2 : float;
+}
+
+let zeta n theta =
+  let s = ref 0. in
+  for i = 1 to n do
+    s := !s +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !s
+
+let create ?(theta = 0.99) n =
+  assert (n > 0);
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  {
+    n;
+    theta;
+    alpha = 1. /. (1. -. theta);
+    zetan;
+    eta =
+      (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+      /. (1. -. (zeta2 /. zetan));
+    zeta2;
+  }
+
+(** Sample a rank in [0, n); rank 0 is the most popular item. *)
+let sample t rng =
+  let u = Rng.float rng in
+  let uz = u *. t.zetan in
+  if uz < 1. then 0
+  else if uz < 1. +. Float.pow 0.5 t.theta then 1
+  else
+    let v =
+      float_of_int t.n
+      *. Float.pow ((t.eta *. u) -. t.eta +. 1.) t.alpha
+    in
+    min (t.n - 1) (int_of_float v)

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Alloc Fsapi Gen Hashtbl Kernelfs List QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Bytes Fsapi Gen Hashtbl Int32 List Pmem Printf QCheck QCheck_alcotest Splitfs String Util

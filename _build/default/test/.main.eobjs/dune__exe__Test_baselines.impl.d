@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Bytes Fsapi List Pmem Printf QCheck QCheck_alcotest Splitfs String Test_ext4 Util

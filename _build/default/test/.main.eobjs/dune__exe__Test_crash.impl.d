@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bytes Fsapi Kernelfs List Pmem QCheck QCheck_alcotest Splitfs String Test_ext4 Util

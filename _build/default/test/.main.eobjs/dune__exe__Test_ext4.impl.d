@@ -1,0 +1,1 @@
+test/test_ext4.ml: Alcotest Bytes Fsapi Kernelfs List Pmem Printf QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_extent_tree.ml: Alcotest Extent_tree Gen Hashtbl Kernelfs List Option QCheck QCheck_alcotest Test Util

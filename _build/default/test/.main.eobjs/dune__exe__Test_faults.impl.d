@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Baselines Bytes Fsapi Kernelfs List Pmem Printf Splitfs String Util

@@ -1,0 +1,1 @@
+test/test_fsapi.ml: Alcotest Apps Fsapi Kernelfs List Pmem Printexc Splitfs Util Workloads

@@ -1,0 +1,1 @@
+test/test_oplog.ml: Alcotest Bytes Char Fsapi Kernelfs List Oplog Pmem QCheck QCheck_alcotest Splitfs Util

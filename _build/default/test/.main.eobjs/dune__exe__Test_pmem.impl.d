@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Bytes Device Env Gen Pmem QCheck QCheck_alcotest Stats String Util

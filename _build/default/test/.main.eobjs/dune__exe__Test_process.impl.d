@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Bytes Fsapi Kernelfs List Splitfs Util

@@ -1,0 +1,1 @@
+test/test_splitfs.ml: Alcotest Bytes Fsapi Kernelfs List Pmem Printf QCheck QCheck_alcotest Splitfs String Test_ext4 Util

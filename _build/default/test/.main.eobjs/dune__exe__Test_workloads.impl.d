@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Apps Array Fsapi Hashtbl List Option Pmem Printf String Util Workloads

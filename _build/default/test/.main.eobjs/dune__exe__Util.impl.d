@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Char Fsapi Kernelfs Pmem Splitfs String

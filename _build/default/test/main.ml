@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "splitfs-repro"
+    [
+      ("pmem", Test_pmem.suite);
+      ("fsapi", Test_fsapi.suite);
+      ("alloc", Test_alloc.suite);
+      ("extent-tree", Test_extent_tree.suite);
+      ("ext4", Test_ext4.suite);
+      ("splitfs", Test_splitfs.suite);
+      ("baselines", Test_baselines.suite);
+      ("oplog", Test_oplog.suite);
+      ("crash", Test_crash.suite);
+      ("apps", Test_apps.suite);
+      ("workloads", Test_workloads.suite);
+      ("faults", Test_faults.suite);
+      ("process", Test_process.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,135 @@
+(** Block allocator: unit tests and allocation-invariant properties. *)
+
+open Kernelfs
+
+let tc = Alcotest.test_case
+
+let test_basic_alloc_free () =
+  let a = Alloc.create ~nblocks:100 in
+  let start, n = Alloc.alloc_extent a ~goal:(-1) ~len:10 in
+  Util.check_int "got 10 contiguous" 10 n;
+  Util.check_int "free count" 90 (Alloc.free_blocks a);
+  Alloc.free_extent a ~start ~len:n;
+  Util.check_int "freed" 100 (Alloc.free_blocks a)
+
+let test_goal_preference () =
+  let a = Alloc.create ~nblocks:100 in
+  let s1, _ = Alloc.alloc_extent a ~goal:(-1) ~len:5 in
+  (* goal right after the previous extent should be honoured *)
+  let s2, _ = Alloc.alloc_extent a ~goal:(s1 + 5) ~len:5 in
+  Util.check_int "contiguous with goal" (s1 + 5) s2
+
+let test_enospc () =
+  let a = Alloc.create ~nblocks:8 in
+  let _ = Alloc.alloc_extent a ~goal:(-1) ~len:8 in
+  Alcotest.check_raises "full device"
+    (Fsapi.Errno.Error (Fsapi.Errno.ENOSPC, "alloc_extent"))
+    (fun () -> ignore (Alloc.alloc_extent a ~goal:(-1) ~len:1))
+
+let test_partial_extent () =
+  let a = Alloc.create ~nblocks:16 in
+  let _ = Alloc.alloc_extent a ~goal:0 ~len:8 in
+  (* only 8 contiguous remain; asking for 12 yields a shorter run *)
+  let _, n = Alloc.alloc_extent a ~goal:(-1) ~len:12 in
+  Util.check_int "short run" 8 n
+
+let test_alloc_many () =
+  let a = Alloc.create ~nblocks:64 in
+  (* fragment: allocate alternating blocks *)
+  let held = ref [] in
+  for i = 0 to 15 do
+    let s, n = Alloc.alloc_extent a ~goal:(i * 2) ~len:1 in
+    held := (s, n) :: !held
+  done;
+  let extents = Alloc.alloc_many a ~goal:(-1) ~len:20 in
+  Util.check_int "total blocks" 20
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 extents)
+
+let test_aligned () =
+  let a = Alloc.create ~nblocks:2048 in
+  let _ = Alloc.alloc_extent a ~goal:(-1) ~len:3 in
+  match Alloc.alloc_aligned a ~align:512 ~len:512 with
+  | Some start ->
+      Util.check_int "aligned" 0 (start mod 512);
+      Alcotest.(check bool) "allocated" true (Alloc.is_allocated a start)
+  | None -> Alcotest.fail "expected an aligned region"
+
+let test_aligned_fragmentation () =
+  let a = Alloc.create ~nblocks:1024 in
+  (* poison every 512-aligned block so no aligned 512-run exists *)
+  let s0, _ = Alloc.alloc_extent a ~goal:0 ~len:1 in
+  let s1, _ = Alloc.alloc_extent a ~goal:512 ~len:1 in
+  Util.check_int "s0" 0 s0;
+  Util.check_int "s1" 512 s1;
+  Alcotest.(check (option int)) "no aligned run" None
+    (Alloc.alloc_aligned a ~align:512 ~len:512)
+
+let test_double_free_detected () =
+  let a = Alloc.create ~nblocks:16 in
+  let s, n = Alloc.alloc_extent a ~goal:(-1) ~len:4 in
+  Alloc.free_extent a ~start:s ~len:n;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Alloc.free_extent: double free") (fun () ->
+      Alloc.free_extent a ~start:s ~len:n)
+
+let test_fragmentation_metric () =
+  let a = Alloc.create ~nblocks:64 in
+  Alcotest.(check (float 0.001)) "fresh device unfragmented" 0.
+    (Alloc.fragmentation a ~run:16);
+  (* carve holes of size 1 *)
+  for i = 0 to 31 do
+    ignore (Alloc.alloc_extent a ~goal:(i * 2) ~len:1)
+  done;
+  Alcotest.(check bool) "fully fragmented for runs of 2" true
+    (Alloc.fragmentation a ~run:2 = 1.0)
+
+let prop_no_double_allocation =
+  QCheck.Test.make ~name:"allocator never hands out a block twice" ~count:100
+    QCheck.(make Gen.(list_size (int_range 1 60) (int_range 1 12)))
+    (fun sizes ->
+      let a = Alloc.create ~nblocks:256 in
+      let owned = Hashtbl.create 64 in
+      let ok = ref true in
+      let enospc = ref false in
+      (try
+         List.iter
+           (fun len ->
+             let extents = Alloc.alloc_many a ~goal:(-1) ~len in
+             List.iter
+               (fun (s, n) ->
+                 for b = s to s + n - 1 do
+                   if Hashtbl.mem owned b then ok := false;
+                   Hashtbl.replace owned b ()
+                 done)
+               extents)
+           sizes
+       with Fsapi.Errno.Error (Fsapi.Errno.ENOSPC, _) ->
+         (* a failing alloc_many may have grabbed some extents before
+            running out, so the used-count check no longer applies *)
+         enospc := true);
+      !ok
+      && (!enospc || Alloc.used_blocks a = Hashtbl.length owned))
+
+let prop_free_then_alloc_reuses =
+  QCheck.Test.make ~name:"freed blocks are reusable" ~count:50
+    QCheck.(int_range 1 64)
+    (fun len ->
+      let a = Alloc.create ~nblocks:64 in
+      let extents = Alloc.alloc_many a ~goal:(-1) ~len in
+      List.iter (fun (s, n) -> Alloc.free_extent a ~start:s ~len:n) extents;
+      Alloc.free_blocks a = 64)
+
+let suite =
+  [
+    tc "alloc and free" `Quick test_basic_alloc_free;
+    tc "goal preference" `Quick test_goal_preference;
+    tc "ENOSPC" `Quick test_enospc;
+    tc "partial extent on fragmentation" `Quick test_partial_extent;
+    tc "alloc_many over fragmentation" `Quick test_alloc_many;
+    tc "aligned allocation" `Quick test_aligned;
+    tc "aligned allocation fails when fragmented" `Quick test_aligned_fragmentation;
+    tc "double free detected" `Quick test_double_free_detected;
+    tc "fragmentation metric" `Quick test_fragmentation_metric;
+    QCheck_alcotest.to_alcotest prop_no_double_allocation;
+    QCheck_alcotest.to_alcotest prop_free_then_alloc_reuses;
+  ]

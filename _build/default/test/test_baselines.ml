@@ -1,0 +1,188 @@
+(** Baseline PM file systems (NOVA, PMFS, Strata): functional correctness
+    (equivalence with the reference model) plus the protocol properties the
+    paper's comparisons rest on — NOVA's two-fence logging, Strata's 2×
+    write amplification on appends, digest visibility. *)
+
+let tc = Alcotest.test_case
+
+let make_nova ?(mode = Baselines.Nova.Strict) () =
+  let env = Util.make_env () in
+  (env, Baselines.Nova.as_fsapi (Baselines.Nova.mkfs env ~mode))
+
+let make_pmfs () =
+  let env = Util.make_env () in
+  (env, Baselines.Pmfs.as_fsapi (Baselines.Pmfs.mkfs env))
+
+let make_strata ?log_len () =
+  let env = Util.make_env () in
+  let s = Baselines.Strata.mkfs ?log_len env in
+  (env, s, Baselines.Strata.as_fsapi s)
+
+let all_baselines () =
+  [
+    snd (make_nova ~mode:Baselines.Nova.Strict ());
+    snd (make_nova ~mode:Baselines.Nova.Relaxed ());
+    snd (make_pmfs ());
+    (fun (_, _, fs) -> fs) (make_strata ());
+  ]
+
+let test_roundtrips () =
+  List.iter
+    (fun (fs : Fsapi.Fs.t) ->
+      let content = Util.pattern ~seed:3 20000 in
+      let got = Util.fs_write_read_roundtrip fs "/x" content in
+      Util.check_str (fs.fs_name ^ ": roundtrip") content got)
+    (all_baselines ())
+
+let test_namespace_ops () =
+  List.iter
+    (fun (fs : Fsapi.Fs.t) ->
+      fs.mkdir "/d";
+      Fsapi.Fs.write_file fs "/d/a" "one";
+      fs.rename "/d/a" "/d/b";
+      Util.check_str (fs.fs_name ^ ": rename") "one" (Fsapi.Fs.read_file fs "/d/b");
+      fs.unlink "/d/b";
+      Alcotest.(check (list string)) (fs.fs_name ^ ": empty") [] (fs.readdir "/d"))
+    (all_baselines ())
+
+let test_nova_strict_cow_reuses_space () =
+  let env, fs = make_nova ~mode:Baselines.Nova.Strict () in
+  Fsapi.Fs.write_file fs "/c" (String.make 16384 'a');
+  let fd = fs.open_ "/c" Fsapi.Flags.rdwr in
+  (* overwrite the same block many times; COW must free old blocks, so
+     space consumption stays bounded *)
+  let buf = Bytes.make 4096 'b' in
+  for _ = 1 to 50 do
+    ignore (fs.pwrite fd ~buf ~boff:0 ~len:4096 ~at:0)
+  done;
+  fs.close fd;
+  Util.check_str "content correct"
+    (String.make 4096 'b' ^ String.make 12288 'a')
+    (Fsapi.Fs.read_file fs "/c");
+  ignore env
+
+let test_nova_two_fences_per_write () =
+  let env, fs = make_nova ~mode:Baselines.Nova.Strict () in
+  Fsapi.Fs.write_file fs "/f" (String.make 4096 'x');
+  let fd = fs.open_ "/f" Fsapi.Flags.rdwr in
+  let f0 = env.Pmem.Env.stats.Pmem.Stats.fences in
+  let buf = Bytes.make 4096 'y' in
+  ignore (fs.pwrite fd ~buf ~boff:0 ~len:4096 ~at:0);
+  let f1 = env.Pmem.Env.stats.Pmem.Stats.fences in
+  (* the paper: NOVA issues two fences per logged operation (§3.3) *)
+  Util.check_int "two fences" 2 (f1 - f0);
+  fs.close fd
+
+let test_strata_write_amplification () =
+  (* append-heavy workload: Strata must write the data about twice (log +
+     digest), SplitFS about once (staging + relink) — Table 7's point *)
+  let payload = 512 * 1024 in
+  (* measure only the workload: setup (log zeroing, staging pre-allocation)
+     is excluded, as the paper measures steady-state write IO *)
+  let run env (fs : Fsapi.Fs.t) =
+    let fd = fs.open_ "/app" Fsapi.Flags.create_rw in
+    let w0 = env.Pmem.Env.stats.Pmem.Stats.pm_write_bytes in
+    let buf = Bytes.make 4096 'a' in
+    for _ = 1 to payload / 4096 do
+      ignore (fs.write fd ~buf ~boff:0 ~len:4096)
+    done;
+    fs.fsync fd;
+    fs.close fd;
+    env.Pmem.Env.stats.Pmem.Stats.pm_write_bytes - w0
+  in
+  let strata_writes =
+    let env, s, fs = make_strata ~log_len:(256 * 1024) () in
+    let fd = fs.open_ "/warm" Fsapi.Flags.create_rw in
+    let w0 = env.Pmem.Env.stats.Pmem.Stats.pm_write_bytes in
+    let buf = Bytes.make 4096 'a' in
+    for _ = 1 to payload / 4096 do
+      ignore (fs.write fd ~buf ~boff:0 ~len:4096)
+    done;
+    fs.fsync fd;
+    (* the tail of the log is eventually digested too *)
+    Baselines.Strata.digest_now s;
+    fs.close fd;
+    env.Pmem.Env.stats.Pmem.Stats.pm_write_bytes - w0
+  in
+  let splitfs_writes =
+    let env, _, _, _, fs = Util.make_splitfs ~mode:Splitfs.Config.Strict () in
+    run env fs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "strata(%d) writes ~2x splitfs(%d)" strata_writes
+       splitfs_writes)
+    true
+    (float_of_int strata_writes > 1.5 *. float_of_int splitfs_writes)
+
+let test_strata_digest_correctness () =
+  (* log far smaller than the data: many digests, data must survive *)
+  let env, s, fs = make_strata ~log_len:(128 * 1024) () in
+  let content = Util.pattern ~seed:17 (400 * 1024) in
+  let got = Util.fs_write_read_roundtrip fs "/big" content in
+  Util.check_str "content survives digests" content got;
+  Alcotest.(check bool) "digests happened" true (Baselines.Strata.digests s > 0);
+  ignore env
+
+let test_strata_no_trap_on_write () =
+  let env, _s, fs = make_strata () in
+  let fd = fs.open_ "/t" Fsapi.Flags.create_rw in
+  let t0 = env.Pmem.Env.stats.Pmem.Stats.syscalls in
+  let buf = Bytes.make 4096 'z' in
+  ignore (fs.write fd ~buf ~boff:0 ~len:4096);
+  Util.check_int "no kernel traps on the data path" t0
+    env.Pmem.Env.stats.Pmem.Stats.syscalls;
+  fs.close fd
+
+let test_pmfs_sync_no_fsync_needed () =
+  let env, fs = make_pmfs () in
+  let fd = fs.open_ "/s" Fsapi.Flags.create_rw in
+  let buf = Bytes.make 1000 's' in
+  ignore (fs.write fd ~buf ~boff:0 ~len:1000);
+  (* synchronous: after the write returns, nothing volatile remains *)
+  Util.check_int "no dirty lines" 0 (Pmem.Device.dirty_lines env.Pmem.Env.dev);
+  fs.close fd
+
+let prop_baseline_matches_reference make name =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s matches reference FS" name)
+    ~count:40 Test_ext4.arb_ops
+    (fun ops ->
+      let fs = make () in
+      let reference = Fsapi.Ref_fs.make () in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          let a = Test_ext4.apply_op fs op in
+          let b = Test_ext4.apply_op reference op in
+          if a <> b then ok := false)
+        ops;
+      !ok && Test_ext4.final_states_agree fs reference)
+
+let suite =
+  [
+    tc "roundtrips on every baseline" `Quick test_roundtrips;
+    tc "namespace ops on every baseline" `Quick test_namespace_ops;
+    tc "NOVA strict COW bounds space" `Quick test_nova_strict_cow_reuses_space;
+    tc "NOVA: two fences per op" `Quick test_nova_two_fences_per_write;
+    tc "Strata: ~2x write amplification on appends" `Quick
+      test_strata_write_amplification;
+    tc "Strata: digest preserves data" `Quick test_strata_digest_correctness;
+    tc "Strata: user-space data path" `Quick test_strata_no_trap_on_write;
+    tc "PMFS: synchronous writes" `Quick test_pmfs_sync_no_fsync_needed;
+    QCheck_alcotest.to_alcotest
+      (prop_baseline_matches_reference
+         (fun () -> snd (make_nova ~mode:Baselines.Nova.Strict ()))
+         "nova-strict");
+    QCheck_alcotest.to_alcotest
+      (prop_baseline_matches_reference
+         (fun () -> snd (make_nova ~mode:Baselines.Nova.Relaxed ()))
+         "nova-relaxed");
+    QCheck_alcotest.to_alcotest
+      (prop_baseline_matches_reference (fun () -> snd (make_pmfs ())) "pmfs");
+    QCheck_alcotest.to_alcotest
+      (prop_baseline_matches_reference
+         (fun () ->
+           let _, _, fs = make_strata () in
+           fs)
+         "strata");
+  ]

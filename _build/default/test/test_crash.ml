@@ -1,0 +1,202 @@
+(** Crash consistency and recovery (paper §3.2 Table 3, §5.3).
+
+    Crash = drop all unflushed cache lines (the device's dirty lines) and
+    discard all U-Split volatile state; kernel metadata survives because
+    every kernel operation commits its journal transaction before
+    returning. Recovery = ext4 journal recovery (implicit) + operation-log
+    replay ({!Splitfs.Recovery}). *)
+
+let tc = Alcotest.test_case
+
+(** Build a splitfs stack, run [work] against it, crash, recover, and hand
+    a fresh post-crash kernel view to [check]. *)
+let crash_scenario ~mode work check =
+  let env, kfs, sys, u, fs = Util.make_splitfs ~mode () in
+  work u fs;
+  Pmem.Device.crash env.Pmem.Env.dev;
+  (* all U-Split DRAM state (fd table, shadows, tails) dies with the crash;
+     only [sys]'s durable kernel state and the device remain *)
+  let report = Splitfs.Recovery.recover ~sys ~env ~instance:0 in
+  check report (Kernelfs.Syscall.as_fsapi sys);
+  ignore kfs
+
+let kread fs path = Fsapi.Fs.read_file fs path
+
+let test_strict_appends_survive_crash_without_fsync () =
+  crash_scenario ~mode:Splitfs.Config.Strict
+    (fun _u fs ->
+      let fd = fs.open_ "/wal" Fsapi.Flags.create_rw in
+      for i = 0 to 9 do
+        Fsapi.Fs.write_string fs fd (Util.pattern ~seed:i 1000)
+      done
+      (* no fsync, no close: strict mode still makes each append atomic,
+         synchronous and durable *))
+    (fun report fs ->
+      Alcotest.(check bool) "entries replayed" true (report.Splitfs.Recovery.entries_replayed > 0);
+      let expect =
+        String.concat "" (List.init 10 (fun i -> Util.pattern ~seed:i 1000))
+      in
+      Util.check_str "all appends recovered" expect (kread fs "/wal"))
+
+let test_sync_appends_survive_crash () =
+  crash_scenario ~mode:Splitfs.Config.Sync
+    (fun _u fs ->
+      let fd = fs.open_ "/s" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd (String.make 5000 'q'))
+    (fun _report fs ->
+      Util.check_str "synchronous appends durable" (String.make 5000 'q')
+        (kread fs "/s"))
+
+let test_posix_unsynced_appends_lost () =
+  crash_scenario ~mode:Splitfs.Config.Posix
+    (fun _u fs ->
+      let fd = fs.open_ "/p" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd "vanishes")
+    (fun report fs ->
+      (* POSIX appends need an fsync; without one the file exists (create
+         was a kernel op) but is empty after recovery *)
+      Util.check_int "nothing to replay" 0 report.Splitfs.Recovery.entries_replayed;
+      Util.check_str "no data" "" (kread fs "/p"))
+
+let test_posix_fsynced_appends_survive () =
+  crash_scenario ~mode:Splitfs.Config.Posix
+    (fun _u fs ->
+      let fd = fs.open_ "/pf" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd "persisted";
+      fs.fsync fd)
+    (fun _report fs -> Util.check_str "survived" "persisted" (kread fs "/pf"))
+
+let test_strict_overwrite_survives () =
+  crash_scenario ~mode:Splitfs.Config.Strict
+    (fun _u fs ->
+      Fsapi.Fs.write_file fs "/ow" (String.make 8192 'o');
+      let fd = fs.open_ "/ow" Fsapi.Flags.rdwr in
+      fs.fsync fd;
+      Fsapi.Fs.pwrite_string fs fd "MID" ~at:4000
+      (* no fsync: strict overwrites are synchronous + atomic *))
+    (fun _report fs ->
+      let s = kread fs "/ow" in
+      Util.check_str "overwrite present" "MID" (String.sub s 4000 3);
+      Util.check_str "neighbours intact" "oo" (String.sub s 3998 2))
+
+let test_relinked_entries_not_replayed () =
+  crash_scenario ~mode:Splitfs.Config.Strict
+    (fun _u fs ->
+      let fd = fs.open_ "/done" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd "settled";
+      fs.fsync fd)
+    (fun report fs ->
+      Util.check_int "nothing pending" 0 report.Splitfs.Recovery.entries_replayed;
+      Util.check_str "data present" "settled" (kread fs "/done"))
+
+let test_truncate_bounds_replay () =
+  crash_scenario ~mode:Splitfs.Config.Strict
+    (fun _u fs ->
+      let fd = fs.open_ "/tb" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd (String.make 6000 'a');
+      fs.ftruncate fd 2000)
+    (fun _report fs ->
+      let s = kread fs "/tb" in
+      Util.check_int "truncated length" 2000 (String.length s);
+      Alcotest.(check bool) "content" true (String.for_all (fun c -> c = 'a') s))
+
+let test_unlink_cancels_replay () =
+  crash_scenario ~mode:Splitfs.Config.Strict
+    (fun _u fs ->
+      let fd = fs.open_ "/gone" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd "dead data";
+      fs.close fd |> ignore;
+      fs.unlink "/gone")
+    (fun _report fs ->
+      Alcotest.(check bool) "file stays deleted" false (Fsapi.Fs.exists fs "/gone"))
+
+let test_replay_is_idempotent () =
+  let env, _kfs, sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Strict () in
+  let fd = fs.open_ "/idem" Fsapi.Flags.create_rw in
+  Fsapi.Fs.write_string fs fd (Util.pattern ~seed:42 9000);
+  Pmem.Device.crash env.Pmem.Env.dev;
+  let r1 = Splitfs.Recovery.recover ~sys ~env ~instance:0 in
+  let kfs_view = Kernelfs.Syscall.as_fsapi sys in
+  let after1 = kread kfs_view "/idem" in
+  (* crash again during/after recovery and recover once more *)
+  Pmem.Device.crash env.Pmem.Env.dev;
+  let r2 = Splitfs.Recovery.recover ~sys ~env ~instance:0 in
+  let after2 = kread kfs_view "/idem" in
+  Util.check_str "same state after double recovery" after1 after2;
+  Alcotest.(check bool) "first replayed" true (r1.Splitfs.Recovery.entries_replayed > 0);
+  Util.check_int "second recovery found clean log" 0 r2.Splitfs.Recovery.entries_scanned
+
+let test_torn_tail_entry_skipped () =
+  let env, _kfs, sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Strict () in
+  let fd = fs.open_ "/torn" Fsapi.Flags.create_rw in
+  Fsapi.Fs.write_string fs fd "good data!";
+  (* simulate a torn final entry: garbage bytes after the valid entries *)
+  (match Splitfs.Usplit.oplog _u with
+  | Some log ->
+      let used = Splitfs.Oplog.entries_written log * 64 in
+      let kfd = Kernelfs.Syscall.open_ sys (Splitfs.Oplog.path log) Fsapi.Flags.rdwr in
+      let junk = Bytes.make 17 '\xCD' in
+      ignore (Kernelfs.Syscall.pwrite sys kfd ~buf:junk ~boff:0 ~len:17 ~at:used);
+      Kernelfs.Syscall.close sys kfd
+  | None -> Alcotest.fail "no oplog");
+  Pmem.Device.crash env.Pmem.Env.dev;
+  let report = Splitfs.Recovery.recover ~sys ~env ~instance:0 in
+  Util.check_int "torn entry detected" 1 report.Splitfs.Recovery.torn_entries;
+  Util.check_str "valid prefix replayed" "good data!"
+    (kread (Kernelfs.Syscall.as_fsapi sys) "/torn")
+
+let test_remount_after_recovery () =
+  (* after crash + recovery, a fresh U-Split instance must serve the data *)
+  let env, _kfs, sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Strict () in
+  let fd = fs.open_ "/rm" Fsapi.Flags.create_rw in
+  Fsapi.Fs.write_string fs fd "before crash";
+  Pmem.Device.crash env.Pmem.Env.dev;
+  ignore (Splitfs.Recovery.recover ~sys ~env ~instance:0);
+  let u2 =
+    Splitfs.Usplit.mount
+      ~cfg:(Util.small_splitfs_cfg Splitfs.Config.Strict)
+      ~sys ~env ~instance:1 ()
+  in
+  let fs2 = Splitfs.Usplit.as_fsapi u2 in
+  Util.check_str "fresh mount reads recovered data" "before crash"
+    (Fsapi.Fs.read_file fs2 "/rm")
+
+(* property: random op sequence + crash at a random point, recovered state
+   must equal the state of a reference run that stops at the same point *)
+let prop_strict_crash_recovers_everything =
+  QCheck.Test.make
+    ~name:"strict: crash at any point loses nothing (synchronous + atomic)"
+    ~count:25
+    QCheck.(pair Test_ext4.arb_ops (int_bound 100))
+    (fun (ops, cut_pct) ->
+      let cut = List.length ops * cut_pct / 100 in
+      let prefix = List.filteri (fun i _ -> i < cut) ops in
+      let env, _kfs, sys, _u, fs =
+        Util.make_splitfs ~mode:Splitfs.Config.Strict ()
+      in
+      let reference = Fsapi.Ref_fs.make () in
+      List.iter
+        (fun op ->
+          ignore (Test_ext4.apply_op fs op);
+          ignore (Test_ext4.apply_op reference op))
+        prefix;
+      Pmem.Device.crash env.Pmem.Env.dev;
+      ignore (Splitfs.Recovery.recover ~sys ~env ~instance:0);
+      Test_ext4.final_states_agree (Kernelfs.Syscall.as_fsapi sys) reference)
+
+let suite =
+  [
+    tc "strict: appends survive crash without fsync" `Quick
+      test_strict_appends_survive_crash_without_fsync;
+    tc "sync: appends survive crash" `Quick test_sync_appends_survive_crash;
+    tc "posix: unsynced appends are lost" `Quick test_posix_unsynced_appends_lost;
+    tc "posix: fsynced appends survive" `Quick test_posix_fsynced_appends_survive;
+    tc "strict: overwrites survive crash" `Quick test_strict_overwrite_survives;
+    tc "relinked entries are not replayed" `Quick test_relinked_entries_not_replayed;
+    tc "truncate bounds replay" `Quick test_truncate_bounds_replay;
+    tc "unlink cancels replay" `Quick test_unlink_cancels_replay;
+    tc "replay is idempotent" `Quick test_replay_is_idempotent;
+    tc "torn tail entry skipped" `Quick test_torn_tail_entry_skipped;
+    tc "fresh mount after recovery" `Quick test_remount_after_recovery;
+    QCheck_alcotest.to_alcotest prop_strict_crash_recovers_everything;
+  ]

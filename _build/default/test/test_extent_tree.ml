@@ -1,0 +1,139 @@
+(** Extent tree: unit tests plus a model-based property test against a
+    per-block reference map. *)
+
+open Kernelfs
+
+let tc = Alcotest.test_case
+
+let test_insert_find () =
+  let t = Extent_tree.create () in
+  Extent_tree.insert t ~logical:10 ~physical:100 ~len:5;
+  (match Extent_tree.find t 12 with
+  | Some (phys, run) ->
+      Util.check_int "physical" 102 phys;
+      Util.check_int "run" 3 run
+  | None -> Alcotest.fail "expected mapping");
+  Alcotest.(check (option (pair int int))) "hole" None (Extent_tree.find t 15);
+  Alcotest.(check (option (pair int int))) "hole below" None (Extent_tree.find t 9)
+
+let test_merge_adjacent () =
+  let t = Extent_tree.create () in
+  Extent_tree.insert t ~logical:0 ~physical:50 ~len:4;
+  Extent_tree.insert t ~logical:4 ~physical:54 ~len:4;
+  Util.check_int "merged into one extent" 1 (Extent_tree.count t);
+  Util.check_int "blocks" 8 (Extent_tree.blocks t)
+
+let test_no_merge_when_phys_disjoint () =
+  let t = Extent_tree.create () in
+  Extent_tree.insert t ~logical:0 ~physical:50 ~len:4;
+  Extent_tree.insert t ~logical:4 ~physical:90 ~len:4;
+  Util.check_int "two extents" 2 (Extent_tree.count t)
+
+let test_merge_before () =
+  let t = Extent_tree.create () in
+  Extent_tree.insert t ~logical:4 ~physical:54 ~len:4;
+  Extent_tree.insert t ~logical:0 ~physical:50 ~len:4;
+  Util.check_int "merged backward" 1 (Extent_tree.count t)
+
+let test_overlap_rejected () =
+  let t = Extent_tree.create () in
+  Extent_tree.insert t ~logical:0 ~physical:10 ~len:10;
+  Alcotest.check_raises "overlap" (Invalid_argument "Extent_tree.insert: overlap")
+    (fun () -> Extent_tree.insert t ~logical:5 ~physical:99 ~len:2)
+
+let test_remove_middle_splits () =
+  let t = Extent_tree.create () in
+  Extent_tree.insert t ~logical:0 ~physical:100 ~len:10;
+  let removed = Extent_tree.remove_range t ~logical:3 ~len:4 in
+  Util.check_int "one removed extent" 1 (List.length removed);
+  let r = List.hd removed in
+  Util.check_int "removed physical" 103 r.Extent_tree.physical;
+  Util.check_int "removed len" 4 r.Extent_tree.len;
+  (* left and right remainders survive *)
+  (match Extent_tree.find t 0 with
+  | Some (p, run) ->
+      Util.check_int "left phys" 100 p;
+      Util.check_int "left run" 3 run
+  | None -> Alcotest.fail "left");
+  (match Extent_tree.find t 7 with
+  | Some (p, run) ->
+      Util.check_int "right phys" 107 p;
+      Util.check_int "right run" 3 run
+  | None -> Alcotest.fail "right");
+  Alcotest.(check (option (pair int int))) "hole" None (Extent_tree.find t 4);
+  Alcotest.(check bool) "invariants" true (Extent_tree.check_invariants t)
+
+let test_remove_across_extents () =
+  let t = Extent_tree.create () in
+  Extent_tree.insert t ~logical:0 ~physical:100 ~len:4;
+  Extent_tree.insert t ~logical:8 ~physical:200 ~len:4;
+  let removed = Extent_tree.remove_range t ~logical:2 ~len:8 in
+  Util.check_int "two pieces" 2 (List.length removed);
+  Util.check_int "remaining" 4 (Extent_tree.blocks t)
+
+let test_next_mapped () =
+  let t = Extent_tree.create () in
+  Extent_tree.insert t ~logical:10 ~physical:0 ~len:2;
+  Alcotest.(check (option int)) "before" (Some 10) (Extent_tree.next_mapped t 5);
+  Alcotest.(check (option int)) "inside" (Some 11) (Extent_tree.next_mapped t 11);
+  Alcotest.(check (option int)) "beyond" None (Extent_tree.next_mapped t 12)
+
+(* model-based property: compare against a per-block Hashtbl *)
+let prop_model =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (3, map2 (fun l n -> `Insert (l, n)) (int_bound 60) (int_range 1 8));
+          (2, map2 (fun l n -> `Remove (l, n)) (int_bound 60) (int_range 1 12));
+        ])
+  in
+  Test.make ~name:"extent tree matches per-block model" ~count:300
+    (make Gen.(list_size (int_range 1 40) op_gen))
+    (fun ops ->
+      let t = Kernelfs.Extent_tree.create () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let next_phys = ref 1000 in
+      List.iter
+        (function
+          | `Insert (l, n) ->
+              let clash = ref false in
+              for i = l to l + n - 1 do
+                if Hashtbl.mem model i then clash := true
+              done;
+              if not !clash then begin
+                Extent_tree.insert t ~logical:l ~physical:!next_phys ~len:n;
+                for i = 0 to n - 1 do
+                  Hashtbl.replace model (l + i) (!next_phys + i)
+                done;
+                next_phys := !next_phys + n + 3 (* avoid accidental merges *)
+              end
+          | `Remove (l, n) ->
+              ignore (Extent_tree.remove_range t ~logical:l ~len:n);
+              for i = l to l + n - 1 do
+                Hashtbl.remove model i
+              done)
+        ops;
+      (* compare every block *)
+      let ok = ref (Extent_tree.check_invariants t) in
+      for b = 0 to 80 do
+        let tree = Option.map fst (Extent_tree.find t b) in
+        let reference = Hashtbl.find_opt model b in
+        if tree <> reference then ok := false
+      done;
+      if Extent_tree.blocks t <> Hashtbl.length model then ok := false;
+      !ok)
+
+let suite =
+  [
+    tc "insert and find" `Quick test_insert_find;
+    tc "merge adjacent" `Quick test_merge_adjacent;
+    tc "no merge when physically disjoint" `Quick test_no_merge_when_phys_disjoint;
+    tc "merge backward" `Quick test_merge_before;
+    tc "overlap rejected" `Quick test_overlap_rejected;
+    tc "remove middle splits" `Quick test_remove_middle_splits;
+    tc "remove across extents" `Quick test_remove_across_extents;
+    tc "next_mapped" `Quick test_next_mapped;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

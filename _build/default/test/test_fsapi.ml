@@ -1,0 +1,111 @@
+(** The shared POSIX surface: helper functions, flag semantics, the
+    reference file system itself, and the jbd2-like journal accounting. *)
+
+let tc = Alcotest.test_case
+
+let test_flags () =
+  let f = Fsapi.Flags.create_trunc in
+  Alcotest.(check bool) "writable" true (Fsapi.Flags.writable f);
+  Alcotest.(check bool) "not readable" false (Fsapi.Flags.readable f);
+  Alcotest.(check bool) "creat" true f.Fsapi.Flags.creat;
+  Alcotest.(check bool) "trunc" true f.Fsapi.Flags.trunc;
+  let a = Fsapi.Flags.(append rdwr) in
+  Alcotest.(check bool) "rdwr readable+writable" true
+    (Fsapi.Flags.readable a && Fsapi.Flags.writable a && a.Fsapi.Flags.append)
+
+let with_ref f = f (Fsapi.Ref_fs.make ())
+
+let test_helpers_roundtrip () =
+  with_ref (fun fs ->
+      Fsapi.Fs.mkdir_p fs "/a/b/c";
+      Fsapi.Fs.write_file fs "/a/b/c/x" "deep content";
+      Util.check_str "read_file" "deep content" (Fsapi.Fs.read_file fs "/a/b/c/x");
+      Util.check_int "file_size" 12 (Fsapi.Fs.file_size fs "/a/b/c/x");
+      Alcotest.(check bool) "exists" true (Fsapi.Fs.exists fs "/a/b/c/x");
+      Alcotest.(check bool) "not exists" false (Fsapi.Fs.exists fs "/a/b/nope");
+      (* mkdir_p is idempotent *)
+      Fsapi.Fs.mkdir_p fs "/a/b/c")
+
+let test_pread_exact_raises_at_eof () =
+  with_ref (fun fs ->
+      Fsapi.Fs.write_file fs "/short" "abc";
+      let fd = fs.Fsapi.Fs.open_ "/short" Fsapi.Flags.rdonly in
+      Alcotest.check_raises "eof"
+        (Fsapi.Errno.Error (Fsapi.Errno.EINVAL, "pread_exact: eof"))
+        (fun () -> ignore (Fsapi.Fs.pread_exact fs fd ~len:10 ~at:0)))
+
+let test_ref_fs_is_posixish () =
+  with_ref (fun fs ->
+      (* a quick sanity pass over the model itself, since every other file
+         system is judged against it *)
+      let fd = fs.Fsapi.Fs.open_ "/f" Fsapi.Flags.create_rw in
+      Fsapi.Fs.pwrite_string fs fd "xyz" ~at:5;
+      Util.check_int "sparse size" 8 (fs.Fsapi.Fs.fstat fd).Fsapi.Fs.st_size;
+      let s = Fsapi.Fs.pread_exact fs fd ~len:8 ~at:0 in
+      Util.check_str "hole zeros" "\000\000\000\000\000xyz" s;
+      fs.Fsapi.Fs.ftruncate fd 6;
+      Util.check_int "truncated" 6 (fs.Fsapi.Fs.fstat fd).Fsapi.Fs.st_size;
+      fs.Fsapi.Fs.close fd;
+      Alcotest.check_raises "EBADF after close"
+        (Fsapi.Errno.Error (Fsapi.Errno.EBADF, string_of_int fd))
+        (fun () -> fs.Fsapi.Fs.fsync fd))
+
+let test_errno_printer () =
+  Util.check_str "printer registered"
+    "Errno.Error(ENOENT, \"/x\")"
+    (Printexc.to_string (Fsapi.Errno.Error (Fsapi.Errno.ENOENT, "/x")))
+
+let test_crc32_known_vector () =
+  (* standard CRC-32 of "123456789" is 0xCBF43926 *)
+  Util.check_int "check vector" 0xCBF43926 (Splitfs.Crc32.string "123456789");
+  Util.check_int "empty" 0 (Splitfs.Crc32.string "")
+
+let test_journal_accounting () =
+  let env = Util.make_env () in
+  let j =
+    Kernelfs.Journal.create ~env ~region_start:0 ~region_len:(1024 * 1024)
+      ~block_size:4096
+  in
+  let s = env.Pmem.Env.stats in
+  Kernelfs.Journal.commit j ~meta_blocks:3;
+  Util.check_int "one commit" 1 s.Pmem.Stats.journal_commits;
+  (* descriptor + 3 metadata copies + commit record = 5 blocks *)
+  Util.check_int "journal bytes" (5 * 4096) s.Pmem.Stats.journal_bytes;
+  Util.check_int "two fences" 2 s.Pmem.Stats.fences;
+  (* empty transactions are free *)
+  Kernelfs.Journal.commit j ~meta_blocks:0;
+  Util.check_int "still one commit" 1 s.Pmem.Stats.journal_commits;
+  (* the journal region wraps rather than overflowing *)
+  for _ = 1 to 200 do
+    Kernelfs.Journal.commit j ~meta_blocks:4
+  done;
+  Util.check_int "commits counted" 201 (Kernelfs.Journal.commits j)
+
+let test_zipf_deterministic () =
+  let sample seed =
+    let rng = Workloads.Rng.create seed in
+    let z = Workloads.Zipf.create 100 in
+    List.init 50 (fun _ -> Workloads.Zipf.sample z rng)
+  in
+  Alcotest.(check (list int)) "same seed, same stream" (sample 5) (sample 5)
+
+let test_str_split () =
+  Alcotest.(check (list string)) "basic" [ "a"; "b"; "c" ]
+    (Apps.Str_split.split_on_string ~sep:"--" "a--b--c");
+  Alcotest.(check (list string)) "no sep" [ "abc" ]
+    (Apps.Str_split.split_on_string ~sep:"--" "abc");
+  Alcotest.(check (list string)) "trailing" [ "a"; "" ]
+    (Apps.Str_split.split_on_string ~sep:"--" "a--")
+
+let suite =
+  [
+    tc "flag combinators" `Quick test_flags;
+    tc "fs helpers" `Quick test_helpers_roundtrip;
+    tc "pread_exact raises at EOF" `Quick test_pread_exact_raises_at_eof;
+    tc "reference FS POSIX semantics" `Quick test_ref_fs_is_posixish;
+    tc "errno printer" `Quick test_errno_printer;
+    tc "crc32 check vector" `Quick test_crc32_known_vector;
+    tc "journal accounting" `Quick test_journal_accounting;
+    tc "zipf deterministic" `Quick test_zipf_deterministic;
+    tc "split_on_string" `Quick test_str_split;
+  ]

@@ -1,0 +1,123 @@
+(** Operation log: 64-byte entry codec, checksum-based torn-entry
+    detection, single-fence append behaviour, scan semantics. *)
+
+open Splitfs
+
+let tc = Alcotest.test_case
+
+let sample_ops =
+  [
+    Oplog.Append
+      { target_ino = 12; file_off = 4096; staging_ino = 99; staging_off = 8192; len = 4096 };
+    Oplog.Overwrite
+      { target_ino = 3; file_off = 0; staging_ino = 99; staging_off = 0; len = 100 };
+    Oplog.Relinked { target_ino = 12 };
+    Oplog.Create { ino = 44 };
+    Oplog.Unlink { ino = 45 };
+    Oplog.Rename { ino = 46 };
+    Oplog.Truncate { ino = 47; size = 123456 };
+  ]
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun entry ->
+      let b = Oplog.encode entry in
+      Util.check_int "entry size" 64 (Bytes.length b);
+      match Oplog.decode b ~off:0 with
+      | Oplog.Valid e -> Alcotest.(check bool) "roundtrip" true (e = entry)
+      | Oplog.Torn -> Alcotest.fail "torn"
+      | Oplog.Empty -> Alcotest.fail "empty")
+    sample_ops
+
+let test_empty_slot () =
+  let b = Bytes.make 64 '\000' in
+  match Oplog.decode b ~off:0 with
+  | Oplog.Empty -> ()
+  | _ -> Alcotest.fail "expected Empty"
+
+let prop_corruption_detected =
+  QCheck.Test.make ~name:"any single-byte corruption is detected" ~count:200
+    QCheck.(pair (int_bound 63) (int_range 1 255))
+    (fun (pos, delta) ->
+      let entry =
+        Oplog.Append
+          { target_ino = 7; file_off = 12288; staging_ino = 9; staging_off = 0; len = 512 }
+      in
+      let b = Oplog.encode entry in
+      Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) + delta) land 0xFF));
+      match Oplog.decode b ~off:0 with
+      | Oplog.Valid e -> e <> entry  (* must never decode to the original *)
+      | Oplog.Torn | Oplog.Empty -> true)
+
+let with_log f =
+  let env, _kfs, sys = Util.make_kernel () in
+  let log = Oplog.create ~sys ~env ~path:"/oplog" ~size:(64 * 1024) in
+  f env sys log
+
+let test_append_one_nt_store_no_fence () =
+  with_log (fun env _sys log ->
+      let stats = env.Pmem.Env.stats in
+      let nt0 = stats.Pmem.Stats.nt_stores and f0 = stats.Pmem.Stats.fences in
+      Oplog.append log (Oplog.Create { ino = 1 });
+      (* one 64B NT store, zero fences: the caller's single sfence covers
+         data + log entry together (§3.3) *)
+      Util.check_int "one NT store" 1 (stats.Pmem.Stats.nt_stores - nt0);
+      Util.check_int "no fence from the log itself" 0 (stats.Pmem.Stats.fences - f0);
+      Util.check_int "tail" 1 (Oplog.entries_written log))
+
+let test_scan_finds_entries () =
+  with_log (fun _env sys log ->
+      List.iter (Oplog.append log) sample_ops;
+      Pmem.Device.fence _env.Pmem.Env.dev;
+      let scan = Oplog.scan sys "/oplog" in
+      Util.check_int "scanned" (List.length sample_ops) scan.Oplog.scanned;
+      Util.check_int "torn" 0 scan.Oplog.torn;
+      Alcotest.(check bool) "entries match" true (scan.Oplog.valid = sample_ops))
+
+let test_scan_skips_torn_entry () =
+  with_log (fun env sys log ->
+      Oplog.append log (Oplog.Create { ino = 1 });
+      Oplog.append log (Oplog.Create { ino = 2 });
+      Oplog.append log (Oplog.Create { ino = 3 });
+      (* tear the middle entry by overwriting half of it on the device *)
+      let kfd = Kernelfs.Syscall.open_ sys "/oplog" Fsapi.Flags.rdwr in
+      let junk = Bytes.make 32 '\xAB' in
+      ignore (Kernelfs.Syscall.pwrite sys kfd ~buf:junk ~boff:0 ~len:32 ~at:64);
+      Kernelfs.Syscall.close sys kfd;
+      ignore env;
+      let scan = Oplog.scan sys "/oplog" in
+      Util.check_int "one torn" 1 scan.Oplog.torn;
+      Util.check_int "two valid" 2 (List.length scan.Oplog.valid))
+
+let test_clear_resets () =
+  with_log (fun _env sys log ->
+      List.iter (Oplog.append log) sample_ops;
+      Oplog.clear log;
+      Util.check_int "tail reset" 0 (Oplog.entries_written log);
+      let scan = Oplog.scan sys "/oplog" in
+      Util.check_int "nothing scanned" 0 scan.Oplog.scanned;
+      (* the log is reusable after clear *)
+      Oplog.append log (Oplog.Create { ino = 9 });
+      let scan = Oplog.scan sys "/oplog" in
+      Util.check_int "one entry" 1 scan.Oplog.scanned)
+
+let test_full_log_raises () =
+  let env, _kfs, sys = Util.make_kernel () in
+  let log = Oplog.create ~sys ~env ~path:"/tiny" ~size:(4 * 64) in
+  for i = 1 to 4 do
+    Oplog.append log (Oplog.Create { ino = i })
+  done;
+  Alcotest.check_raises "full" (Fsapi.Errno.Error (Fsapi.Errno.ENOSPC, "oplog full"))
+    (fun () -> Oplog.append log (Oplog.Create { ino = 5 }))
+
+let suite =
+  [
+    tc "codec roundtrip (all kinds)" `Quick test_codec_roundtrip;
+    tc "all-zero slot is Empty" `Quick test_empty_slot;
+    tc "append = one NT store, no fence" `Quick test_append_one_nt_store_no_fence;
+    tc "scan finds appended entries" `Quick test_scan_finds_entries;
+    tc "scan skips torn entries" `Quick test_scan_skips_torn_entry;
+    tc "clear resets and allows reuse" `Quick test_clear_resets;
+    tc "full log raises ENOSPC" `Quick test_full_log_raises;
+    QCheck_alcotest.to_alcotest prop_corruption_detected;
+  ]

@@ -1,0 +1,185 @@
+(** Unit and property tests for the PM device simulator: persistence
+    semantics, crash behaviour, cost accounting, wear tracking. *)
+
+open Pmem
+
+let tc = Alcotest.test_case
+
+let with_dev f =
+  let env = Util.make_env ~capacity:(4 * 1024 * 1024) () in
+  f env env.Env.dev
+
+let test_store_nt_durable () =
+  with_dev (fun env dev ->
+      let data = Bytes.of_string "hello persistent world" in
+      Device.store_nt dev ~addr:4096 data ~off:0 ~len:(Bytes.length data);
+      Device.fence dev;
+      Device.crash dev;
+      let back = Device.load_bytes dev ~addr:4096 ~len:(Bytes.length data) in
+      Util.check_str "NT store survives crash" "hello persistent world"
+        (Bytes.to_string back);
+      ignore env)
+
+let test_temporal_store_lost_on_crash () =
+  with_dev (fun _ dev ->
+      let data = Bytes.of_string "volatile" in
+      Device.store dev ~addr:0 data ~off:0 ~len:8;
+      Device.crash dev;
+      let back = Device.load_bytes dev ~addr:0 ~len:8 in
+      Util.check_str "unflushed store lost" (String.make 8 '\000')
+        (Bytes.to_string back))
+
+let test_flush_persists () =
+  with_dev (fun _ dev ->
+      let data = Bytes.of_string "flushed!" in
+      Device.store dev ~addr:128 data ~off:0 ~len:8;
+      Device.flush dev ~addr:128 ~len:8;
+      Device.fence dev;
+      Device.crash dev;
+      let back = Device.load_bytes dev ~addr:128 ~len:8 in
+      Util.check_str "flushed store survives" "flushed!" (Bytes.to_string back))
+
+let test_read_sees_cache () =
+  with_dev (fun _ dev ->
+      let data = Bytes.of_string "cached data" in
+      Device.store dev ~addr:256 data ~off:0 ~len:(Bytes.length data);
+      (* before any flush, loads must see the cached lines *)
+      let back = Device.load_bytes dev ~addr:256 ~len:(Bytes.length data) in
+      Util.check_str "load sees dirty cache" "cached data" (Bytes.to_string back))
+
+let test_partial_line_flush () =
+  with_dev (fun _ dev ->
+      (* write two lines, flush only the first *)
+      let data = Bytes.make 128 'x' in
+      Device.store dev ~addr:0 data ~off:0 ~len:128;
+      Device.flush dev ~addr:0 ~len:64;
+      Device.fence dev;
+      Device.crash dev;
+      let first = Device.load_bytes dev ~addr:0 ~len:64 in
+      let second = Device.load_bytes dev ~addr:64 ~len:64 in
+      Util.check_str "flushed line kept" (String.make 64 'x')
+        (Bytes.to_string first);
+      Util.check_str "unflushed line dropped" (String.make 64 '\000')
+        (Bytes.to_string second))
+
+let test_nt_overrides_cached () =
+  with_dev (fun _ dev ->
+      let a = Bytes.of_string (String.make 64 'a') in
+      let b = Bytes.of_string (String.make 64 'b') in
+      Device.store dev ~addr:0 a ~off:0 ~len:64;
+      (* NT store to the same line must invalidate the stale cached copy *)
+      Device.store_nt dev ~addr:0 b ~off:0 ~len:64;
+      Device.crash dev;
+      let back = Device.load_bytes dev ~addr:0 ~len:64 in
+      Util.check_str "NT store wins" (String.make 64 'b') (Bytes.to_string back))
+
+let test_time_advances () =
+  with_dev (fun env dev ->
+      let t0 = Env.now env in
+      let data = Bytes.make 4096 'z' in
+      Device.store_nt dev ~addr:0 data ~off:0 ~len:4096;
+      let t1 = Env.now env in
+      Alcotest.(check bool)
+        "4K NT write costs ~671ns"
+        true
+        (t1 -. t0 > 600. && t1 -. t0 < 750.))
+
+let test_stats_counters () =
+  with_dev (fun env dev ->
+      let s = env.Env.stats in
+      let data = Bytes.make 4096 'q' in
+      Device.store_nt dev ~addr:0 data ~off:0 ~len:4096;
+      Device.fence dev;
+      Util.check_int "pm_write_bytes" 4096 s.Stats.pm_write_bytes;
+      Util.check_int "fences" 1 s.Stats.fences;
+      Util.check_int "nt_stores" 1 s.Stats.nt_stores)
+
+let test_wear_tracking () =
+  with_dev (fun _ dev ->
+      let data = Bytes.make 4096 'w' in
+      for _ = 1 to 5 do
+        Device.store_nt dev ~addr:(2 * 4096) data ~off:0 ~len:4096
+      done;
+      Util.check_int "wear counted" 5 (Device.wear_of_block dev 2);
+      Alcotest.(check bool) "max wear >= 5" true (Device.max_wear dev >= 5))
+
+let test_dirty_lines_counted () =
+  with_dev (fun _ dev ->
+      let data = Bytes.make 256 'd' in
+      Device.store dev ~addr:0 data ~off:0 ~len:256;
+      Util.check_int "4 dirty lines" 4 (Device.dirty_lines dev);
+      Device.flush dev ~addr:0 ~len:256;
+      Util.check_int "flushed" 0 (Device.dirty_lines dev))
+
+let test_zero_nt () =
+  with_dev (fun _ dev ->
+      let data = Bytes.make 8192 'f' in
+      Device.store_nt dev ~addr:0 data ~off:0 ~len:8192;
+      Device.zero_nt dev ~addr:0 ~len:8192;
+      let back = Device.load_bytes dev ~addr:0 ~len:8192 in
+      Alcotest.(check bool)
+        "all zero" true
+        (Bytes.for_all (fun c -> c = '\000') back))
+
+let test_background_accounting () =
+  let env = Util.make_env () in
+  let t0 = Env.now env in
+  Env.in_background env (fun () -> Env.cpu env 5000.);
+  Alcotest.(check (float 0.001)) "foreground clock unchanged" t0 (Env.now env);
+  Alcotest.(check bool)
+    "background recorded" true
+    (env.Env.stats.Stats.background_ns >= 5000.)
+
+(* --- property tests --- *)
+
+let prop_store_load_roundtrip =
+  QCheck.Test.make ~name:"device store_nt/load roundtrip" ~count:100
+    QCheck.(pair (int_bound 1000) (string_of_size (Gen.int_range 1 300)))
+    (fun (addr, s) ->
+      QCheck.assume (String.length s > 0);
+      let env = Util.make_env ~capacity:(1024 * 1024) () in
+      let dev = env.Env.dev in
+      let b = Bytes.of_string s in
+      Device.store_nt dev ~addr b ~off:0 ~len:(Bytes.length b);
+      let back = Device.load_bytes dev ~addr ~len:(Bytes.length b) in
+      Bytes.equal b back)
+
+let prop_crash_respects_flush_boundary =
+  QCheck.Test.make ~name:"crash keeps exactly the flushed prefix" ~count:50
+    QCheck.(int_range 1 20)
+    (fun nlines ->
+      let env = Util.make_env ~capacity:(1024 * 1024) () in
+      let dev = env.Env.dev in
+      let total = 32 in
+      let data = Bytes.make (total * 64) 'y' in
+      Device.store dev ~addr:0 data ~off:0 ~len:(total * 64);
+      Device.flush dev ~addr:0 ~len:(min nlines total * 64);
+      Device.fence dev;
+      Device.crash dev;
+      let back = Device.load_bytes dev ~addr:0 ~len:(total * 64) in
+      let kept = min nlines total * 64 in
+      let ok = ref true in
+      Bytes.iteri
+        (fun i c ->
+          let expect = if i < kept then 'y' else '\000' in
+          if c <> expect then ok := false)
+        back;
+      !ok)
+
+let suite =
+  [
+    tc "nt store durable across crash" `Quick test_store_nt_durable;
+    tc "temporal store lost on crash" `Quick test_temporal_store_lost_on_crash;
+    tc "flush persists" `Quick test_flush_persists;
+    tc "read sees cached lines" `Quick test_read_sees_cache;
+    tc "partial line flush" `Quick test_partial_line_flush;
+    tc "nt store invalidates cache" `Quick test_nt_overrides_cached;
+    tc "simulated time advances" `Quick test_time_advances;
+    tc "stats counters" `Quick test_stats_counters;
+    tc "wear tracking" `Quick test_wear_tracking;
+    tc "dirty line accounting" `Quick test_dirty_lines_counted;
+    tc "zero_nt" `Quick test_zero_nt;
+    tc "background time accounting" `Quick test_background_accounting;
+    QCheck_alcotest.to_alcotest prop_store_load_roundtrip;
+    QCheck_alcotest.to_alcotest prop_crash_respects_flush_boundary;
+  ]

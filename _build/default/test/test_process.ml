@@ -1,0 +1,125 @@
+(** Process-lifecycle handling (paper §3.5: fork, execve, dup) and the
+    visibility semantics of §3.2 across U-Split instances. *)
+
+let tc = Alcotest.test_case
+
+let make () =
+  let env, kfs, sys = Util.make_kernel ~capacity:(64 * 1024 * 1024) () in
+  let u =
+    Splitfs.Usplit.mount
+      ~cfg:(Util.small_splitfs_cfg Splitfs.Config.Strict)
+      ~sys ~env ~instance:0 ()
+  in
+  (env, kfs, sys, u, Splitfs.Usplit.as_fsapi u)
+
+let test_fork_inherits_fds () =
+  let _env, _kfs, _sys, u, fs = make () in
+  let fd = fs.open_ "/shared" Fsapi.Flags.create_rw in
+  Fsapi.Fs.write_string fs fd "parent wrote this";
+  let child, fd_map = Splitfs.Usplit.fork u ~instance:1 in
+  let cfs = Splitfs.Usplit.as_fsapi child in
+  let cfd = List.assoc fd fd_map in
+  (* the child reads through its inherited descriptor *)
+  let s = Fsapi.Fs.pread_exact cfs cfd ~len:17 ~at:0 in
+  Util.check_str "child sees parent's data" "parent wrote this" s;
+  (* both keep writing; the file is shared through the kernel *)
+  Fsapi.Fs.write_string cfs cfd " +child";
+  cfs.fsync cfd;
+  fs.fsync fd;
+  Util.check_str "both writes landed" "parent wrote this +child"
+    (Fsapi.Fs.read_file fs "/shared")
+
+let test_fork_independent_offsets () =
+  let _env, _kfs, _sys, u, fs = make () in
+  Fsapi.Fs.write_file fs "/off" "abcdefgh";
+  let fd = fs.open_ "/off" Fsapi.Flags.rdonly in
+  let b = Bytes.create 2 in
+  ignore (fs.read fd ~buf:b ~boff:0 ~len:2);
+  let child, fd_map = Splitfs.Usplit.fork u ~instance:1 in
+  let cfs = Splitfs.Usplit.as_fsapi child in
+  let cfd = List.assoc fd fd_map in
+  (* after fork, offsets advance independently (separate struct-file copies
+     in this model, like fork'ing after independent opens) *)
+  ignore (cfs.read cfd ~buf:b ~boff:0 ~len:2);
+  Util.check_str "child continues at the fork point" "cd" (Bytes.to_string b);
+  ignore (fs.read fd ~buf:b ~boff:0 ~len:2);
+  Util.check_str "parent also at its own offset" "cd" (Bytes.to_string b)
+
+let test_execve_preserves_open_files () =
+  let _env, _kfs, _sys, u, fs = make () in
+  let fd = fs.open_ "/exec" Fsapi.Flags.create_rw in
+  Fsapi.Fs.write_string fs fd "before exec";
+  let dup_fd = fs.dup fd in
+  let fresh, fd_map = Splitfs.Usplit.execve u in
+  let ffs = Splitfs.Usplit.as_fsapi fresh in
+  let fd' = List.assoc fd fd_map and dup_fd' = List.assoc dup_fd fd_map in
+  (* data is there, the offset survived, and dup'ed fds still share it *)
+  Util.check_str "content survives exec" "before exec"
+    (Fsapi.Fs.pread_exact ffs fd' ~len:11 ~at:0);
+  Fsapi.Fs.write_string ffs fd' "+more";
+  Fsapi.Fs.write_string ffs dup_fd' "+again";
+  ffs.fsync fd';
+  Util.check_str "offsets shared across the exec" "before exec+more+again"
+    (Fsapi.Fs.read_file ffs "/exec")
+
+let test_execve_preserves_unlinked_open_file () =
+  let _env, _kfs, _sys, u, fs = make () in
+  let fd = fs.open_ "/ghost" Fsapi.Flags.create_rw in
+  Fsapi.Fs.write_string fs fd "unlinked but open";
+  fs.fsync fd;
+  fs.unlink "/ghost";
+  let fresh, fd_map = Splitfs.Usplit.execve u in
+  let ffs = Splitfs.Usplit.as_fsapi fresh in
+  let fd' = List.assoc fd fd_map in
+  (* kernel fds survive exec, so even a name-less file stays readable *)
+  Util.check_str "unlinked file readable after exec" "unlinked but open"
+    (Fsapi.Fs.pread_exact ffs fd' ~len:17 ~at:0)
+
+(* --- §3.2 visibility across instances --- *)
+
+let make_two_instances () =
+  let env, _kfs, sys = Util.make_kernel ~capacity:(64 * 1024 * 1024) () in
+  let mk i mode =
+    Splitfs.Usplit.as_fsapi
+      (Splitfs.Usplit.mount ~cfg:(Util.small_splitfs_cfg mode) ~sys ~env
+         ~instance:i ())
+  in
+  (env, sys, mk 0 Splitfs.Config.Posix, mk 1 Splitfs.Config.Posix)
+
+let test_metadata_immediately_visible () =
+  let _env, _sys, a, b = make_two_instances () in
+  a.mkdir "/teamdir";
+  Fsapi.Fs.write_file a "/teamdir/file" "x";
+  (* §3.2: "Apart from appends, all SplitFS operations become immediately
+     visible to all other processes" — write_file closes, which relinks *)
+  Alcotest.(check (list string)) "dir visible to the other instance"
+    [ "file" ] (b.readdir "/teamdir");
+  a.unlink "/teamdir/file";
+  Alcotest.(check bool) "unlink visible" false (Fsapi.Fs.exists b "/teamdir/file")
+
+let test_appends_private_until_fsync () =
+  let _env, _sys, a, b = make_two_instances () in
+  Fsapi.Fs.write_file a "/pub" "";
+  let fda = a.open_ "/pub" Fsapi.Flags.rdwr in
+  Fsapi.Fs.write_string a fda "staged appends";
+  (* instance B opens the file fresh: appends are not yet visible *)
+  Util.check_int "appends private before fsync" 0 (b.stat "/pub").Fsapi.Fs.st_size;
+  a.fsync fda;
+  (* now B sees them (B re-opens; its attribute cache was for size 0) *)
+  let fdb = b.open_ "/pub" Fsapi.Flags.rdonly in
+  ignore fdb;
+  Util.check_int "appends visible after fsync" 14
+    (Kernelfs.Syscall.stat _sys "/pub").Fsapi.Fs.st_size;
+  a.close fda
+
+let suite =
+  [
+    tc "fork: child inherits descriptors" `Quick test_fork_inherits_fds;
+    tc "fork: offsets independent afterwards" `Quick test_fork_independent_offsets;
+    tc "execve: open files survive" `Quick test_execve_preserves_open_files;
+    tc "execve: unlinked open file survives" `Quick
+      test_execve_preserves_unlinked_open_file;
+    tc "visibility: metadata ops immediate" `Quick test_metadata_immediately_visible;
+    tc "visibility: appends private until fsync" `Quick
+      test_appends_private_until_fsync;
+  ]

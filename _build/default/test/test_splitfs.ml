@@ -1,0 +1,371 @@
+(** SplitFS (U-Split) behaviour: staging, relink on fsync/close, shadow
+    reads, modes, visibility, and equivalence with ext4 DAX final states
+    (the paper's §5.3 correctness methodology). *)
+
+let tc = Alcotest.test_case
+
+let modes = [ Splitfs.Config.Posix; Splitfs.Config.Sync; Splitfs.Config.Strict ]
+
+let for_each_mode f () =
+  List.iter
+    (fun mode ->
+      let _env, _kfs, _sys, u, fs = Util.make_splitfs ~mode () in
+      f mode u fs)
+    modes
+
+let test_roundtrip =
+  for_each_mode (fun mode _u fs ->
+      let content = Util.pattern ~seed:11 10000 in
+      let got = Util.fs_write_read_roundtrip fs "/r.txt" content in
+      Util.check_str
+        (Printf.sprintf "roundtrip (%s)" (Splitfs.Config.mode_to_string mode))
+        content got)
+
+let test_append_read_before_fsync =
+  for_each_mode (fun _mode _u fs ->
+      let fd = fs.open_ "/a" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd "staged append";
+      (* no fsync yet: data must still be readable (read-your-writes via the
+         collection of mmaps + staging) *)
+      Util.check_int "size visible" 13 (fs.fstat fd).Fsapi.Fs.st_size;
+      let s = Fsapi.Fs.pread_exact fs fd ~len:13 ~at:0 in
+      Util.check_str "read staged" "staged append" s;
+      fs.close fd)
+
+let test_append_not_in_kernel_until_fsync () =
+  let _env, _kfs, sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Posix () in
+  let fd = fs.open_ "/k" Fsapi.Flags.create_rw in
+  Fsapi.Fs.write_string fs fd "invisible yet";
+  (* through the kernel, the file is still empty: appends are staged *)
+  Util.check_int "kernel size 0" 0 (Kernelfs.Syscall.stat sys "/k").Fsapi.Fs.st_size;
+  fs.fsync fd;
+  Util.check_int "kernel size after fsync" 13
+    (Kernelfs.Syscall.stat sys "/k").Fsapi.Fs.st_size;
+  let via_kernel =
+    let kfd = Kernelfs.Syscall.open_ sys "/k" Fsapi.Flags.rdonly in
+    let buf = Bytes.create 13 in
+    ignore (Kernelfs.Syscall.pread sys kfd ~buf ~boff:0 ~len:13 ~at:0);
+    Kernelfs.Syscall.close sys kfd;
+    Bytes.to_string buf
+  in
+  Util.check_str "kernel sees relinked data" "invisible yet" via_kernel;
+  fs.close fd
+
+let test_relink_on_close () =
+  let _env, _kfs, sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Posix () in
+  let fd = fs.open_ "/c" Fsapi.Flags.create_rw in
+  Fsapi.Fs.write_string fs fd "close relinks";
+  fs.close fd;
+  Util.check_int "kernel size after close" 13
+    (Kernelfs.Syscall.stat sys "/c").Fsapi.Fs.st_size
+
+let test_block_aligned_append_no_copy () =
+  let env, _kfs, _sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Posix () in
+  let fd = fs.open_ "/big" Fsapi.Flags.create_rw in
+  let block = Bytes.of_string (Util.pattern ~seed:5 4096) in
+  let stats = env.Pmem.Env.stats in
+  for _ = 1 to 16 do
+    ignore (fs.write fd ~buf:block ~boff:0 ~len:4096)
+  done;
+  let copied0 = stats.Pmem.Stats.relink_copied_bytes in
+  fs.fsync fd;
+  let copied1 = stats.Pmem.Stats.relink_copied_bytes in
+  Util.check_int "block-aligned appends relink without copying" copied0 copied1;
+  Alcotest.(check bool) "relinks happened" true (stats.Pmem.Stats.relinks > 0);
+  fs.close fd
+
+let test_unaligned_append_tail_zero_copy () =
+  let env, _kfs, _sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Posix () in
+  let fd = fs.open_ "/u" Fsapi.Flags.create_rw in
+  (* appends ending at EOF relink their partial tail block wholesale: the
+     file size caps the slack, so no bytes are copied at all *)
+  Fsapi.Fs.write_string fs fd (String.make 100 'h');
+  Fsapi.Fs.write_string fs fd (Util.pattern ~seed:8 8192);
+  fs.fsync fd;
+  Util.check_int "no copy for EOF-tail appends" 0
+    env.Pmem.Env.stats.Pmem.Stats.relink_copied_bytes;
+  let s = Fsapi.Fs.pread_exact fs fd ~len:8292 ~at:0 in
+  Util.check_str "content intact" (String.make 100 'h' ^ Util.pattern ~seed:8 8192) s;
+  fs.close fd
+
+let test_unaligned_append_copies_only_head () =
+  let env, _kfs, _sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Posix () in
+  let fd = fs.open_ "/u2" Fsapi.Flags.create_rw in
+  (* settle an unaligned kernel size first, then append across it: only the
+     head bytes into the existing partial block are copied *)
+  Fsapi.Fs.write_string fs fd (String.make 100 'h');
+  fs.fsync fd;
+  Fsapi.Fs.write_string fs fd (Util.pattern ~seed:8 8192);
+  fs.fsync fd;
+  let copied = env.Pmem.Env.stats.Pmem.Stats.relink_copied_bytes in
+  Alcotest.(check bool)
+    (Printf.sprintf "copied only the head boundary (%d)" copied)
+    true
+    (copied > 0 && copied <= 4096 - 100);
+  let s = Fsapi.Fs.pread_exact fs fd ~len:8292 ~at:0 in
+  Util.check_str "content intact" (String.make 100 'h' ^ Util.pattern ~seed:8 8192) s;
+  fs.close fd
+
+let test_overwrite_in_place_posix () =
+  let _env, _kfs, sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Posix () in
+  Fsapi.Fs.write_file fs "/o" (String.make 8192 'a');
+  let fd = fs.open_ "/o" Fsapi.Flags.rdwr in
+  let s0 = Kernelfs.Syscall.stat sys "/o" in
+  Fsapi.Fs.pwrite_string fs fd "XYZ" ~at:1000;
+  (* POSIX-mode overwrites are in place: immediately visible via kernel *)
+  let kfd = Kernelfs.Syscall.open_ sys "/o" Fsapi.Flags.rdonly in
+  let buf = Bytes.create 3 in
+  ignore (Kernelfs.Syscall.pread sys kfd ~buf ~boff:0 ~len:3 ~at:1000);
+  Util.check_str "in-place overwrite visible" "XYZ" (Bytes.to_string buf);
+  Kernelfs.Syscall.close sys kfd;
+  Util.check_int "size unchanged" s0.Fsapi.Fs.st_size (fs.fstat fd).Fsapi.Fs.st_size;
+  fs.close fd
+
+let test_strict_overwrite_staged_then_relinked () =
+  let _env, _kfs, sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Strict () in
+  Fsapi.Fs.write_file fs "/so" (String.make 8192 'a');
+  let fd = fs.open_ "/so" Fsapi.Flags.rdwr in
+  fs.fsync fd;
+  Fsapi.Fs.pwrite_string fs fd "NEW" ~at:4096;
+  (* before fsync, the kernel file still holds the old bytes *)
+  let kfd = Kernelfs.Syscall.open_ sys "/so" Fsapi.Flags.rdonly in
+  let buf = Bytes.create 3 in
+  ignore (Kernelfs.Syscall.pread sys kfd ~buf ~boff:0 ~len:3 ~at:4096);
+  Util.check_str "kernel still old" "aaa" (Bytes.to_string buf);
+  (* but U-Split reads its own staged data *)
+  let s = Fsapi.Fs.pread_exact fs fd ~len:3 ~at:4096 in
+  Util.check_str "read-your-writes" "NEW" s;
+  fs.fsync fd;
+  ignore (Kernelfs.Syscall.pread sys kfd ~buf ~boff:0 ~len:3 ~at:4096);
+  Util.check_str "kernel new after fsync" "NEW" (Bytes.to_string buf);
+  Kernelfs.Syscall.close sys kfd;
+  fs.close fd
+
+let test_mixed_append_overwrite =
+  for_each_mode (fun mode _u fs ->
+      let name = Splitfs.Config.mode_to_string mode in
+      let fd = fs.open_ "/mix" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd "0123456789";
+      Fsapi.Fs.pwrite_string fs fd "AB" ~at:3;
+      Fsapi.Fs.write_string fs fd "XYZ";
+      let s = Fsapi.Fs.pread_exact fs fd ~len:13 ~at:0 in
+      Util.check_str (name ^ ": mixed content") "012AB56789XYZ" s;
+      fs.fsync fd;
+      let s = Fsapi.Fs.pread_exact fs fd ~len:13 ~at:0 in
+      Util.check_str (name ^ ": after fsync") "012AB56789XYZ" s;
+      fs.close fd;
+      fs.unlink "/mix")
+
+let test_ftruncate_drops_staged =
+  for_each_mode (fun mode _u fs ->
+      let name = Splitfs.Config.mode_to_string mode in
+      let fd = fs.open_ "/tr" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd (String.make 6000 't');
+      fs.ftruncate fd 100;
+      Util.check_int (name ^ ": truncated size") 100 (fs.fstat fd).Fsapi.Fs.st_size;
+      let s = Fsapi.Fs.pread_exact fs fd ~len:100 ~at:0 in
+      Util.check_str (name ^ ": kept prefix") (String.make 100 't') s;
+      fs.fsync fd;
+      Util.check_int (name ^ ": size stable") 100 (fs.fstat fd).Fsapi.Fs.st_size;
+      fs.close fd;
+      fs.unlink "/tr")
+
+let test_ftruncate_grow_sparse =
+  for_each_mode (fun mode _u fs ->
+      let name = Splitfs.Config.mode_to_string mode in
+      let fd = fs.open_ "/gr" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd "data";
+      fs.ftruncate fd 9000;
+      Util.check_int (name ^ ": grown") 9000 (fs.fstat fd).Fsapi.Fs.st_size;
+      let s = Fsapi.Fs.pread_exact fs fd ~len:9000 ~at:0 in
+      Util.check_str (name ^ ": tail zeros") ("data" ^ String.make 8996 '\000') s;
+      fs.close fd;
+      fs.unlink "/gr")
+
+let test_staging_exhaustion_midstream () =
+  (* staging file of 256 KB, appends of 64 KB: forces relink-to-make-room *)
+  let cfg =
+    {
+      (Util.small_splitfs_cfg Splitfs.Config.Posix) with
+      Splitfs.Config.staging_size = 256 * 1024;
+      staging_files = 1;
+    }
+  in
+  let _env, _kfs, _sys, _u, fs = Util.make_splitfs ~cfg () in
+  let fd = fs.open_ "/spill" Fsapi.Flags.create_rw in
+  let chunk = Bytes.of_string (Util.pattern ~seed:21 65536) in
+  for _ = 1 to 8 do
+    ignore (fs.write fd ~buf:chunk ~boff:0 ~len:65536)
+  done;
+  Util.check_int "size" (8 * 65536) (fs.fstat fd).Fsapi.Fs.st_size;
+  fs.fsync fd;
+  let s = Fsapi.Fs.pread_exact fs fd ~len:65536 ~at:(7 * 65536) in
+  Util.check_str "last chunk intact" (Bytes.to_string chunk) s;
+  fs.close fd
+
+let test_unlink_cleans_up =
+  for_each_mode (fun mode _u fs ->
+      let name = Splitfs.Config.mode_to_string mode in
+      let fd = fs.open_ "/ul" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd "bye";
+      fs.close fd;
+      fs.unlink "/ul";
+      Alcotest.(check bool) (name ^ ": gone") false (Fsapi.Fs.exists fs "/ul"))
+
+let test_unlink_while_open_keeps_data =
+  for_each_mode (fun mode _u fs ->
+      let name = Splitfs.Config.mode_to_string mode in
+      let fd = fs.open_ "/ho" Fsapi.Flags.create_rw in
+      Fsapi.Fs.write_string fs fd "keep me";
+      fs.unlink "/ho";
+      let s = Fsapi.Fs.pread_exact fs fd ~len:7 ~at:0 in
+      Util.check_str (name ^ ": fd still reads") "keep me" s;
+      fs.close fd;
+      Alcotest.(check bool) (name ^ ": gone") false (Fsapi.Fs.exists fs "/ho"))
+
+let test_rename_updates_cache =
+  for_each_mode (fun mode _u fs ->
+      let name = Splitfs.Config.mode_to_string mode in
+      Fsapi.Fs.write_file fs "/r1" "payload";
+      fs.rename "/r1" "/r2";
+      Util.check_str (name ^ ": via new name") "payload" (Fsapi.Fs.read_file fs "/r2");
+      Alcotest.(check bool) (name ^ ": old gone") false (Fsapi.Fs.exists fs "/r1"))
+
+let test_open_trunc_resets =
+  for_each_mode (fun mode _u fs ->
+      let name = Splitfs.Config.mode_to_string mode in
+      Fsapi.Fs.write_file fs "/ot" "old content";
+      let fd = fs.open_ "/ot" Fsapi.Flags.create_trunc in
+      Util.check_int (name ^ ": size 0") 0 (fs.fstat fd).Fsapi.Fs.st_size;
+      Fsapi.Fs.write_string fs fd "new";
+      fs.close fd;
+      Util.check_str (name ^ ": new content") "new" (Fsapi.Fs.read_file fs "/ot"))
+
+let test_dup_shares_offset =
+  for_each_mode (fun mode _u fs ->
+      let name = Splitfs.Config.mode_to_string mode in
+      Fsapi.Fs.write_file fs "/dp" "abcdef";
+      let fd = fs.open_ "/dp" Fsapi.Flags.rdonly in
+      let fd2 = fs.dup fd in
+      let b = Bytes.create 2 in
+      ignore (fs.read fd ~buf:b ~boff:0 ~len:2);
+      ignore (fs.read fd2 ~buf:b ~boff:0 ~len:2);
+      Util.check_str (name ^ ": dup shares offset") "cd" (Bytes.to_string b);
+      fs.close fd;
+      fs.close fd2)
+
+let test_oplog_checkpoint_on_full () =
+  (* tiny log: 64 entries; write more ops than that *)
+  let cfg =
+    {
+      (Util.small_splitfs_cfg Splitfs.Config.Strict) with
+      Splitfs.Config.oplog_size = 64 * 64;
+    }
+  in
+  let _env, _kfs, _sys, u, fs = Util.make_splitfs ~cfg () in
+  let fd = fs.open_ "/ckpt" Fsapi.Flags.create_rw in
+  let chunk = Bytes.make 100 'c' in
+  for _ = 1 to 200 do
+    ignore (fs.write fd ~buf:chunk ~boff:0 ~len:100)
+  done;
+  Util.check_int "all appends applied" 20000 (fs.fstat fd).Fsapi.Fs.st_size;
+  let s = Fsapi.Fs.pread_exact fs fd ~len:20000 ~at:0 in
+  Alcotest.(check bool) "content" true (String.for_all (fun c -> c = 'c') s);
+  (match Splitfs.Usplit.oplog u with
+  | Some log ->
+      Alcotest.(check bool) "log was checkpointed" true
+        (Splitfs.Oplog.entries_written log < 200)
+  | None -> Alcotest.fail "strict mode has a log");
+  fs.close fd
+
+let test_dram_staging_functional () =
+  (* the section-4 DRAM-staging design must still be functionally correct:
+     staged data readable, fsync copies it into the file *)
+  let cfg =
+    {
+      (Util.small_splitfs_cfg Splitfs.Config.Posix) with
+      Splitfs.Config.staging_in_dram = true;
+    }
+  in
+  let env, _kfs, sys, _u, fs = Util.make_splitfs ~cfg () in
+  let fd = fs.open_ "/dram" Fsapi.Flags.create_rw in
+  let content = Util.pattern ~seed:33 20000 in
+  Fsapi.Fs.write_string fs fd content;
+  Util.check_str "read staged from DRAM" content
+    (Fsapi.Fs.pread_exact fs fd ~len:20000 ~at:0);
+  let copied0 = env.Pmem.Env.stats.Pmem.Stats.relink_copied_bytes in
+  fs.fsync fd;
+  (* no relink possible: everything is copied *)
+  Util.check_int "fsync copied all staged bytes" (copied0 + 20000)
+    env.Pmem.Env.stats.Pmem.Stats.relink_copied_bytes;
+  Util.check_str "durable via kernel" content
+    (let kfd = Kernelfs.Syscall.open_ sys "/dram" Fsapi.Flags.rdonly in
+     let buf = Bytes.create 20000 in
+     ignore (Kernelfs.Syscall.pread sys kfd ~buf ~boff:0 ~len:20000 ~at:0);
+     Kernelfs.Syscall.close sys kfd;
+     Bytes.to_string buf);
+  fs.close fd
+
+let test_memory_usage_reported () =
+  let _env, _kfs, _sys, u, fs = Util.make_splitfs ~mode:Splitfs.Config.Strict () in
+  for i = 0 to 9 do
+    Fsapi.Fs.write_file fs (Printf.sprintf "/m%d" i) (String.make 5000 'm')
+  done;
+  Alcotest.(check bool) "nonzero memory usage" true
+    (Splitfs.Usplit.memory_usage u > 0)
+
+(* --- §5.3 equivalence: same random ops on SplitFS and on raw ext4 --- *)
+
+let prop_equiv_with_ext4 mode =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "splitfs-%s final state equals ext4 DAX"
+         (Splitfs.Config.mode_to_string mode))
+    ~count:40
+    Test_ext4.arb_ops
+    (fun ops ->
+      let _e1, _k1, _s1, _u, split_fs = Util.make_splitfs ~mode () in
+      let _e2, _k2, sys2 = Util.make_kernel () in
+      let ext4_fs = Kernelfs.Syscall.as_fsapi sys2 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          let a = Test_ext4.apply_op split_fs op in
+          let b = Test_ext4.apply_op ext4_fs op in
+          if a <> b then ok := false)
+        ops;
+      !ok && Test_ext4.final_states_agree split_fs ext4_fs)
+
+let suite =
+  [
+    tc "roundtrip in all modes" `Quick test_roundtrip;
+    tc "read staged appends before fsync" `Quick test_append_read_before_fsync;
+    tc "appends invisible to kernel until fsync" `Quick
+      test_append_not_in_kernel_until_fsync;
+    tc "relink on close" `Quick test_relink_on_close;
+    tc "block-aligned appends: zero-copy relink" `Quick
+      test_block_aligned_append_no_copy;
+    tc "EOF-tail appends relink with zero copy" `Quick
+      test_unaligned_append_tail_zero_copy;
+    tc "appends over an unaligned size copy only the head" `Quick
+      test_unaligned_append_copies_only_head;
+    tc "POSIX overwrites are in-place" `Quick test_overwrite_in_place_posix;
+    tc "strict overwrites staged then relinked" `Quick
+      test_strict_overwrite_staged_then_relinked;
+    tc "mixed appends and overwrites" `Quick test_mixed_append_overwrite;
+    tc "ftruncate drops staged tail" `Quick test_ftruncate_drops_staged;
+    tc "ftruncate grows sparsely" `Quick test_ftruncate_grow_sparse;
+    tc "staging exhaustion forces early relink" `Quick
+      test_staging_exhaustion_midstream;
+    tc "unlink cleans up" `Quick test_unlink_cleans_up;
+    tc "unlink while open keeps data" `Quick test_unlink_while_open_keeps_data;
+    tc "rename updates attribute cache" `Quick test_rename_updates_cache;
+    tc "O_TRUNC resets state" `Quick test_open_trunc_resets;
+    tc "dup shares offset" `Quick test_dup_shares_offset;
+    tc "oplog checkpoint when full" `Quick test_oplog_checkpoint_on_full;
+    tc "DRAM staging ablation functional" `Quick test_dram_staging_functional;
+    tc "memory usage reported" `Quick test_memory_usage_reported;
+    QCheck_alcotest.to_alcotest (prop_equiv_with_ext4 Splitfs.Config.Posix);
+    QCheck_alcotest.to_alcotest (prop_equiv_with_ext4 Splitfs.Config.Sync);
+    QCheck_alcotest.to_alcotest (prop_equiv_with_ext4 Splitfs.Config.Strict);
+  ]

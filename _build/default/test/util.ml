@@ -1,0 +1,39 @@
+(** Shared helpers for the test suites. *)
+
+let make_env ?(capacity = 32 * 1024 * 1024) () = Pmem.Env.create ~capacity ()
+
+let make_kernel ?capacity () =
+  let env = make_env ?capacity () in
+  let kfs = Kernelfs.Ext4.mkfs ~journal_len:(2 * 1024 * 1024) env in
+  let sys = Kernelfs.Syscall.make kfs in
+  (env, kfs, sys)
+
+let small_splitfs_cfg mode =
+  {
+    Splitfs.Config.default with
+    Splitfs.Config.mode;
+    staging_files = 2;
+    staging_size = 1024 * 1024;
+    oplog_size = 64 * 1024;
+  }
+
+let make_splitfs ?capacity ?(mode = Splitfs.Config.Posix) ?cfg () =
+  let env, kfs, sys = make_kernel ?capacity () in
+  let cfg = match cfg with Some c -> c | None -> small_splitfs_cfg mode in
+  let u = Splitfs.Usplit.mount ~cfg ~sys ~env ~instance:0 () in
+  (env, kfs, sys, u, Splitfs.Usplit.as_fsapi u)
+
+let string_of_len n c = String.make n c
+
+(** Deterministic pseudo-random bytes for content checks. *)
+let pattern ~seed len =
+  String.init len (fun i ->
+      Char.chr ((seed * 131 + i * 7 + (i * i mod 251)) mod 256))
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fs_write_read_roundtrip (fs : Fsapi.Fs.t) path content =
+  Fsapi.Fs.write_file fs path content;
+  Fsapi.Fs.read_file fs path
