@@ -1,0 +1,19 @@
+.PHONY: all build test bench check
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Full verification: build, unit + property + differential tests, and the
+# paper tables as a smoke test of every experiment stack.
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --fast

@@ -5,7 +5,10 @@
     operation.
 
     Usage: [dune exec bench/main.exe] (paper tables + bechamel)
-           [dune exec bench/main.exe -- --fast] (paper tables only) *)
+           [dune exec bench/main.exe -- --fast] (paper tables only)
+           [dune exec bench/main.exe -- --json <path>] (also write the
+           host ns/op estimates to [path] as a perf-trajectory point:
+           [{"tests": {"<name>": {"ns_per_op": N}}, "date": "..."}]) *)
 
 open Bechamel
 open Toolkit
@@ -111,70 +114,135 @@ let recovery_closure () =
     Pmem.Device.crash env.Pmem.Env.dev;
     ignore (Splitfs.Recovery.recover ~sys ~env ~instance:0)
 
-let bechamel_tests =
+(* Each entry is a constructor so the test's FS stack is built right
+   before its measurement and becomes garbage right after: keeping all
+   eleven stacks live at once made the incremental major GC's marking
+   work — proportional to the scanned live heap — dominate every
+   estimate (3-6x inflation over the same closure measured alone). *)
+let bechamel_tests : (unit -> Test.t) list =
   [
     (* Table 1: the 4K append on the two headline systems *)
-    Test.make ~name:"table1/append-ext4-dax"
-      (Staged.stage (append_closure Harness.Fs_config.Ext4_dax));
-    Test.make ~name:"table1/append-splitfs-posix"
-      (Staged.stage (append_closure Harness.Fs_config.Splitfs_posix));
+    (fun () ->
+      Test.make ~name:"table1/append-ext4-dax"
+        (Staged.stage (append_closure Harness.Fs_config.Ext4_dax)));
+    (fun () ->
+      Test.make ~name:"table1/append-splitfs-posix"
+        (Staged.stage (append_closure Harness.Fs_config.Splitfs_posix)));
     (* Table 2: raw device op *)
-    Test.make ~name:"table2/device-4k-write"
-      (let env = Pmem.Env.create ~capacity:(1024 * 1024) () in
-       let buf = Bytes.make 4096 'd' in
-       Staged.stage (fun () ->
-           Pmem.Device.store_nt env.Pmem.Env.dev ~addr:0 buf ~off:0 ~len:4096));
+    (fun () ->
+      Test.make ~name:"table2/device-4k-write"
+        (let env = Pmem.Env.create ~capacity:(1024 * 1024) () in
+         let buf = Bytes.make 4096 'd' in
+         Staged.stage (fun () ->
+             Pmem.Device.store_nt env.Pmem.Env.dev ~addr:0 buf ~off:0 ~len:4096)));
     (* Table 6: the varmail create/append/fsync/unlink sequence *)
-    Test.make ~name:"table6/varmail-splitfs-strict"
-      (Staged.stage (varmail_closure Harness.Fs_config.Splitfs_strict));
+    (fun () ->
+      Test.make ~name:"table6/varmail-splitfs-strict"
+        (Staged.stage (varmail_closure Harness.Fs_config.Splitfs_strict)));
     (* Table 7: the LSM KV op mix on SplitFS-strict *)
-    Test.make ~name:"table7/lsm-splitfs-strict"
-      (Staged.stage (kv_closure Harness.Fs_config.Splitfs_strict));
+    (fun () ->
+      Test.make ~name:"table7/lsm-splitfs-strict"
+        (Staged.stage (kv_closure Harness.Fs_config.Splitfs_strict)));
     (* Figure 3: staged append with periodic fsync (relink path) *)
-    Test.make ~name:"fig3/append-relink"
-      (Staged.stage (append_closure Harness.Fs_config.Splitfs_posix));
+    (fun () ->
+      Test.make ~name:"fig3/append-relink"
+        (Staged.stage (append_closure Harness.Fs_config.Splitfs_posix)));
     (* Figure 4: overwrite and read patterns *)
-    Test.make ~name:"fig4/overwrite-splitfs"
-      (Staged.stage (overwrite_closure Harness.Fs_config.Splitfs_posix));
-    Test.make ~name:"fig4/read-splitfs"
-      (Staged.stage (read_closure Harness.Fs_config.Splitfs_posix));
+    (fun () ->
+      Test.make ~name:"fig4/overwrite-splitfs"
+        (Staged.stage (overwrite_closure Harness.Fs_config.Splitfs_posix)));
+    (fun () ->
+      Test.make ~name:"fig4/read-splitfs"
+        (Staged.stage (read_closure Harness.Fs_config.Splitfs_posix)));
     (* Figure 5/6: the embedded database transaction *)
-    Test.make ~name:"fig5/tpcc-tx-splitfs-sync"
-      (Staged.stage (db_closure Harness.Fs_config.Splitfs_sync));
-    Test.make ~name:"fig6/kv-nova-strict"
-      (Staged.stage (kv_closure Harness.Fs_config.Nova_strict));
+    (fun () ->
+      Test.make ~name:"fig5/tpcc-tx-splitfs-sync"
+        (Staged.stage (db_closure Harness.Fs_config.Splitfs_sync)));
+    (fun () ->
+      Test.make ~name:"fig6/kv-nova-strict"
+        (Staged.stage (kv_closure Harness.Fs_config.Nova_strict)));
     (* §5.3 recovery *)
-    Test.make ~name:"recovery/crash-replay" (Staged.stage (recovery_closure ()));
+    (fun () ->
+      Test.make ~name:"recovery/crash-replay"
+        (Staged.stage (recovery_closure ())));
   ]
 
+(** Run every bechamel test, print one line per test and return the
+    (name, host ns/op) estimates in declaration order. *)
 let run_bechamel () =
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
-  let raw =
-    List.map
-      (fun test -> Benchmark.all cfg instances test)
-      (List.map (fun t -> Test.make_grouped ~name:(Test.name t) [ t ]) bechamel_tests)
-  in
-  ignore raw;
-  (* analyse and print one line per test *)
+  (* long enough for the OLS estimate to converge on closures that mutate
+     FS state (growing files, periodic relink batches); 0.5 s gave
+     estimates that swung 2-3x between runs *)
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 2.0) ~kde:(Some 100) () in
   Printf.printf "\n== Bechamel: wall-clock cost of the simulator per operation ==\n";
-  List.iter
-    (fun test ->
+  List.concat_map
+    (fun mk ->
+      (* reclaim the previous test's stack (and, on the first test, the
+         experiment phase's garbage) so marking cost reflects this test *)
+      Gc.compact ();
+      let test = mk () in
       let results = Benchmark.all cfg instances test in
       let ols =
         Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
           (Instance.monotonic_clock) results
       in
-      Hashtbl.iter
-        (fun name result ->
+      Hashtbl.fold
+        (fun name result acc ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-34s %10.0f ns/op (host)\n" name est
-          | _ -> Printf.printf "%-34s (no estimate)\n" name)
-        ols)
+          | Some [ est ] ->
+              Printf.printf "%-34s %10.0f ns/op (host)\n" name est;
+              (name, est) :: acc
+          | _ ->
+              Printf.printf "%-34s (no estimate)\n" name;
+              acc)
+        ols [])
     bechamel_tests
+
+(* ------------------------------------------------------------------ *)
+(* JSON perf trajectory: one point per PR, diffable across sessions     *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_trajectory path estimates =
+  let tm = Unix.gmtime (Unix.time ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday
+  in
+  let oc = open_out path in
+  output_string oc "{\n  \"tests\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "    \"%s\": {\"ns_per_op\": %.1f}%s\n" (json_escape name)
+        est
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  Printf.fprintf oc "  },\n  \"date\": \"%s\"\n}\n" date;
+  close_out oc;
+  Printf.printf "\nwrote perf trajectory point to %s\n" path
 
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
   ignore (Harness.Experiments.table1 ());
   ignore (Harness.Experiments.table2 ());
   ignore (Harness.Experiments.table6 ());
@@ -186,5 +254,8 @@ let () =
   ignore (Harness.Experiments.recovery ());
   ignore (Harness.Experiments.resources ());
   ignore (Harness.Experiments.ablations ());
-  if not fast then run_bechamel ();
+  if not fast then begin
+    let estimates = run_bechamel () in
+    Option.iter (fun path -> write_trajectory path estimates) json_path
+  end;
   print_endline "\nAll experiments completed."

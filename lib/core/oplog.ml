@@ -118,7 +118,7 @@ type t = {
 let dev_addr t ~off =
   match
     Kernelfs.Ext4.translate (Kernelfs.Syscall.kernel t.sys) t.mapping
-      ~file_off:off
+      ~max:entry_size ~file_off:off
   with
   | Some (addr, run) when run >= entry_size -> addr
   | _ -> Fsapi.Errno.(error EINVAL "oplog: unmapped slot")
@@ -127,7 +127,7 @@ let zero_range t ~off ~len =
   let pos = ref off in
   let kfs = Kernelfs.Syscall.kernel t.sys in
   while !pos < off + len do
-    match Kernelfs.Ext4.translate kfs t.mapping ~file_off:!pos with
+    match Kernelfs.Ext4.translate kfs t.mapping ~max:(off + len - !pos) ~file_off:!pos with
     | Some (addr, run) ->
         let n = min run (off + len - !pos) in
         Device.zero_nt t.env.Env.dev ~addr ~len:n;

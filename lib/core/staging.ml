@@ -157,9 +157,9 @@ let reserve_contiguous h ~at len =
   end
   else false
 
-let translate t h ~off =
+let translate t h ~max ~off =
   Kernelfs.Ext4.translate (Kernelfs.Syscall.kernel t.sys) (pm_backing h).mapping
-    ~file_off:off
+    ~max ~file_off:off
 
 (** User-space write into the staging area — no kernel involvement.
     PM-backed handles take non-temporal stores through the mapping; DRAM
@@ -173,7 +173,7 @@ let write t h ~off buf ~boff ~len =
   | Pm_file _ ->
       let pos = ref off and src = ref boff and remaining = ref len in
       while !remaining > 0 do
-        match translate t h ~off:!pos with
+        match translate t h ~max:!remaining ~off:!pos with
         | Some (addr, run) ->
             let n = min run !remaining in
             Device.store_nt t.env.Env.dev ~addr buf ~off:!src ~len:n;
@@ -196,7 +196,7 @@ let read t h ~off buf ~boff ~len =
   | Pm_file _ ->
       let pos = ref off and dst = ref boff and remaining = ref len in
       while !remaining > 0 do
-        match translate t h ~off:!pos with
+        match translate t h ~max:!remaining ~off:!pos with
         | Some (addr, run) ->
             let n = min run !remaining in
             Device.load t.env.Env.dev ~addr buf ~off:!dst ~len:n;

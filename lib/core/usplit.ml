@@ -29,6 +29,12 @@ type file_state = {
           every staged byte not yet relinked; the newest write wins *)
   mutable staging : Staging.handle option;
   mutable mmaps : Kernelfs.Ext4.mapping list;  (** collection of mmaps *)
+  mutable mmap_index : (int * int * Kernelfs.Ext4.mapping) array;
+      (** lookup index over [mmaps]: disjoint [start, stop) file-offset
+          spans sorted by start, each pointing at the mapping that the
+          newest-first list scan would return for offsets in the span *)
+  mutable mmap_index_stale : bool;  (** [mmaps] changed since last rebuild *)
+  mutable mmap_last : int;  (** last-hit slot in [mmap_index] *)
   mutable open_count : int;
   mutable unlinked : bool;
 }
@@ -55,10 +61,20 @@ type t = {
       (** true while a log-full checkpoint relinks every file; suppresses
           recursive logging *)
   mutable checkpoint : unit -> unit;  (** wired to [relink_all] at mount *)
+  mutable scratch : Bytes.t;
+      (** reusable bounce buffer for relink boundary copies, grown on
+          demand — keeps the staging->target copy path allocation-free *)
 }
 
 let bookkeeping t = Env.cpu t.env t.env.Env.timing.Timing.usplit_bookkeeping
 let fence t = Device.fence t.env.Env.dev
+
+(** Bounce buffer of at least [len] bytes, reused across relink copies so
+    the staging->target path allocates nothing per call. *)
+let scratch_buf t len =
+  if Bytes.length t.scratch < len then
+    t.scratch <- Bytes.create (max len (2 * Bytes.length t.scratch));
+  t.scratch
 
 let logs_ops t =
   match t.cfg.Config.mode with
@@ -92,14 +108,93 @@ let oplog t = t.oplog
 
 let kfs t = Kernelfs.Syscall.kernel t.sys
 
+(** The collection of mmaps is consulted on every user-space read and
+    write, so lookups must not scan the mapping list. [mmap_index] is a
+    sorted array of disjoint file-offset spans, each resolved to the
+    mapping a newest-first scan of [mmaps] would pick (mappings may
+    overlap after relink retains fresh ones over older regions; the newest
+    wins, exactly like the previous [List.find_opt] over the
+    newest-first list). It is rebuilt lazily after [mmaps] changes, and a
+    last-hit slot makes consecutive accesses to the same span O(1). *)
+
+let invalidate_mmap_index st = st.mmap_index_stale <- true
+
+let rebuild_mmap_index st =
+  (* Walk newest-to-oldest, claiming only offsets no newer mapping covers.
+     [covered] is kept as a sorted disjoint interval list. *)
+  let segs = ref [] and covered = ref [] in
+  let rec claim s e m cov =
+    match cov with
+    | [] -> if s < e then segs := (s, e, m) :: !segs
+    | (cs, ce) :: rest ->
+        if e <= cs then (if s < e then segs := (s, e, m) :: !segs)
+        else if ce <= s then claim s e m rest
+        else begin
+          if s < cs then segs := (s, cs, m) :: !segs;
+          if ce < e then claim ce e m rest
+        end
+  in
+  let rec insert s e cov =
+    match cov with
+    | [] -> [ (s, e) ]
+    | (cs, ce) :: rest ->
+        if e < cs then (s, e) :: cov
+        else if ce < s then (cs, ce) :: insert s e rest
+        else insert (min s cs) (max e ce) rest
+  in
+  List.iter
+    (fun m ->
+      let s = m.Kernelfs.Ext4.m_off in
+      let e = s + m.Kernelfs.Ext4.m_len in
+      claim s e m !covered;
+      covered := insert s e !covered)
+    st.mmaps;
+  let arr = Array.of_list !segs in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) arr;
+  st.mmap_index <- arr;
+  st.mmap_index_stale <- false;
+  st.mmap_last <- 0
+
+(** Cached mapping covering file offset [off], if any. *)
+let find_cached_mapping st ~off =
+  if st.mmap_index_stale then rebuild_mmap_index st;
+  let idx = st.mmap_index in
+  let n = Array.length idx in
+  if n = 0 then None
+  else begin
+    let within i =
+      let s, e, _ = idx.(i) in
+      off >= s && off < e
+    in
+    if st.mmap_last < n && within st.mmap_last then
+      let _, _, m = idx.(st.mmap_last) in
+      Some m
+    else begin
+      (* binary search for the last span starting at or before [off] *)
+      let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
+      while !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let s, _, _ = idx.(mid) in
+        if s <= off then begin
+          found := mid;
+          lo := mid + 1
+        end
+        else hi := mid - 1
+      done;
+      if !found >= 0 && within !found then begin
+        st.mmap_last <- !found;
+        let _, _, m = idx.(!found) in
+        Some m
+      end
+      else None
+    end
+  end
+
 (** Find or establish the mapping covering file offset [off] (within the
     kernel-visible part of the file). Newly created mappings cover the
     surrounding [cfg.mmap_size] region and are cached until unlink. *)
 let get_mapping t st ~off =
-  let covers m =
-    off >= m.Kernelfs.Ext4.m_off && off < m.Kernelfs.Ext4.m_off + m.Kernelfs.Ext4.m_len
-  in
-  match List.find_opt covers st.mmaps with
+  match find_cached_mapping st ~off with
   | Some m -> Some m
   | None ->
       let region = t.cfg.Config.mmap_size in
@@ -110,6 +205,7 @@ let get_mapping t st ~off =
       else begin
         let m = Kernelfs.Syscall.mmap t.sys st.f_kfd ~off:rstart ~len:rlen in
         st.mmaps <- m :: st.mmaps;
+        invalidate_mmap_index st;
         Some m
       end
 
@@ -127,7 +223,8 @@ let retain_mapping t st ~off ~len =
   let rlen = (off + len + block_size - 1) / block_size * block_size - rstart in
   let inode = Kernelfs.Syscall.inode_of_fd t.sys st.f_kfd in
   let m = Kernelfs.Ext4.mmap_retained (kfs t) inode ~off:rstart ~len:rlen in
-  st.mmaps <- m :: st.mmaps
+  st.mmaps <- m :: st.mmaps;
+  invalidate_mmap_index st
 
 (* ------------------------------------------------------------------ *)
 (* File-state lookup                                                    *)
@@ -177,7 +274,7 @@ let write_inplace t st ~at buf ~boff ~len =
     in
     match get_mapping t st ~off:!pos with
     | Some m -> (
-        match Kernelfs.Ext4.translate (kfs t) m ~file_off:!pos with
+        match Kernelfs.Ext4.translate (kfs t) m ~max:!remaining ~file_off:!pos with
         | Some (addr, run) ->
             let n = min run !remaining in
             Device.store_nt t.env.Env.dev ~addr buf ~off:!src ~len:n;
@@ -246,7 +343,7 @@ and relink_extent t st h (e : Kernelfs.Extent_tree.extent) ~dst_size =
      pwrite only as a fallback for unmapped holes). *)
   let copy ~t_off ~s_off ~len =
     if len > 0 then begin
-      let buf = Bytes.create len in
+      let buf = scratch_buf t len in
       Staging.read t.staging_pool h ~off:s_off buf ~boff:0 ~len;
       write_inplace t st ~at:t_off buf ~boff:0 ~len;
       stats.Stats.relink_copied_bytes <- stats.Stats.relink_copied_bytes + len
@@ -259,7 +356,7 @@ and relink_extent t st h (e : Kernelfs.Extent_tree.extent) ~dst_size =
     (* Figure 3 ablation (staging without relink) and the §4 DRAM-staging
        design: fsync copies the staged data into the target file through
        the kernel *)
-    let buf = Bytes.create len in
+    let buf = scratch_buf t len in
     Staging.read t.staging_pool h ~off:s_off buf ~boff:0 ~len;
     let n = Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff:0 ~len ~at:t_off in
     assert (n = len);
@@ -424,7 +521,7 @@ let read_mapped t st ~at buf ~boff ~len =
     in
     match get_mapping t st ~off:!pos with
     | Some m -> (
-        match Kernelfs.Ext4.translate (kfs t) m ~file_off:!pos with
+        match Kernelfs.Ext4.translate (kfs t) m ~max:!remaining ~file_off:!pos with
         | Some (addr, run) ->
             let n = min run !remaining in
             Device.load t.env.Env.dev ~addr buf ~off:!dst ~len:n;
@@ -500,6 +597,9 @@ let make_state t path kfd =
       shadow = Kernelfs.Extent_tree.create ();
       staging = None;
       mmaps = [];
+      mmap_index = [||];
+      mmap_index_stale = false;
+      mmap_last = 0;
       open_count = 0;
       unlinked = false;
     }
@@ -510,7 +610,8 @@ let make_state t path kfd =
 
 let reset_after_truncate st size =
   ignore (Kernelfs.Extent_tree.remove_range st.shadow ~logical:size ~len:max_int);
-  st.mmaps <- []
+  st.mmaps <- [];
+  invalidate_mmap_index st
 
 let open_ t path (flags : Fsapi.Flags.t) =
   bookkeeping t;
@@ -560,6 +661,7 @@ let cleanup_state t st =
   | None -> ());
   Kernelfs.Extent_tree.clear st.shadow;
   st.mmaps <- [];
+  invalidate_mmap_index st;
   Hashtbl.remove t.files_by_ino st.f_ino;
   Kernelfs.Syscall.close t.sys st.f_kfd
 
@@ -753,6 +855,7 @@ let mount ?(cfg = Config.default) ~sys ~env ~instance () =
       next_fd = 3;
       checkpointing = false;
       checkpoint = (fun () -> ());
+      scratch = Bytes.empty;
     }
   in
   t.checkpoint <- (fun () -> relink_all t);
@@ -797,6 +900,9 @@ let adopt_fd t' ~od_kfd ~fpos ~oflags =
             shadow = Kernelfs.Extent_tree.create ();
             staging = None;
             mmaps = [];
+            mmap_index = [||];
+            mmap_index_stale = false;
+            mmap_last = 0;
             open_count = 0;
             unlinked = kstat.Fsapi.Fs.st_nlink = 0;
           }

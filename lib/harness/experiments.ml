@@ -728,15 +728,37 @@ let resources ?(files = 500) ?(print = true) () =
     fs.close fd;
     let u = Option.get stack.usplit in
     let mem = Splitfs.Usplit.memory_usage u in
-    let bg = stack.env.Pmem.Env.stats.Pmem.Stats.background_ns in
+    let stats = stack.env.Pmem.Env.stats in
+    let bg = stats.Pmem.Stats.background_ns in
     let total = Pmem.Env.now stack.env in
-    (name mode, mem, bg /. (total +. 1.) *. 100.)
+    ( (name mode, mem, bg /. (total +. 1.) *. 100.),
+      ( name mode,
+        stats.Pmem.Stats.dirty_lines_hwm,
+        stats.Pmem.Stats.fast_path_hits,
+        stats.Pmem.Stats.slow_path_hits ) )
   in
-  let rows = List.map run [ Splitfs_posix; Splitfs_strict ] in
-  if print then
+  let all = List.map run [ Splitfs_posix; Splitfs_strict ] in
+  let rows = List.map fst all in
+  if print then begin
     Runner.print_table ~title:"Resource consumption (section 5.10)"
       [ "configuration"; "U-Split DRAM (KB)"; "background thread (% of run)" ]
       (List.map
          (fun (n, mem, bg) -> [ n; string_of_int (mem / 1024); Runner.f1 bg ^ "%" ])
          rows);
+    (* host-side simulator internals: how often the device served an
+       operation with the zero-dirty-lines fast path, and how deep the
+       dirty-line set got (these do not affect simulated time) *)
+    Runner.print_table ~title:"Simulator fast-path statistics (host-side)"
+      [ "configuration"; "dirty-line high-water"; "fast-path ops"; "slow-path ops"; "fast-path share" ]
+      (List.map
+         (fun (_, (n, hwm, fast, slow)) ->
+           [
+             n;
+             string_of_int hwm;
+             string_of_int fast;
+             string_of_int slow;
+             Runner.f1 (float_of_int fast /. float_of_int (max 1 (fast + slow)) *. 100.) ^ "%";
+           ])
+         all)
+  end;
   rows

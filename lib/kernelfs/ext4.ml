@@ -618,8 +618,13 @@ let mmap t inode ~off ~len =
 
 (** [translate m ~file_off] gives the device address backing [file_off] and
     the number of contiguously mapped bytes from there; [None] on a hole or
-    outside the mapping. *)
-let translate t m ~file_off =
+    outside the mapping. [max] bounds the run-length scan: callers that will
+    cap the run at [n] bytes anyway should pass [~max:n], which stops the
+    page walk as soon as [n] contiguous bytes are proven — on a fully
+    contiguous staging mapping the unbounded walk is O(mapping size). The
+    returned run may exceed [max] (it ends on a page boundary) but is only
+    guaranteed maximal when it is shorter than [max]. *)
+let translate t m ~max ~file_off =
   if file_off < m.m_off || file_off >= m.m_off + m.m_len then None
   else begin
     let rel = file_off - m.m_off in
@@ -631,7 +636,8 @@ let translate t m ~file_off =
       let run = ref (block_size - in_page) in
       let p = ref page in
       while
-        !p + 1 < Array.length m.pages
+        !run < max
+        && !p + 1 < Array.length m.pages
         && m.pages.(!p + 1) = m.pages.(!p) + 1
         && m.m_off + ((!p + 1) * block_size) < m.m_off + m.m_len
       do

@@ -5,23 +5,43 @@
     controller, temporal stores live in the (volatile) CPU cache until the
     line is flushed. A crash discards every dirty cache line.
 
-    [persistent] holds the durable image; [dirty] holds cache lines that
-    have been written with temporal stores but not yet flushed. All accesses
-    charge simulated time on the shared clock and update the shared
-    statistics. *)
+    [persistent] holds the durable image. Dirty cache lines live in a single
+    [shadow] buffer (at the same offsets as the durable image) indexed by a
+    dense bitmap: bit [l mod 32] of word [l / 32] in [dirty] is set iff line
+    [l] holds unflushed cached data, and [dirty_count] counts the set bits.
+    When [dirty_count] is zero — the common state right after any
+    fsync/relink — [load] and [store_nt] degenerate to a single [Bytes.blit]
+    plus cost accounting, with zero per-line work. The slow paths coalesce
+    contiguous clean/dirty line spans into batched blits.
+
+    Host-side data-structure choices must never change simulated-time
+    results: every code path charges exactly the per-line costs the
+    line-at-a-time implementation charged (see test/test_device_diff.ml,
+    which checks this against a naive reference model). All accesses charge
+    simulated time on the shared clock and update the shared statistics. *)
 
 let line_size = 64
 let block_size = 4096
 
+(* One bitmap word covers 32 cache lines (2 KB); OCaml's 63-bit native ints
+   keep all mask arithmetic unboxed. *)
+let lines_per_word = 32
+let word_mask = 0xFFFFFFFF
+
 type t = {
   capacity : int;
   persistent : Bytes.t;
-  dirty : (int, Bytes.t) Hashtbl.t;  (** line index -> line content *)
+  mutable shadow : Bytes.t;
+      (** dirty-line contents at their device offsets; allocated lazily on
+          the first temporal store *)
+  dirty : int array;  (** dense dirty-line bitmap, one word per 32 lines *)
+  mutable dirty_count : int;  (** number of set bits in [dirty] *)
   wear : int array;  (** write count per 4 KB block *)
   clock : Simclock.t;
   timing : Timing.t;
   stats : Stats.t;
-  mutable last_read_end : int;  (** to classify sequential vs random reads *)
+  mutable last_read_start : int;  (** to classify sequential vs random reads *)
+  mutable last_read_end : int;
 }
 
 let create ?(capacity = 64 * 1024 * 1024) ~clock ~timing ~stats () =
@@ -29,11 +49,14 @@ let create ?(capacity = 64 * 1024 * 1024) ~clock ~timing ~stats () =
   {
     capacity;
     persistent = Bytes.make capacity '\000';
-    dirty = Hashtbl.create 4096;
+    shadow = Bytes.empty;
+    dirty = Array.make (capacity / line_size / lines_per_word) 0;
+    dirty_count = 0;
     wear = Array.make (capacity / block_size) 0;
     clock;
     timing;
     stats;
+    last_read_start = -1;
     last_read_end = -1;
   }
 
@@ -50,6 +73,110 @@ let add_wear t addr len =
     t.wear.(b) <- t.wear.(b) + 1
   done
 
+(* ------------------------------------------------------------------ *)
+(* Dirty-line bitmap index                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_shadow t =
+  if Bytes.length t.shadow = 0 then t.shadow <- Bytes.create t.capacity
+
+let popcount32 n =
+  let n = n - ((n lsr 1) land 0x55555555) in
+  let n = (n land 0x33333333) + ((n lsr 2) land 0x33333333) in
+  let n = (n + (n lsr 4)) land 0x0F0F0F0F in
+  (n * 0x01010101) lsr 24 land 0x3F
+
+(* Bits [lo..hi] of a word, inclusive. *)
+let range_mask lo hi = ((1 lsl (hi - lo + 1)) - 1) lsl lo
+
+let line_dirty t line =
+  t.dirty.(line lsr 5) land (1 lsl (line land 31)) <> 0
+
+let bump_dirty t added =
+  t.dirty_count <- t.dirty_count + added;
+  if t.dirty_count > t.stats.Stats.dirty_lines_hwm then
+    t.stats.Stats.dirty_lines_hwm <- t.dirty_count
+
+(** Seed the shadow copy of a clean line from the durable image and mark it
+    dirty; no-op on already-dirty lines (their shadow content is newest). *)
+let init_line_if_clean t line =
+  let w = line lsr 5 and bit = 1 lsl (line land 31) in
+  if t.dirty.(w) land bit = 0 then begin
+    Bytes.blit t.persistent (line * line_size) t.shadow (line * line_size)
+      line_size;
+    t.dirty.(w) <- t.dirty.(w) lor bit;
+    bump_dirty t 1
+  end
+
+(** Set every bit in [first..last], counting only newly-set bits. *)
+let mark_range_dirty t first last =
+  let wf = first lsr 5 and wl = last lsr 5 in
+  for w = wf to wl do
+    let lo = if w = wf then first land 31 else 0 in
+    let hi = if w = wl then last land 31 else 31 in
+    let mask =
+      if lo = 0 && hi = 31 then word_mask else range_mask lo hi
+    in
+    let added = mask land lnot t.dirty.(w) in
+    if added <> 0 then begin
+      t.dirty.(w) <- t.dirty.(w) lor mask;
+      bump_dirty t (popcount32 added)
+    end
+  done
+
+(** Write every dirty line in [first..last] back to the durable image
+    (coalescing consecutive lines into one blit) and clear its bit. Charges
+    nothing — callers account for the operation that triggered it. *)
+let writeback_dirty_range t first last =
+  let wf = first lsr 5 and wl = last lsr 5 in
+  for w = wf to wl do
+    let lo = if w = wf then first land 31 else 0 in
+    let hi = if w = wl then last land 31 else 31 in
+    let mask =
+      if lo = 0 && hi = 31 then word_mask else range_mask lo hi
+    in
+    let bits = t.dirty.(w) land mask in
+    if bits <> 0 then begin
+      let b = ref lo in
+      while !b <= hi do
+        if bits land (1 lsl !b) = 0 then incr b
+        else begin
+          let s = !b in
+          while !b <= hi && bits land (1 lsl !b) <> 0 do incr b done;
+          let off = ((w lsl 5) + s) * line_size in
+          Bytes.blit t.shadow off t.persistent off ((!b - s) * line_size)
+        end
+      done;
+      t.dirty.(w) <- t.dirty.(w) land lnot mask;
+      t.dirty_count <- t.dirty_count - popcount32 bits
+    end
+  done
+
+(** Last line of the maximal run starting at [line] (bounded by [last])
+    whose lines all share [line]'s dirtiness [d]; whole bitmap words are
+    skipped 32 lines at a time. *)
+let span_end t ~d ~line ~last =
+  let l = ref line in
+  let continue = ref true in
+  while !continue && !l < last do
+    let next = !l + 1 in
+    if next land 31 = 0 && last - next >= 31 then begin
+      (* a full word ahead: skip it wholesale when uniform *)
+      let w = t.dirty.(next lsr 5) in
+      if d && w = word_mask then l := next + 31
+      else if (not d) && w = 0 then l := next + 31
+      else if line_dirty t next = d then l := next
+      else continue := false
+    end
+    else if line_dirty t next = d then l := next
+    else continue := false
+  done;
+  !l
+
+(* ------------------------------------------------------------------ *)
+(* Stores                                                               *)
+(* ------------------------------------------------------------------ *)
+
 (** Temporal store: data lands in the CPU cache and is lost on crash unless
     flushed. *)
 let store t ~addr src ~off ~len =
@@ -57,44 +184,31 @@ let store t ~addr src ~off ~len =
   if len > 0 then begin
     Simclock.advance t.clock
       (float_of_int len *. t.timing.Timing.cache_store_per_byte);
-    let pos = ref addr and soff = ref off and remaining = ref len in
-    while !remaining > 0 do
-      let line = !pos / line_size in
-      let in_line = !pos mod line_size in
-      let n = min !remaining (line_size - in_line) in
-      let content =
-        match Hashtbl.find_opt t.dirty line with
-        | Some c -> c
-        | None ->
-            let c = Bytes.create line_size in
-            Bytes.blit t.persistent (line * line_size) c 0 line_size;
-            Hashtbl.replace t.dirty line c;
-            c
-      in
-      Bytes.blit src !soff content in_line n;
-      pos := !pos + n;
-      soff := !soff + n;
-      remaining := !remaining - n
-    done
+    ensure_shadow t;
+    let first = addr / line_size and last = (addr + len - 1) / line_size in
+    (* boundary lines may be partially covered: their bytes outside
+       [addr, addr+len) must come from the durable image when clean;
+       interior lines are fully overwritten below *)
+    init_line_if_clean t first;
+    if last <> first then init_line_if_clean t last;
+    if last > first + 1 then mark_range_dirty t (first + 1) (last - 1);
+    Bytes.blit src off t.shadow addr len
   end
-
-let persist_line t line =
-  match Hashtbl.find_opt t.dirty line with
-  | None -> ()
-  | Some content ->
-      Bytes.blit content 0 t.persistent (line * line_size) line_size;
-      Hashtbl.remove t.dirty line
 
 (** Non-temporal store: bypasses the cache; durable once a subsequent fence
     orders it (ADR makes it durable on arrival, the fence is ordering). *)
 let store_nt t ~addr src ~off ~len =
   assert (check_range t addr len);
   if len > 0 then begin
-    (* A line may hold older cached data; the NT store must invalidate it. *)
-    let first = addr / line_size and last = (addr + len - 1) / line_size in
-    for line = first to last do
-      persist_line t line
-    done;
+    if t.dirty_count = 0 then
+      t.stats.Stats.fast_path_hits <- t.stats.Stats.fast_path_hits + 1
+    else begin
+      (* a covered line may hold older cached data; the NT store must
+         invalidate it (the cached content reaches the durable image first,
+         then the store overwrites its part) *)
+      t.stats.Stats.slow_path_hits <- t.stats.Stats.slow_path_hits + 1;
+      writeback_dirty_range t (addr / line_size) ((addr + len - 1) / line_size)
+    end;
     Bytes.blit src off t.persistent addr len;
     charge_media t (Timing.nt_write_cost t.timing len);
     t.stats.Stats.nt_stores <- t.stats.Stats.nt_stores + 1;
@@ -102,58 +216,107 @@ let store_nt t ~addr src ~off ~len =
     add_wear t addr len
   end
 
-(** Flush (clwb) every dirty line intersecting [addr, addr+len). *)
+(* ------------------------------------------------------------------ *)
+(* Flush / fence                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Flush (clwb) every dirty line intersecting [addr, addr+len): only set
+    bits in the range are visited, clean words are skipped wholesale. *)
 let flush t ~addr ~len =
   assert (check_range t addr len);
   if len > 0 then begin
-    let first = addr / line_size and last = (addr + len - 1) / line_size in
-    for line = first to last do
-      if Hashtbl.mem t.dirty line then begin
-        persist_line t line;
-        Simclock.advance t.clock t.timing.Timing.clwb;
-        charge_media t (Timing.nt_write_cost t.timing line_size);
-        t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
-        t.stats.Stats.pm_write_bytes <- t.stats.Stats.pm_write_bytes + line_size;
-        add_wear t (line * line_size) line_size
-      end
-    done
+    if t.dirty_count = 0 then
+      t.stats.Stats.fast_path_hits <- t.stats.Stats.fast_path_hits + 1
+    else begin
+      t.stats.Stats.slow_path_hits <- t.stats.Stats.slow_path_hits + 1;
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      let wf = first lsr 5 and wl = last lsr 5 in
+      for w = wf to wl do
+        let lo = if w = wf then first land 31 else 0 in
+        let hi = if w = wl then last land 31 else 31 in
+        let mask =
+          if lo = 0 && hi = 31 then word_mask else range_mask lo hi
+        in
+        let bits = t.dirty.(w) land mask in
+        if bits <> 0 then begin
+          for b = lo to hi do
+            if bits land (1 lsl b) <> 0 then begin
+              let line = (w lsl 5) + b in
+              let off = line * line_size in
+              Bytes.blit t.shadow off t.persistent off line_size;
+              Simclock.advance t.clock t.timing.Timing.clwb;
+              charge_media t (Timing.nt_write_cost t.timing line_size);
+              t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
+              t.stats.Stats.pm_write_bytes <-
+                t.stats.Stats.pm_write_bytes + line_size;
+              add_wear t off line_size
+            end
+          done;
+          t.dirty.(w) <- t.dirty.(w) land lnot mask;
+          t.dirty_count <- t.dirty_count - popcount32 bits
+        end
+      done
+    end
   end
 
 let fence t =
   Simclock.advance t.clock t.timing.Timing.sfence;
   t.stats.Stats.fences <- t.stats.Stats.fences + 1
 
+(* ------------------------------------------------------------------ *)
+(* Loads                                                                *)
+(* ------------------------------------------------------------------ *)
+
 (** Load [len] bytes at [addr] into [dst]. Dirty (cached) lines are served
     from the cache at cache speed; the rest is charged PM media cost, with
-    the first-access latency picked by read adjacency. *)
+    the first-access latency picked by read adjacency — continuing where
+    the last load ended, or exactly repeating it, counts as sequential. *)
 let load t ~addr dst ~off ~len =
   assert (check_range t addr len);
   if len > 0 then begin
-    let random = addr <> t.last_read_end in
+    let random =
+      not
+        (addr = t.last_read_end
+        || (addr = t.last_read_start && addr + len = t.last_read_end))
+    in
+    t.last_read_start <- addr;
     t.last_read_end <- addr + len;
-    let pos = ref addr and doff = ref off and remaining = ref len in
-    let cached = ref 0 and uncached = ref 0 in
-    while !remaining > 0 do
-      let line = !pos / line_size in
-      let in_line = !pos mod line_size in
-      let n = min !remaining (line_size - in_line) in
-      (match Hashtbl.find_opt t.dirty line with
-      | Some content ->
-          Bytes.blit content in_line dst !doff n;
+    if t.dirty_count = 0 then begin
+      (* clean device: one blit, all bytes at PM media cost *)
+      t.stats.Stats.fast_path_hits <- t.stats.Stats.fast_path_hits + 1;
+      Bytes.blit t.persistent addr dst off len;
+      charge_media t (Timing.pm_read_cost t.timing ~random len);
+      t.stats.Stats.pm_read_bytes <- t.stats.Stats.pm_read_bytes + len
+    end
+    else begin
+      t.stats.Stats.slow_path_hits <- t.stats.Stats.slow_path_hits + 1;
+      let last = (addr + len - 1) / line_size in
+      let pos = ref addr and doff = ref off and remaining = ref len in
+      let cached = ref 0 and uncached = ref 0 in
+      while !remaining > 0 do
+        let line = !pos / line_size in
+        let d = line_dirty t line in
+        let stop = span_end t ~d ~line ~last in
+        let n = min !remaining (((stop + 1) * line_size) - !pos) in
+        if d then begin
+          Bytes.blit t.shadow !pos dst !doff n;
           cached := !cached + n
-      | None ->
+        end
+        else begin
           Bytes.blit t.persistent !pos dst !doff n;
-          uncached := !uncached + n);
-      pos := !pos + n;
-      doff := !doff + n;
-      remaining := !remaining - n
-    done;
-    if !cached > 0 then
-      Simclock.advance t.clock
-        (float_of_int !cached *. t.timing.Timing.cache_read_per_byte);
-    if !uncached > 0 then begin
-      charge_media t (Timing.pm_read_cost t.timing ~random !uncached);
-      t.stats.Stats.pm_read_bytes <- t.stats.Stats.pm_read_bytes + !uncached
+          uncached := !uncached + n
+        end;
+        pos := !pos + n;
+        doff := !doff + n;
+        remaining := !remaining - n
+      done;
+      if !cached > 0 then
+        Simclock.advance t.clock
+          (float_of_int !cached *. t.timing.Timing.cache_read_per_byte);
+      if !uncached > 0 then begin
+        charge_media t (Timing.pm_read_cost t.timing ~random !uncached);
+        t.stats.Stats.pm_read_bytes <- t.stats.Stats.pm_read_bytes + !uncached
+      end
     end
   end
 
@@ -166,13 +329,15 @@ let load_bytes t ~addr ~len =
 let store_nt_bytes t ~addr b = store_nt t ~addr b ~off:0 ~len:(Bytes.length b)
 let store_bytes t ~addr b = store t ~addr b ~off:0 ~len:(Bytes.length b)
 
+(* Shared zero buffer for [zero_nt]: only ever read from. *)
+let zeros = Bytes.make 65536 '\000'
+
 (** Write zeros with non-temporal stores (used to initialise log files). *)
 let zero_nt t ~addr ~len =
-  let z = Bytes.make (min len 65536) '\000' in
   let pos = ref addr and remaining = ref len in
   while !remaining > 0 do
-    let n = min !remaining (Bytes.length z) in
-    store_nt t ~addr:!pos z ~off:0 ~len:n;
+    let n = min !remaining (Bytes.length zeros) in
+    store_nt t ~addr:!pos zeros ~off:0 ~len:n;
     pos := !pos + n;
     remaining := !remaining - n
   done
@@ -180,11 +345,15 @@ let zero_nt t ~addr ~len =
 (** Crash: all cache lines not yet flushed (and not written with NT stores)
     are lost. The durable image is untouched. *)
 let crash t =
-  Hashtbl.reset t.dirty;
+  if t.dirty_count > 0 then begin
+    Array.fill t.dirty 0 (Array.length t.dirty) 0;
+    t.dirty_count <- 0
+  end;
+  t.last_read_start <- -1;
   t.last_read_end <- -1
 
 (** Number of dirty (would-be-lost) cache lines; exposed for tests. *)
-let dirty_lines t = Hashtbl.length t.dirty
+let dirty_lines t = t.dirty_count
 
 let wear_of_block t b = t.wear.(b)
 let max_wear t = Array.fold_left max 0 t.wear

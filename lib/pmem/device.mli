@@ -36,7 +36,8 @@ val fence : t -> unit
 
 (** Load into [dst]; dirty lines are served from the cache at cache speed,
     the rest is charged PM media cost with sequential/random latency
-    picked by read adjacency. *)
+    picked by read adjacency (continuing where the last load ended, or
+    exactly repeating it, counts as sequential). *)
 val load : t -> addr:int -> Bytes.t -> off:int -> len:int -> unit
 
 val load_bytes : t -> addr:int -> len:int -> Bytes.t

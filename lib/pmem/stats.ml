@@ -28,6 +28,14 @@ type t = {
       (** work done by background threads (staging pre-allocation, deferred
           closes); charged here instead of the foreground clock, and
           reported by the resource-consumption experiment (§5.10) *)
+  (* --- host-side simulator observability (no simulated-time impact) --- *)
+  mutable dirty_lines_hwm : int;
+      (** high-water mark of simultaneously dirty cache lines on the device *)
+  mutable fast_path_hits : int;
+      (** device load/store_nt/flush calls served by the clean-range fast
+          path (zero dirty lines: one blit, no per-line probes) *)
+  mutable slow_path_hits : int;
+      (** device calls that had to walk the dirty-line bitmap *)
 }
 
 let create () =
@@ -49,6 +57,9 @@ let create () =
     mmap_setups = 0;
     media_ns = 0.;
     background_ns = 0.;
+    dirty_lines_hwm = 0;
+    fast_path_hits = 0;
+    slow_path_hits = 0;
   }
 
 let reset t =
@@ -68,7 +79,10 @@ let reset t =
   t.staged_bytes <- 0;
   t.mmap_setups <- 0;
   t.media_ns <- 0.;
-  t.background_ns <- 0.
+  t.background_ns <- 0.;
+  t.dirty_lines_hwm <- 0;
+  t.fast_path_hits <- 0;
+  t.slow_path_hits <- 0
 
 let copy t = { t with pm_read_bytes = t.pm_read_bytes }
 
@@ -93,14 +107,20 @@ let diff a b =
     mmap_setups = a.mmap_setups - b.mmap_setups;
     media_ns = a.media_ns -. b.media_ns;
     background_ns = a.background_ns -. b.background_ns;
+    (* a high-water mark is not additive: report the later snapshot's *)
+    dirty_lines_hwm = a.dirty_lines_hwm;
+    fast_path_hits = a.fast_path_hits - b.fast_path_hits;
+    slow_path_hits = a.slow_path_hits - b.slow_path_hits;
   }
 
 let pp ppf t =
   Fmt.pf ppf
     "pm_read=%dB pm_write=%dB nt_stores=%d flushes=%d fences=%d syscalls=%d \
      faults=%d(huge %d) jcommits=%d jbytes=%d relinks=%d relink_copy=%dB \
-     log_entries=%d staged=%dB mmaps=%d media=%.0fns bg=%.0fns"
+     log_entries=%d staged=%dB mmaps=%d media=%.0fns bg=%.0fns \
+     dirty_hwm=%d fast=%d slow=%d"
     t.pm_read_bytes t.pm_write_bytes t.nt_stores t.flushes t.fences t.syscalls
     t.page_faults t.page_faults_huge t.journal_commits t.journal_bytes
     t.relinks t.relink_copied_bytes t.log_entries t.staged_bytes t.mmap_setups
-    t.media_ns t.background_ns
+    t.media_ns t.background_ns t.dirty_lines_hwm t.fast_path_hits
+    t.slow_path_hits

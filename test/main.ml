@@ -2,6 +2,7 @@ let () =
   Alcotest.run "splitfs-repro"
     [
       ("pmem", Test_pmem.suite);
+      ("device-diff", Test_device_diff.suite);
       ("fsapi", Test_fsapi.suite);
       ("alloc", Test_alloc.suite);
       ("extent-tree", Test_extent_tree.suite);

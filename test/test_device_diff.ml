@@ -1,0 +1,282 @@
+(** Randomized differential test for the PM device simulator.
+
+    [Naive] is a line-at-a-time reference model — the Hashtbl-of-64-byte-
+    lines implementation the device shipped with before the dirty-line
+    bitmap index — kept oracle-simple on purpose. Thousands of mixed
+    store/store_nt/flush/fence/crash/load operations are driven against
+    both the oracle and the fast-path device, asserting after every
+    operation that the simulated clocks agree bit-for-bit, that dirty-line
+    counts and PM-traffic counters match, that loads return identical
+    bytes, and (at crash points and at the end) that the durable images are
+    identical. Host-side fast paths must never change simulated results. *)
+
+open Pmem
+
+let tc = Alcotest.test_case
+let line_size = 64
+
+(* ------------------------------------------------------------------ *)
+(* Naive reference model (pre-bitmap semantics, oracle-simple)          *)
+(* ------------------------------------------------------------------ *)
+
+module Naive = struct
+  type t = {
+    capacity : int;
+    persistent : Bytes.t;
+    dirty : (int, Bytes.t) Hashtbl.t;  (* line index -> line content *)
+    clock : Simclock.t;
+    timing : Timing.t;
+    stats : Stats.t;
+    mutable last_read_start : int;
+    mutable last_read_end : int;
+  }
+
+  let create ~capacity ~timing () =
+    {
+      capacity;
+      persistent = Bytes.make capacity '\000';
+      dirty = Hashtbl.create 4096;
+      clock = Simclock.create ();
+      timing;
+      stats = Stats.create ();
+      last_read_start = -1;
+      last_read_end = -1;
+    }
+
+  let charge_media t ns =
+    Simclock.advance t.clock ns;
+    t.stats.Stats.media_ns <- t.stats.Stats.media_ns +. ns
+
+  let store t ~addr src ~off ~len =
+    if len > 0 then begin
+      Simclock.advance t.clock
+        (float_of_int len *. t.timing.Timing.cache_store_per_byte);
+      let pos = ref addr and soff = ref off and remaining = ref len in
+      while !remaining > 0 do
+        let line = !pos / line_size in
+        let in_line = !pos mod line_size in
+        let n = min !remaining (line_size - in_line) in
+        let content =
+          match Hashtbl.find_opt t.dirty line with
+          | Some c -> c
+          | None ->
+              let c = Bytes.create line_size in
+              Bytes.blit t.persistent (line * line_size) c 0 line_size;
+              Hashtbl.replace t.dirty line c;
+              c
+        in
+        Bytes.blit src !soff content in_line n;
+        pos := !pos + n;
+        soff := !soff + n;
+        remaining := !remaining - n
+      done
+    end
+
+  let persist_line t line =
+    match Hashtbl.find_opt t.dirty line with
+    | None -> ()
+    | Some content ->
+        Bytes.blit content 0 t.persistent (line * line_size) line_size;
+        Hashtbl.remove t.dirty line
+
+  let store_nt t ~addr src ~off ~len =
+    if len > 0 then begin
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        persist_line t line
+      done;
+      Bytes.blit src off t.persistent addr len;
+      charge_media t (Timing.nt_write_cost t.timing len);
+      t.stats.Stats.nt_stores <- t.stats.Stats.nt_stores + 1;
+      t.stats.Stats.pm_write_bytes <- t.stats.Stats.pm_write_bytes + len
+    end
+
+  let flush t ~addr ~len =
+    if len > 0 then begin
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        if Hashtbl.mem t.dirty line then begin
+          persist_line t line;
+          Simclock.advance t.clock t.timing.Timing.clwb;
+          charge_media t (Timing.nt_write_cost t.timing line_size);
+          t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
+          t.stats.Stats.pm_write_bytes <-
+            t.stats.Stats.pm_write_bytes + line_size
+        end
+      done
+    end
+
+  let fence t =
+    Simclock.advance t.clock t.timing.Timing.sfence;
+    t.stats.Stats.fences <- t.stats.Stats.fences + 1
+
+  (* The read-adjacency rule matches the device: continuing where the last
+     load ended, or exactly repeating it, is sequential. *)
+  let load t ~addr dst ~off ~len =
+    if len > 0 then begin
+      let random =
+        not
+          (addr = t.last_read_end
+          || (addr = t.last_read_start && addr + len = t.last_read_end))
+      in
+      t.last_read_start <- addr;
+      t.last_read_end <- addr + len;
+      let pos = ref addr and doff = ref off and remaining = ref len in
+      let cached = ref 0 and uncached = ref 0 in
+      while !remaining > 0 do
+        let line = !pos / line_size in
+        let in_line = !pos mod line_size in
+        let n = min !remaining (line_size - in_line) in
+        (match Hashtbl.find_opt t.dirty line with
+        | Some content ->
+            Bytes.blit content in_line dst !doff n;
+            cached := !cached + n
+        | None ->
+            Bytes.blit t.persistent !pos dst !doff n;
+            uncached := !uncached + n);
+        pos := !pos + n;
+        doff := !doff + n;
+        remaining := !remaining - n
+      done;
+      if !cached > 0 then
+        Simclock.advance t.clock
+          (float_of_int !cached *. t.timing.Timing.cache_read_per_byte);
+      if !uncached > 0 then begin
+        charge_media t (Timing.pm_read_cost t.timing ~random !uncached);
+        t.stats.Stats.pm_read_bytes <- t.stats.Stats.pm_read_bytes + !uncached
+      end
+    end
+
+  let crash t =
+    Hashtbl.reset t.dirty;
+    t.last_read_start <- -1;
+    t.last_read_end <- -1
+
+  let dirty_lines t = Hashtbl.length t.dirty
+end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let capacity = 256 * 1024
+
+let check_float msg a b =
+  if a <> b then
+    Alcotest.failf "%s: oracle %.17g vs device %.17g" msg a b
+
+let check_agreement ~op_no naive env dev =
+  let tag msg = Printf.sprintf "op %d: %s" op_no msg in
+  check_float (tag "simulated clock") (Simclock.now naive.Naive.clock)
+    (Env.now env);
+  check_float (tag "media_ns") naive.Naive.stats.Stats.media_ns
+    env.Env.stats.Stats.media_ns;
+  Util.check_int (tag "dirty lines") (Naive.dirty_lines naive)
+    (Device.dirty_lines dev);
+  Util.check_int (tag "pm_read_bytes") naive.Naive.stats.Stats.pm_read_bytes
+    env.Env.stats.Stats.pm_read_bytes;
+  Util.check_int (tag "pm_write_bytes") naive.Naive.stats.Stats.pm_write_bytes
+    env.Env.stats.Stats.pm_write_bytes;
+  Util.check_int (tag "flushes") naive.Naive.stats.Stats.flushes
+    env.Env.stats.Stats.flushes;
+  Util.check_int (tag "fences") naive.Naive.stats.Stats.fences
+    env.Env.stats.Stats.fences;
+  Util.check_int (tag "nt_stores") naive.Naive.stats.Stats.nt_stores
+    env.Env.stats.Stats.nt_stores
+
+let check_durable_images ~op_no naive dev =
+  let img = Device.peek_persistent dev ~addr:0 ~len:capacity in
+  if not (Bytes.equal naive.Naive.persistent img) then
+    Alcotest.failf "op %d: durable images differ" op_no
+
+let run_ops ~seed ~ops () =
+  let rng = Workloads.Rng.create seed in
+  let env = Pmem.Env.create ~capacity () in
+  let dev = env.Env.dev in
+  let naive = Naive.create ~capacity ~timing:env.Env.timing () in
+  let payload = Bytes.create 16384 in
+  for i = 0 to Bytes.length payload - 1 do
+    Bytes.set payload i (Char.chr (Workloads.Rng.int rng 256))
+  done;
+  let buf_n = Bytes.create 16384 and buf_d = Bytes.create 16384 in
+  for op_no = 1 to ops do
+    (* addresses biased to a small window so lines collide across ops;
+       lengths span sub-line writes up to multi-block transfers *)
+    let len = 1 + Workloads.Rng.int rng 8192 in
+    let addr = Workloads.Rng.int rng (capacity - len) in
+    let off = Workloads.Rng.int rng (Bytes.length payload - len) in
+    (match Workloads.Rng.int rng 100 with
+    | r when r < 30 ->
+        Naive.store naive ~addr payload ~off ~len;
+        Device.store dev ~addr payload ~off ~len
+    | r when r < 50 ->
+        Naive.store_nt naive ~addr payload ~off ~len;
+        Device.store_nt dev ~addr payload ~off ~len
+    | r when r < 70 ->
+        Naive.flush naive ~addr ~len;
+        Device.flush dev ~addr ~len
+    | r when r < 75 ->
+        Naive.fence naive;
+        Device.fence dev
+    | r when r < 95 ->
+        Naive.load naive ~addr buf_n ~off:0 ~len;
+        Device.load dev ~addr buf_d ~off:0 ~len;
+        if not (Bytes.equal (Bytes.sub buf_n 0 len) (Bytes.sub buf_d 0 len))
+        then Alcotest.failf "op %d: loaded bytes differ" op_no
+    | _ ->
+        Naive.crash naive;
+        Device.crash dev;
+        check_durable_images ~op_no naive dev);
+    check_agreement ~op_no naive env dev
+  done;
+  (* settle everything and compare the final durable image *)
+  Naive.flush naive ~addr:0 ~len:capacity;
+  Device.flush dev ~addr:0 ~len:capacity;
+  Naive.fence naive;
+  Device.fence dev;
+  check_agreement ~op_no:(ops + 1) naive env dev;
+  check_durable_images ~op_no:(ops + 1) naive dev;
+  Util.check_int "no dirty lines after full flush" 0 (Device.dirty_lines dev)
+
+let test_differential_seed1 () = run_ops ~seed:1 ~ops:2500 ()
+let test_differential_seed2 () = run_ops ~seed:42 ~ops:2500 ()
+
+(* Narrow window: nearly every op hits the same few blocks, maximising
+   dirty/clean span alternation inside single bitmap words. *)
+let test_differential_hot_window () =
+  let rng = Workloads.Rng.create 7 in
+  let env = Pmem.Env.create ~capacity () in
+  let dev = env.Env.dev in
+  let naive = Naive.create ~capacity ~timing:env.Env.timing () in
+  let payload = Bytes.make 512 'h' in
+  let buf_n = Bytes.create 512 and buf_d = Bytes.create 512 in
+  for op_no = 1 to 3000 do
+    let len = 1 + Workloads.Rng.int rng 256 in
+    let addr = 8192 + Workloads.Rng.int rng 4096 in
+    (match Workloads.Rng.int rng 4 with
+    | 0 ->
+        Naive.store naive ~addr payload ~off:0 ~len;
+        Device.store dev ~addr payload ~off:0 ~len
+    | 1 ->
+        Naive.store_nt naive ~addr payload ~off:0 ~len;
+        Device.store_nt dev ~addr payload ~off:0 ~len
+    | 2 ->
+        Naive.flush naive ~addr ~len;
+        Device.flush dev ~addr ~len
+    | _ ->
+        Naive.load naive ~addr buf_n ~off:0 ~len;
+        Device.load dev ~addr buf_d ~off:0 ~len;
+        if not (Bytes.equal (Bytes.sub buf_n 0 len) (Bytes.sub buf_d 0 len))
+        then Alcotest.failf "op %d: loaded bytes differ" op_no);
+    check_agreement ~op_no naive env dev
+  done;
+  Naive.crash naive;
+  Device.crash dev;
+  check_durable_images ~op_no:3001 naive dev
+
+let suite =
+  [
+    tc "differential vs naive model (seed 1)" `Quick test_differential_seed1;
+    tc "differential vs naive model (seed 42)" `Quick test_differential_seed2;
+    tc "differential, hot 4K window" `Quick test_differential_hot_window;
+  ]

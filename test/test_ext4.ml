@@ -203,7 +203,7 @@ let test_fallocate_and_mmap () =
   Alcotest.(check bool) "huge mapping" true m.Kernelfs.Ext4.m_huge;
   Util.check_int "one huge fault" 1 env.Pmem.Env.stats.Pmem.Stats.page_faults_huge;
   (* store through the mapping, read back through the kernel *)
-  (match Kernelfs.Ext4.translate kfs m ~file_off:4096 with
+  (match Kernelfs.Ext4.translate kfs m ~max:4096 ~file_off:4096 with
   | Some (addr, run) ->
       Alcotest.(check bool) "long run" true (run >= 4096);
       let data = Bytes.of_string "via-mmap" in

@@ -121,6 +121,31 @@ let test_zero_nt () =
         "all zero" true
         (Bytes.for_all (fun c -> c = '\000') back))
 
+let test_reread_is_sequential () =
+  with_dev (fun env dev ->
+      let buf = Bytes.create 256 in
+      (* first touch: no adjacency, charged the random first-access latency *)
+      Device.load dev ~addr:4096 buf ~off:0 ~len:256;
+      let seq_cost = Timing.pm_read_cost env.Env.timing ~random:false 256 in
+      (* exact re-read of the last-loaded range: the data is in the CPU's
+         prefetch window, not a random access *)
+      let t0 = Env.now env in
+      Device.load dev ~addr:4096 buf ~off:0 ~len:256;
+      Alcotest.(check (float 0.0001))
+        "exact re-read charged as sequential" seq_cost (Env.now env -. t0);
+      (* a read continuing at the end still counts as sequential *)
+      let t0 = Env.now env in
+      Device.load dev ~addr:(4096 + 256) buf ~off:0 ~len:256;
+      Alcotest.(check (float 0.0001))
+        "continuation stays sequential" seq_cost (Env.now env -. t0);
+      (* same start but different length is not the same range: random *)
+      let t0 = Env.now env in
+      Device.load dev ~addr:(4096 + 256) buf ~off:0 ~len:128;
+      Alcotest.(check (float 0.0001))
+        "partial overlap is random"
+        (Timing.pm_read_cost env.Env.timing ~random:true 128)
+        (Env.now env -. t0))
+
 let test_background_accounting () =
   let env = Util.make_env () in
   let t0 = Env.now env in
@@ -175,6 +200,7 @@ let suite =
     tc "partial line flush" `Quick test_partial_line_flush;
     tc "nt store invalidates cache" `Quick test_nt_overrides_cached;
     tc "simulated time advances" `Quick test_time_advances;
+    tc "exact re-read is sequential" `Quick test_reread_is_sequential;
     tc "stats counters" `Quick test_stats_counters;
     tc "wear tracking" `Quick test_wear_tracking;
     tc "dirty line accounting" `Quick test_dirty_lines_counted;
