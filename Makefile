@@ -1,4 +1,4 @@
-.PHONY: all build test bench check
+.PHONY: all build test bench crashcheck check
 
 all: build
 
@@ -11,9 +11,17 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Full verification: build, unit + property + differential tests, and the
-# paper tables as a smoke test of every experiment stack.
+# Crash-state exploration: sampled partial-persistence crash states per
+# mode, each recovered and checked against the reference oracle. Exits
+# non-zero on any invariant violation. (~2s)
+crashcheck:
+	dune exec bin/splitfs_cli.exe -- crashcheck
+
+# Full verification: build, unit + property + differential tests, crash
+# state exploration, and the paper tables as a smoke test of every
+# experiment stack.
 check:
 	dune build
 	dune runtest
+	dune exec bin/splitfs_cli.exe -- crashcheck
 	dune exec bench/main.exe -- --fast

@@ -22,6 +22,14 @@ let run_fig6 records operations =
   ignore (Harness.Experiments.fig6 ~records ~operations ())
 
 let run_recovery () = ignore (Harness.Experiments.recovery ())
+
+let run_crashcheck samples seed nops =
+  let reports = Harness.Experiments.crashcheck ~samples ~seed ~nops () in
+  if
+    List.exists
+      (fun (r : Crashcheck.mode_report) -> r.Crashcheck.r_violations <> [])
+      reports
+  then exit 1
 let run_ablations total_mb = ignore (Harness.Experiments.ablations ~total_mb ())
 let run_resources () = ignore (Harness.Experiments.resources ())
 
@@ -36,6 +44,19 @@ let operations =
 
 let iterations =
   Arg.(value & opt int 200 & info [ "iterations" ] ~doc:"Microbenchmark iterations.")
+
+let samples =
+  Arg.(
+    value & opt int 200
+    & info [ "samples" ] ~doc:"Crash states explored per mode.")
+
+let seed =
+  Arg.(value & opt int 0x51ED & info [ "seed" ] ~doc:"Workload/sampler seed.")
+
+let cc_ops =
+  Arg.(
+    value & opt int 24
+    & info [ "ops" ] ~doc:"Operations per crashcheck workload.")
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -102,6 +123,9 @@ let () =
               Term.(const run_fig6 $ records $ operations);
             cmd "recovery" "Crash-recovery time vs log entries."
               Term.(const run_recovery $ const ());
+            cmd "crashcheck"
+              "Crash-state exploration with a differential recovery oracle."
+              Term.(const run_crashcheck $ samples $ seed $ cc_ops);
             cmd "ablations" "Design-choice ablations (DRAM staging, huge pages, mmap size)."
               Term.(const run_ablations $ total_mb);
             cmd "resources" "U-Split resource consumption."

@@ -23,7 +23,17 @@ type data_op = {
   staging_ino : int;
   staging_off : int;
   len : int;
+  data_crc : int;
+      (** CRC32 of the staged bytes the entry points to. The entry and its
+          data share one sfence, so the entry can survive a crash while
+          the data is torn; recovery verifies this checksum before
+          replaying the final (possibly data-torn) entry. *)
 }
+
+(** When false, decoding skips both checksum verifications — the
+    "forgot to verify" bug that crashcheck's differential test must
+    catch. Tests only; defaults to true. *)
+let verify_checksums = ref true
 
 type entry =
   | Append of data_op
@@ -57,7 +67,8 @@ let encode entry =
       Bytes.set_int64_le b 16 (Int64.of_int op.file_off);
       Bytes.set_int64_le b 24 (Int64.of_int op.staging_ino);
       Bytes.set_int64_le b 32 (Int64.of_int op.staging_off);
-      Bytes.set_int64_le b 40 (Int64.of_int op.len)
+      Bytes.set_int64_le b 40 (Int64.of_int op.len);
+      Bytes.set_int32_le b 48 (Int32.of_int op.data_crc)
   | Relinked { target_ino } -> set_ino target_ino
   | Create { ino } | Unlink { ino } | Rename { ino } -> set_ino ino
   | Truncate { ino; size } ->
@@ -79,7 +90,7 @@ let decode b ~off =
     let stored = Int32.to_int (Bytes.get_int32_le b (off + 4)) land 0xFFFFFFFF in
     let copy = Bytes.sub b off entry_size in
     Bytes.set_int32_le copy 4 0l;
-    if Crc32.bytes copy <> stored then Torn
+    if !verify_checksums && Crc32.bytes copy <> stored then Torn
     else begin
       let geti pos = Int64.to_int (Bytes.get_int64_le copy pos) in
       let data_op () =
@@ -89,6 +100,8 @@ let decode b ~off =
           staging_ino = geti 24;
           staging_off = geti 32;
           len = geti 40;
+          data_crc =
+            Int32.to_int (Bytes.get_int32_le copy 48) land 0xFFFFFFFF;
         }
       in
       match Bytes.get_uint8 copy 0 with
@@ -162,12 +175,24 @@ let entries_written t = Atomic.get t.tail
 let capacity t = t.capacity
 let path t = t.path
 
-(** Zero the used prefix and reset the tail (checkpoint, §3.3). *)
+(** Crash-atomic two-phase clear (checkpoint, §3.3). Zeroing the whole used region under one
+    fence is not safe: a crash may persist an arbitrary subset of the
+    zero-stores, and if it keeps a stale prefix of entries while dropping
+    the slots behind it (including the Relinked markers that cancel them),
+    recovery replays stale data over the freshly relinked file. Instead:
+    zero slot 0 alone and fence — after this the log is durably either
+    untouched (the full entry sequence, whose Relinked entries cancel all
+    replay) or empty-at-the-head (scan stops immediately); both are safe —
+    then zero the remaining slots under a second fence. *)
 let clear t =
   let used = Atomic.get t.tail in
   if used > 0 then begin
-    zero_range t ~off:0 ~len:(used * entry_size);
+    zero_range t ~off:0 ~len:entry_size;
     Device.fence t.env.Env.dev;
+    if used > 1 then begin
+      zero_range t ~off:entry_size ~len:((used - 1) * entry_size);
+      Device.fence t.env.Env.dev
+    end;
     Atomic.set t.tail 0
   end
 
@@ -191,9 +216,13 @@ let append t entry =
 type scan_result = { valid : entry list; torn : int; scanned : int }
 
 (** Read the log file through the kernel and classify every slot: used at
-    mount time by {!Recovery}. Scanning stops at the first all-zero slot
-    (slots are written in tail order over a zeroed file), but torn entries
-    in between are skipped and counted. *)
+    mount time by {!Recovery}. Collection stops at the first torn slot —
+    replay must never skip over a bad checksum, since everything beyond it
+    postdates the tear and cannot be trusted — but scanning continues to
+    the first all-zero slot so recovery knows the full non-zero prefix to
+    zero (a stale valid-looking entry left beyond a tear must not be
+    resurrected when the log is reused). Slots at or beyond the first torn
+    one count as torn. *)
 let scan sys path =
   let fd = Kernelfs.Syscall.open_ sys path Fsapi.Flags.rdonly in
   Fun.protect
@@ -203,7 +232,7 @@ let scan sys path =
       let chunk = 64 * 1024 in
       let buf = Bytes.create chunk in
       let valid = ref [] and torn = ref 0 and scanned = ref 0 in
-      let stop = ref false in
+      let stop = ref false and trusted = ref true in
       let off = ref 0 in
       while (not !stop) && !off < size do
         let len = min chunk (size - !off) in
@@ -214,10 +243,11 @@ let scan sys path =
           (match decode buf ~off:(!i * entry_size) with
           | Empty -> stop := true
           | Torn ->
+              trusted := false;
               incr torn;
               incr scanned
           | Valid e ->
-              valid := e :: !valid;
+              if !trusted then valid := e :: !valid else incr torn;
               incr scanned);
           incr i
         done;

@@ -17,7 +17,15 @@ type data_op = {
   staging_ino : int;
   staging_off : int;
   len : int;
+  data_crc : int;
+      (** CRC32 of the staged bytes the entry points to; recovery verifies
+          it before replaying the final (possibly data-torn) entry, since
+          the entry and its data share one sfence *)
 }
+
+val verify_checksums : bool ref
+(** When false, decoding skips checksum verification — the injected bug
+    crashcheck's differential test must catch. Tests only; default true. *)
 
 type entry =
   | Append of data_op
@@ -62,6 +70,9 @@ val clear : t -> unit
 
 type scan_result = { valid : entry list; torn : int; scanned : int }
 
-(** Recovery-side scan through the kernel: collect valid entries in order,
-    count torn ones, stop at the first all-zero slot. *)
+(** Recovery-side scan through the kernel: collect valid entries in order
+    up to the first torn slot (replay never skips over a bad checksum),
+    keep scanning to the first all-zero slot so [scanned] covers the whole
+    non-zero prefix; slots at or beyond the first torn one count as
+    [torn]. *)
 val scan : Kernelfs.Syscall.t -> string -> scan_result

@@ -6,8 +6,10 @@
     entries of the operation log are replayed on top: every staged data
     operation whose relink had not completed is relinked now, using the
     same kernel primitive. Replay is idempotent — an already-relinked range
-    has no extents left in the staging file, so replaying it moves nothing,
-    and boundary-block copies rewrite identical bytes.
+    has no extents left in the staging file, so those blocks are skipped
+    (re-running the swap would de-allocate the target blocks the completed
+    relink just delivered), and boundary-block copies rewrite identical
+    bytes.
 
     Recovery works at inode granularity (the log records inode numbers,
     not paths), exactly like the original implementation. *)
@@ -20,6 +22,9 @@ type report = {
   entries_scanned : int;
   entries_replayed : int;
   torn_entries : int;
+  torn_data_entries : int;
+      (** valid-looking entries dropped because their staged data failed
+          its checksum (entry persisted, data torn) *)
   files_recovered : int;
   replay_ns : float;  (** simulated time spent replaying *)
 }
@@ -60,7 +65,12 @@ let collect entries =
     blocks — the same protocol U-Split runs on fsync. *)
 let replay_op kfs (env : Env.t) ~target ~staging (op : Oplog.data_op) =
   let copy ~t_off ~s_off ~len =
-    if len > 0 then begin
+    (* skip ranges whose staging blocks are gone: a completed relink moved
+       them into the target wholesale (the tail block reaching EOF is
+       relinked, not copied), so "replaying" the copy would read the hole
+       as zeros and destroy the very bytes the relink just delivered *)
+    if len > 0 && Kernelfs.Ext4.range_mapped kfs staging ~off:s_off ~len
+    then begin
       let buf = Bytes.create len in
       let got = Kernelfs.Ext4.pread kfs staging ~off:s_off buf ~boff:0 ~len in
       ignore (Kernelfs.Ext4.pwrite kfs target ~off:t_off buf ~boff:0 ~len:got)
@@ -75,9 +85,19 @@ let replay_op kfs (env : Env.t) ~target ~staging (op : Oplog.data_op) =
   copy ~t_off ~s_off ~len:head;
   let t2 = t_off + head and s2 = s_off + head and rem = len - head in
   let nfull = rem / block_size in
-  if nfull > 0 then
-    Kernelfs.Ext4.relink kfs ~src:staging ~src_blk:(s2 / block_size)
-      ~dst:target ~dst_blk:(t2 / block_size) ~nblks:nfull ~dst_size:None;
+  (* relink only the staging blocks that are still mapped: a relink that
+     completed before the crash moved them into the target and left holes
+     behind, and re-running the swap there would free — not refill — the
+     target's fresh blocks. A crash between relink_file's per-extent
+     transactions leaves the range partially moved, so test each block. *)
+  for b = 0 to nfull - 1 do
+    let sb = s2 + (b * block_size) in
+    if Kernelfs.Ext4.range_mapped kfs staging ~off:sb ~len:block_size then
+      Kernelfs.Ext4.relink kfs ~src:staging ~src_blk:(sb / block_size)
+        ~dst:target
+        ~dst_blk:((t2 + (b * block_size)) / block_size)
+        ~nblks:1 ~dst_size:None
+  done;
   let tail = rem - (nfull * block_size) in
   copy
     ~t_off:(t2 + (nfull * block_size))
@@ -95,9 +115,43 @@ let empty_report =
     entries_scanned = 0;
     entries_replayed = 0;
     torn_entries = 0;
+    torn_data_entries = 0;
     files_recovered = 0;
     replay_ns = 0.;
   }
+
+(** The final logged data op may have torn staged data: the entry and its
+    data share one sfence, so the entry can be durable while some of the
+    data is not. Verify its data checksum and drop the entry when the
+    bytes do not match. Earlier entries need no check — a later slot is
+    only written after the preceding op's fence made its data durable.
+    The check is skipped when the staging range is no longer fully mapped:
+    relink already moved those blocks, so the op provably completed (and
+    its fence with it) and replay of the half-moved range must stay
+    idempotent. *)
+let verify_final_data kfs valid =
+  match List.rev valid with
+  | (Oplog.Append op | Oplog.Overwrite op) :: earlier
+    when !Oplog.verify_checksums -> (
+      match Kernelfs.Ext4.inode_of kfs op.Oplog.staging_ino with
+      | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> (valid, 0)
+      | staging ->
+          if
+            not
+              (Kernelfs.Ext4.range_mapped kfs staging
+                 ~off:op.Oplog.staging_off ~len:op.Oplog.len)
+          then (valid, 0)
+          else begin
+            let buf = Bytes.create op.Oplog.len in
+            let got =
+              Kernelfs.Ext4.pread kfs staging ~off:op.Oplog.staging_off buf
+                ~boff:0 ~len:op.Oplog.len
+            in
+            if got = op.Oplog.len && Crc32.bytes buf = op.Oplog.data_crc then
+              (valid, 0)
+            else (List.rev earlier, 1)
+          end)
+  | _ -> (valid, 0)
 
 let recover ~sys ~env ~instance =
   let kfs = Kernelfs.Syscall.kernel sys in
@@ -109,8 +163,8 @@ let recover ~sys ~env ~instance =
          alone suffices (§5.3) *)
       empty_report
   | scan ->
-  let scan = scan in
-  let pending = collect scan.Oplog.valid in
+  let valid, torn_data = verify_final_data kfs scan.Oplog.valid in
+  let pending = collect valid in
   let replayed = ref 0 and files = ref 0 in
   Hashtbl.iter
     (fun ino ops ->
@@ -146,6 +200,7 @@ let recover ~sys ~env ~instance =
     entries_scanned = scan.Oplog.scanned;
     entries_replayed = !replayed;
     torn_entries = scan.Oplog.torn;
+    torn_data_entries = torn_data;
     files_recovered = !files;
     replay_ns = Env.now env -. t0;
   }

@@ -10,6 +10,9 @@ type report = {
   entries_scanned : int;
   entries_replayed : int;
   torn_entries : int;
+  torn_data_entries : int;
+      (** valid-looking entries dropped because their staged data failed
+          its checksum (entry persisted before a crash, data torn) *)
   files_recovered : int;
   replay_ns : float;  (** simulated time spent replaying *)
 }

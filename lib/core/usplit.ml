@@ -327,6 +327,7 @@ let rec stage_write t st ~at buf ~boff ~len =
             staging_ino = Staging.s_ino h;
             staging_off = s;
             len;
+            data_crc = Crc32.bytes buf ~off:boff ~len;
           }
         in
         log_entry t (if grew then Oplog.Append op else Oplog.Overwrite op)
@@ -430,6 +431,11 @@ and relink_file t st =
       Staging.release t.staging_pool h;
       refresh_mappings t st;
       if logs_ops t && extents <> [] then begin
+        (* the boundary copies must be durable before the Relinked entry:
+           the entry cancels replay of this file's logged data ops, so if
+           it persisted while a copy was still in flight (and tore),
+           recovery would have nothing left to heal the file with *)
+        fence t;
         log_entry t (Oplog.Relinked { target_ino = st.f_ino });
         fence t
       end)

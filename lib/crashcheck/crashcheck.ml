@@ -1,0 +1,583 @@
+(** Crashcheck: partial-persistence crash-state exploration with a
+    differential recovery oracle (DESIGN.md §5d).
+
+    The PM device records a persist-order journal of every store, flush
+    and fence. At any fence the durable image is only partially
+    determined: each touched cache line independently holds either its
+    last fence-committed content or any later version that had reached
+    the device (x86-TSO persist semantics with speculative writeback;
+    non-temporal frontier versions may additionally tear at 8-byte
+    granularity). Crashcheck enumerates those crash states exhaustively
+    when the space is small and samples it with a seeded RNG otherwise;
+    for every state it re-runs the workload up to the crash point on a
+    fresh stack, injects the crash, runs {!Splitfs.Recovery.recover},
+    reads the files back through the kernel, and checks them against a
+    {!Fsapi.Ref_fs} oracle that tracks the legal post-crash contents per
+    SplitFS mode:
+
+    - strict: recovered content is exactly the pre- or post-op state of
+      the operation in flight — never a mixture (atomic data ops);
+    - sync: the size is the pre- or post-op size and every byte below
+      the smaller size is explained by the pre- or post-op content
+      (synchronous but not atomic: in-place overwrites may tear);
+    - POSIX: only fsync'd data is promised. The size is a stable
+      (last-fsync) size and bytes below the smallest stable size are
+      explained by a stable view, optionally with post-fsync in-place
+      overwrites applied; everything beyond is unconstrained.
+
+    Ferrite-style exhaustive enumeration is kept for small traces (a
+    unit test asserts the exact state count on a hand-built trace);
+    real workloads overflow that space after a handful of fences, which
+    is why the sampler exists. A shrinking reporter minimises the
+    surviving-line deviation of any violating state before reporting. *)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Workload = struct
+  type op =
+    | Write of { file : int; at : int; len : int; seed : int }
+    | Fsync of { file : int }
+    | Checkpoint  (** relink_all on SplitFS, fsync-everything on the oracle *)
+
+  type t = {
+    mode : Splitfs.Config.mode;
+    nfiles : int;
+    initial : int array;  (** per-file setup content length, fsync'd *)
+    ops : op list;
+  }
+
+  (** Deterministic content; must be identical for the system under test
+      and the oracle, distinctive across seeds. *)
+  let payload ~seed len =
+    Bytes.init len (fun i ->
+        Char.chr ((seed * 131 + i * 7 + (i * i mod 251)) land 0xFF))
+
+  let pp_op ppf = function
+    | Write { file; at; len; seed = _ } ->
+        Fmt.pf ppf "write f%d [%d,+%d)" file at len
+    | Fsync { file } -> Fmt.pf ppf "fsync f%d" file
+    | Checkpoint -> Fmt.string ppf "checkpoint"
+
+  (** Random interleaving of appends, overwrites (possibly crossing EOF),
+      fsyncs and checkpoints. Sizes stay small so each trial stays cheap
+      and the staging files never run out (a mid-op checkpoint would not
+      be wrong, merely noisy). *)
+  let generate ~mode ~seed ~nops () =
+    let rng = Workloads.Rng.create seed in
+    let nfiles = 3 in
+    let initial = Array.init nfiles (fun i -> 256 + (128 * i)) in
+    let sizes = Array.copy initial in
+    let ops =
+      List.init nops (fun k ->
+          let file = Workloads.Rng.int rng nfiles in
+          match Workloads.Rng.int rng 10 with
+          | 0 | 1 -> Fsync { file }
+          | 2 when mode <> Splitfs.Config.Posix -> Checkpoint
+          | 2 -> Fsync { file }
+          | 3 | 4 | 5 ->
+              (* overwrite starting inside the file, may cross EOF *)
+              let at = Workloads.Rng.int rng (max 1 sizes.(file)) in
+              let len = 1 + Workloads.Rng.int rng 200 in
+              if at + len > sizes.(file) then sizes.(file) <- at + len;
+              Write { file; at; len; seed = (seed * 7919) + k }
+          | _ ->
+              (* append *)
+              let len = 1 + Workloads.Rng.int rng 700 in
+              let at = sizes.(file) in
+              sizes.(file) <- at + len;
+              Write { file; at; len; seed = (seed * 7919) + k })
+    in
+    { mode; nfiles; initial; ops }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Crash-state space                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Explore = struct
+  (** A crash point: trip at fence [fence] (0-based, counted from
+      [journal_begin]); [fence = fence_count] means "end of trace".
+      [pending] is the device's summary of lines with uncommitted
+      versions at that point. *)
+  type point = { fence : int; pending : Pmem.Device.pending_line array }
+
+  (** Number of distinct legal crash states at one point: each pending
+      line independently keeps its base or any of its pending versions
+      (tear refinements not counted — they are a sampling-only
+      refinement of the line-granular space). Saturates at 2^50: a
+      trace with dozens of pending lines overflows 63-bit ints long
+      before it becomes enumerable. *)
+  let count_cap = 1 lsl 50
+
+  let state_count (pending : Pmem.Device.pending_line array) =
+    Array.fold_left
+      (fun acc (p : Pmem.Device.pending_line) ->
+        if acc >= count_cap then count_cap else acc * (p.p_versions + 1))
+      1 pending
+
+  (** All survivor vectors for one point, in odometer order. *)
+  let enumerate (pending : Pmem.Device.pending_line array) =
+    let n = Array.length pending in
+    let rec go i =
+      if i = n then [ [] ]
+      else
+        let tails = go (i + 1) in
+        List.concat_map
+          (fun keep ->
+            List.map
+              (fun tail ->
+                {
+                  Pmem.Device.s_line = pending.(i).Pmem.Device.p_line;
+                  s_keep = keep;
+                  s_tear = 0;
+                }
+                :: tail)
+              tails)
+          (List.init (pending.(i).Pmem.Device.p_versions + 1) Fun.id)
+    in
+    go 0
+
+  (** One random survivor vector. Non-temporal frontier versions get a
+      random 8-byte tear mask one time in four: x86 only guarantees
+      8-byte atomicity for the stores themselves, so an NT line caught
+      mid-persist may be half old, half new. *)
+  let sample rng (pending : Pmem.Device.pending_line array) =
+    Array.to_list pending
+    |> List.map (fun (p : Pmem.Device.pending_line) ->
+           let keep = Workloads.Rng.int rng (p.p_versions + 1) in
+           let tear =
+             if
+               keep > 0
+               && p.p_nt_mask land (1 lsl (keep - 1)) <> 0
+               && Workloads.Rng.int rng 4 = 0
+             then 1 + Workloads.Rng.int rng 255
+             else 0
+           in
+           { Pmem.Device.s_line = p.p_line; s_keep = keep; s_tear = tear })
+end
+
+(* ------------------------------------------------------------------ *)
+(* Oracle views                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module View = struct
+  (** What the oracle knows about one file at one instant. *)
+  type t = {
+    cur : Bytes.t;  (** current (volatile) content *)
+    stable : Bytes.t;  (** content as of the last fsync *)
+    stable_ow : Bytes.t;
+        (** [stable] with post-fsync in-place overwrites applied *)
+  }
+
+  let empty = { cur = Bytes.empty; stable = Bytes.empty; stable_ow = Bytes.empty }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-mode differential check                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Check = struct
+  let check_size recovered allowed =
+    if List.mem (Bytes.length recovered) allowed then None
+    else
+      Some
+        (Fmt.str "recovered size %d not in {%a}" (Bytes.length recovered)
+           Fmt.(list ~sep:comma int)
+           allowed)
+
+  (** Every recovered byte (up to [upto]) covered by at least one view
+      must be explained by a covering view. *)
+  let check_bytes ?(upto = max_int) recovered views =
+    let limit = min (Bytes.length recovered) upto in
+    let bad = ref None in
+    (try
+       for i = 0 to limit - 1 do
+         let b = Bytes.get recovered i in
+         let covered = List.exists (fun v -> i < Bytes.length v) views in
+         let ok =
+           List.exists
+             (fun v -> i < Bytes.length v && Bytes.get v i = b)
+             views
+         in
+         if covered && not ok then begin
+           bad :=
+             Some
+               (Fmt.str "byte %d (%#02x) matches no legal view" i
+                  (Char.code b));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !bad
+
+  (** [check mode ~pre ~post recovered] — [pre]/[post] are the oracle
+      views immediately before and after the operation in flight at the
+      crash (equal when the crash fell between operations). *)
+  let check mode ~(pre : View.t) ~(post : View.t) recovered =
+    match mode with
+    | Splitfs.Config.Strict ->
+        (* atomic data ops: exactly the old or the new state, no mixing *)
+        if Bytes.equal recovered pre.View.cur
+           || Bytes.equal recovered post.View.cur
+        then None
+        else
+          Some
+            (Fmt.str
+               "content is neither the pre- nor the post-op state (pre=%dB \
+                post=%dB got=%dB)"
+               (Bytes.length pre.View.cur)
+               (Bytes.length post.View.cur)
+               (Bytes.length recovered))
+    | Splitfs.Config.Sync -> (
+        match
+          check_size recovered
+            [ Bytes.length pre.View.cur; Bytes.length post.View.cur ]
+        with
+        | Some e -> Some e
+        | None -> check_bytes recovered [ pre.View.cur; post.View.cur ])
+    | Splitfs.Config.Posix -> (
+        match
+          check_size recovered
+            [ Bytes.length pre.View.stable; Bytes.length post.View.stable ]
+        with
+        | Some e -> Some e
+        | None ->
+            let views =
+              [
+                pre.View.stable;
+                pre.View.stable_ow;
+                post.View.stable;
+                post.View.stable_ow;
+              ]
+            in
+            (* beyond the smallest stable size nothing is promised *)
+            let upto =
+              List.fold_left (fun a v -> min a (Bytes.length v)) max_int views
+            in
+            check_bytes ~upto recovered views)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trial runner                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Runner = struct
+  type stack = {
+    env : Pmem.Env.t;
+    sys : Kernelfs.Syscall.t;
+    u : Splitfs.Usplit.t;
+    fs : Fsapi.Fs.t;
+  }
+
+  let file_path i = Printf.sprintf "/f%d" i
+
+  (** A small, fast stack: every crash state re-runs the workload on a
+      fresh one of these, so size is latency. *)
+  let build mode =
+    let env = Pmem.Env.create ~capacity:(8 * 1024 * 1024) () in
+    let kfs = Kernelfs.Ext4.mkfs ~journal_len:(1024 * 1024) env in
+    let sys = Kernelfs.Syscall.make kfs in
+    let cfg =
+      {
+        (Splitfs.Config.with_mode mode) with
+        Splitfs.Config.staging_files = 2;
+        staging_size = 256 * 1024;
+        oplog_size = 16 * 1024;
+      }
+    in
+    let u = Splitfs.Usplit.mount ~cfg ~sys ~env ~instance:0 () in
+    { env; sys; u; fs = Splitfs.Usplit.as_fsapi u }
+
+  (** Create the workload's files with their initial content and fsync
+      them: the trace starts from a fully durable state. *)
+  let setup (w : Workload.t) (fs : Fsapi.Fs.t) =
+    Array.init w.Workload.nfiles (fun i ->
+        let fd = fs.Fsapi.Fs.open_ (file_path i) Fsapi.Flags.create_rw in
+        let len = w.Workload.initial.(i) in
+        let buf = Workload.payload ~seed:(1000 + i) len in
+        ignore (fs.Fsapi.Fs.pwrite fd ~buf ~boff:0 ~len ~at:0);
+        fs.Fsapi.Fs.fsync fd;
+        fd)
+
+  let apply ~checkpoint (fs : Fsapi.Fs.t) fds (op : Workload.op) =
+    match op with
+    | Workload.Write { file; at; len; seed } ->
+        let buf = Workload.payload ~seed len in
+        ignore (fs.Fsapi.Fs.pwrite fds.(file) ~buf ~boff:0 ~len ~at)
+    | Workload.Fsync { file } -> fs.Fsapi.Fs.fsync fds.(file)
+    | Workload.Checkpoint -> checkpoint ()
+
+  (** Run the workload once to completion with the persist-order journal
+      on and collect every crash point: one per fence plus one for the
+      end of the trace. *)
+  let profile (w : Workload.t) =
+    let st = build w.Workload.mode in
+    let fds = setup w st.fs in
+    let dev = st.env.Pmem.Env.dev in
+    Pmem.Device.journal_begin dev;
+    List.iter
+      (apply ~checkpoint:(fun () -> Splitfs.Usplit.relink_all st.u) st.fs fds)
+      w.Workload.ops;
+    let nf = Pmem.Device.fence_count dev in
+    let points =
+      List.init nf (fun i ->
+          { Explore.fence = i; pending = Pmem.Device.fence_pending dev i })
+      @ [ { Explore.fence = nf; pending = Pmem.Device.pending_now dev } ]
+    in
+    Pmem.Device.journal_stop dev;
+    points
+
+  let snapshot (w : Workload.t) (oracle : Fsapi.Ref_fs.oracle) =
+    Array.init w.Workload.nfiles (fun i ->
+        let p = file_path i in
+        match
+          (oracle.Fsapi.Ref_fs.dump p, oracle.Fsapi.Ref_fs.dump_stable p)
+        with
+        | Some cur, Some (stable, stable_ow) ->
+            { View.cur; stable; stable_ow }
+        | _ -> View.empty)
+
+  (** Post-crash file content as the kernel serves it. *)
+  let read_back sys i =
+    let path = file_path i in
+    match Kernelfs.Syscall.stat sys path with
+    | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> None
+    | st ->
+        let size = st.Fsapi.Fs.st_size in
+        let fd = Kernelfs.Syscall.open_ sys path Fsapi.Flags.rdonly in
+        Fun.protect
+          ~finally:(fun () -> Kernelfs.Syscall.close sys fd)
+          (fun () ->
+            let buf = Bytes.create size in
+            let got =
+              Kernelfs.Syscall.pread sys fd ~buf ~boff:0 ~len:size ~at:0
+            in
+            Some (Bytes.sub buf 0 got))
+
+  type trial = {
+    crashed_at_op : int option;
+        (** index of the operation in flight, [None] = end of trace *)
+    violations : (int * string) list;  (** (file index, reason) *)
+    recovered : Bytes.t array;  (** per-file post-recovery content *)
+    recovery : Splitfs.Recovery.report;
+  }
+
+  (** One crash state, end to end: rebuild the stack, arm the crash,
+      replay the workload against SplitFS and the oracle in lockstep,
+      inject the crash, recover, read back, check. *)
+  let run_trial (w : Workload.t) ~(point : Explore.point) ~survivors =
+    let st = build w.Workload.mode in
+    let fds = setup w st.fs in
+    let ofs, oracle = Fsapi.Ref_fs.make_oracle () in
+    let ofds = setup w ofs in
+    let dev = st.env.Pmem.Env.dev in
+    Pmem.Device.journal_begin dev;
+    Pmem.Device.arm_crash dev ~fence:point.Explore.fence ~survivors;
+    let real_cp () = Splitfs.Usplit.relink_all st.u in
+    let oracle_cp () = Array.iter (fun fd -> ofs.Fsapi.Fs.fsync fd) ofds in
+    let pre = ref [||] and post = ref [||] and crashed_at = ref None in
+    let rec go k = function
+      | [] ->
+          (* the armed fence is past the last one: crash at end of trace *)
+          pre := snapshot w oracle;
+          post := !pre;
+          Pmem.Device.crash_partial dev ~survivors
+      | op :: rest -> (
+          match apply ~checkpoint:real_cp st.fs fds op with
+          | () ->
+              apply ~checkpoint:oracle_cp ofs ofds op;
+              go (k + 1) rest
+          | exception Pmem.Device.Crashed ->
+              crashed_at := Some k;
+              pre := snapshot w oracle;
+              apply ~checkpoint:oracle_cp ofs ofds op;
+              post := snapshot w oracle)
+    in
+    go 0 w.Workload.ops;
+    Pmem.Device.resume dev;
+    Pmem.Device.journal_stop dev;
+    let recovery =
+      Splitfs.Recovery.recover ~sys:st.sys ~env:st.env ~instance:0
+    in
+    let recovered =
+      Array.init w.Workload.nfiles (fun i ->
+          match read_back st.sys i with Some b -> b | None -> Bytes.empty)
+    in
+    let violations = ref [] in
+    for i = w.Workload.nfiles - 1 downto 0 do
+      match
+        Check.check w.Workload.mode ~pre:(!pre).(i) ~post:(!post).(i)
+          recovered.(i)
+      with
+      | None -> ()
+      | Some reason -> violations := (i, reason) :: !violations
+    done;
+    { crashed_at_op = !crashed_at; violations = !violations; recovered; recovery }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking reporter                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Minimise a violating survivor vector: greedily restore deviating
+    lines (those not keeping every pending version, or torn) to the
+    fully-persisted default and keep each restoration that still
+    violates. What remains is a minimal set of lost/torn lines that
+    still breaks recovery — the actual culprit, not the noise the
+    sampler drew alongside it. Bounded by [budget] re-runs. *)
+let shrink ?(budget = 100) (w : Workload.t) ~(point : Explore.point)
+    ~survivors =
+  let budget = ref budget in
+  let full_keep line =
+    match
+      Array.to_list point.Explore.pending
+      |> List.find_opt (fun (p : Pmem.Device.pending_line) -> p.p_line = line)
+    with
+    | Some p -> p.Pmem.Device.p_versions
+    | None -> 0
+  in
+  let violates svs =
+    decr budget;
+    (Runner.run_trial w ~point ~survivors:svs).Runner.violations <> []
+  in
+  let current = ref survivors in
+  let progress = ref true in
+  while !progress && !budget > 0 do
+    progress := false;
+    List.iter
+      (fun (s : Pmem.Device.survivor) ->
+        let n = full_keep s.s_line in
+        if (s.s_keep <> n || s.s_tear <> 0) && !budget > 0 then begin
+          let cand =
+            List.map
+              (fun (s' : Pmem.Device.survivor) ->
+                if s'.s_line = s.s_line then
+                  { s' with Pmem.Device.s_keep = n; s_tear = 0 }
+                else s')
+              !current
+          in
+          if violates cand then begin
+            current := cand;
+            progress := true
+          end
+        end)
+      !current
+  done;
+  List.filter
+    (fun (s : Pmem.Device.survivor) ->
+      s.s_keep <> full_keep s.s_line || s.s_tear <> 0)
+    !current
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type violation = {
+  v_fence : int;  (** crash point (fence index) *)
+  v_op : int option;  (** operation in flight, if any *)
+  v_file : int;
+  v_reason : string;
+  v_survivors : Pmem.Device.survivor list;  (** as sampled/enumerated *)
+  v_shrunk : Pmem.Device.survivor list;  (** minimal deviating subset *)
+}
+
+type mode_report = {
+  r_mode : Splitfs.Config.mode;
+  r_ops : int;
+  r_points : int;  (** crash points (fences + end of trace) *)
+  r_total_states : int;  (** |legal crash states|, line-granular *)
+  r_explored : int;  (** trials actually run *)
+  r_exhaustive : bool;
+  r_violations : violation list;
+}
+
+let pp_survivor ppf (s : Pmem.Device.survivor) =
+  if s.s_tear <> 0 then
+    Fmt.pf ppf "line %d keep %d tear %#x" s.s_line s.s_keep s.s_tear
+  else Fmt.pf ppf "line %d keep %d" s.s_line s.s_keep
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v2>fence %d%a, file f%d: %s@,shrunk to: @[%a@]@]" v.v_fence
+    (fun ppf -> function
+      | Some k -> Fmt.pf ppf " (op %d in flight)" k
+      | None -> ())
+    v.v_op v.v_file v.v_reason
+    Fmt.(list ~sep:semi pp_survivor)
+    v.v_shrunk
+
+let pp_mode_report ppf r =
+  Fmt.pf ppf "@[<v2>%-6s %3d ops  %4d crash points  %6d/%-6d states %s  %d violation(s)%a@]"
+    (Splitfs.Config.mode_to_string r.r_mode)
+    r.r_ops r.r_points r.r_explored r.r_total_states
+    (if r.r_exhaustive then "(exhaustive)" else "(sampled)")
+    (List.length r.r_violations)
+    Fmt.(list ~sep:nop (fun ppf v -> Fmt.pf ppf "@,%a" pp_violation v))
+    r.r_violations
+
+(** [check_mode ?samples ?seed ?nops mode] generates a workload, maps
+    its crash-state space, explores it (exhaustively if it fits in
+    [samples] trials, by seeded sampling otherwise) and differentially
+    checks recovery for every explored state. The first violation is
+    shrunk; all are reported. *)
+let check_mode ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) mode =
+  let w = Workload.generate ~mode ~seed ~nops () in
+  let points = Runner.profile w in
+  let total =
+    List.fold_left
+      (fun acc (p : Explore.point) -> acc + Explore.state_count p.pending)
+      0 points
+  in
+  let exhaustive = total <= samples in
+  let trials =
+    if exhaustive then
+      List.concat_map
+        (fun (p : Explore.point) ->
+          List.map (fun svs -> (p, svs)) (Explore.enumerate p.pending))
+        points
+    else begin
+      let rng = Workloads.Rng.create (seed lxor 0x5EED5EED) in
+      let parr = Array.of_list points in
+      List.init samples (fun _ ->
+          let p = parr.(Workloads.Rng.int rng (Array.length parr)) in
+          (p, Explore.sample rng p.Explore.pending))
+    end
+  in
+  let violations = ref [] in
+  List.iter
+    (fun ((p : Explore.point), svs) ->
+      let t = Runner.run_trial w ~point:p ~survivors:svs in
+      List.iter
+        (fun (file, reason) ->
+          let shrunk =
+            if !violations = [] then shrink w ~point:p ~survivors:svs
+            else svs
+          in
+          violations :=
+            {
+              v_fence = p.Explore.fence;
+              v_op = t.Runner.crashed_at_op;
+              v_file = file;
+              v_reason = reason;
+              v_survivors = svs;
+              v_shrunk = shrunk;
+            }
+            :: !violations)
+        t.Runner.violations)
+    trials;
+  {
+    r_mode = w.Workload.mode;
+    r_ops = nops;
+    r_points = List.length points;
+    r_total_states = total;
+    r_explored = List.length trials;
+    r_exhaustive = exhaustive;
+    r_violations = List.rev !violations;
+  }
+
+(** All three modes with the same budget. *)
+let run ?samples ?seed ?nops () =
+  List.map
+    (fun mode -> check_mode ?samples ?seed ?nops mode)
+    [ Splitfs.Config.Posix; Splitfs.Config.Sync; Splitfs.Config.Strict ]

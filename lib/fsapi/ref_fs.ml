@@ -11,6 +11,12 @@ type file = {
   mutable data : Bytes.t;  (** capacity; only [size] bytes are valid *)
   mutable size : int;
   mutable nlink : int;
+  (* Crash-oracle views (see {!make_oracle}); exact-length buffers. *)
+  mutable stable : Bytes.t;  (** content as of the last fsync *)
+  mutable stable_ow : Bytes.t;
+      (** [stable] with post-fsync writes below the stable size applied —
+          the bytes SplitFS's POSIX/sync modes overwrite in place with
+          non-temporal stores, which may (partially) survive a crash *)
 }
 
 type node = File of file | Dir of (string, node) Hashtbl.t
@@ -74,6 +80,11 @@ let do_pwrite file ~buf ~boff ~len ~at =
   if at > file.size then Bytes.fill file.data file.size (at - file.size) '\000';
   Bytes.blit buf boff file.data at len;
   if at + len > file.size then file.size <- at + len;
+  (* in-place part of the write: below the stable size, these bytes reach
+     the media before the next fsync in POSIX/sync modes *)
+  let slim = Bytes.length file.stable_ow in
+  if at < slim && len > 0 then
+    Bytes.blit buf boff file.stable_ow at (min len (slim - at));
   len
 
 let do_pread file ~buf ~boff ~len ~at =
@@ -85,8 +96,7 @@ let do_pread file ~buf ~boff ~len ~at =
     n
   end
 
-let make ?(name = "reffs") () : Fs.t =
-  let t = create () in
+let make_with ~name (t : t) : Fs.t =
   let open_ path (flags : Flags.t) =
     let parent, fname = resolve_parent t path in
     let file =
@@ -99,7 +109,14 @@ let make ?(name = "reffs") () : Fs.t =
       | None ->
           if not flags.creat then Errno.error Errno.ENOENT path;
           let f =
-            { ino = t.next_ino; data = Bytes.create 0; size = 0; nlink = 1 }
+            {
+              ino = t.next_ino;
+              data = Bytes.create 0;
+              size = 0;
+              nlink = 1;
+              stable = Bytes.create 0;
+              stable_ow = Bytes.create 0;
+            }
           in
           t.next_ino <- t.next_ino + 1;
           Hashtbl.replace parent fname (File f);
@@ -159,14 +176,30 @@ let make ?(name = "reffs") () : Fs.t =
     e.pos := npos;
     npos
   in
-  let fsync fd = ignore (fd_entry t fd) in
+  let fsync fd =
+    let e = fd_entry t fd in
+    e.file.stable <- Bytes.sub e.file.data 0 e.file.size;
+    e.file.stable_ow <- Bytes.copy e.file.stable
+  in
   let ftruncate fd size =
     let e = fd_entry t fd in
     if size < 0 then Errno.error Errno.EINVAL "ftruncate";
     grow e.file size;
     if size > e.file.size then
       Bytes.fill e.file.data e.file.size (size - e.file.size) '\000';
-    e.file.size <- size
+    e.file.size <- size;
+    (* truncate is a metadata operation, durable immediately: the stable
+       views shrink/extend with it *)
+    let resize b =
+      if Bytes.length b = size then b
+      else begin
+        let nb = Bytes.make size '\000' in
+        Bytes.blit b 0 nb 0 (min (Bytes.length b) size);
+        nb
+      end
+    in
+    e.file.stable <- resize e.file.stable;
+    e.file.stable_ow <- resize e.file.stable_ow
   in
   let stat_of_node = function
     | File f -> { Fs.st_ino = f.ino; st_kind = Fs.Regular; st_size = f.size; st_nlink = f.nlink }
@@ -244,3 +277,60 @@ let make ?(name = "reffs") () : Fs.t =
     rmdir;
     readdir;
   }
+
+let make ?(name = "reffs") () : Fs.t = make_with ~name (create ())
+
+(** {1 Crash oracle}
+
+    Read-only views over the model's files for crashcheck's differential
+    checker. For each file the model tracks, besides the current content:
+
+    - [stable]: the content as of the last fsync — everything SplitFS
+      guarantees durable in every mode;
+    - [stable + overwrites]: the stable view with post-fsync writes below
+      the stable size applied — those bytes are written in place with
+      non-temporal stores in POSIX/sync modes and may (partially) have
+      reached the media before the crash.
+
+    Covered operations: pwrite/write, ftruncate (metadata, durable
+    immediately), fsync. *)
+type oracle = {
+  dump : string -> Bytes.t option;
+      (** current content of the file at [path], if it exists *)
+  dump_stable : string -> (Bytes.t * Bytes.t) option;
+      (** [(stable, stable_with_overwrites)] views *)
+  mark_all_stable : unit -> unit;
+      (** snapshot every file's current content as its stable view (use
+          after setup/mount, which ends with everything durable) *)
+}
+
+let make_oracle ?(name = "reffs-oracle") () : Fs.t * oracle =
+  let t = create () in
+  let fs = make_with ~name t in
+  let file_at path =
+    match find_node t path with Some (File f) -> Some f | _ -> None
+  in
+  let rec each_file dir f =
+    Hashtbl.iter
+      (fun _ node ->
+        match node with File fl -> f fl | Dir d -> each_file d f)
+      dir
+  in
+  let oracle =
+    {
+      dump =
+        (fun path ->
+          Option.map (fun f -> Bytes.sub f.data 0 f.size) (file_at path));
+      dump_stable =
+        (fun path ->
+          Option.map
+            (fun f -> (Bytes.copy f.stable, Bytes.copy f.stable_ow))
+            (file_at path));
+      mark_all_stable =
+        (fun () ->
+          each_file t.root (fun f ->
+              f.stable <- Bytes.sub f.data 0 f.size;
+              f.stable_ow <- Bytes.copy f.stable));
+    }
+  in
+  (fs, oracle)

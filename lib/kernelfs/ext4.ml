@@ -418,6 +418,22 @@ let pread t inode ~off buf ~boff ~len =
     len
   end
 
+(** Whether every block of [off, off+len) has a physical mapping. Used by
+    recovery to tell staged-but-not-relinked data (fully mapped — staging
+    files are preallocated) from a half-relinked staging file (relink
+    steals blocks, leaving holes). Charges nothing: pure metadata walk. *)
+let range_mapped (_t : t) inode ~off ~len =
+  len <= 0
+  ||
+  let first = off / block_size and last = (off + len - 1) / block_size in
+  let ok = ref true and lblk = ref first in
+  while !ok && !lblk <= last do
+    match Extent_tree.find inode.extents !lblk with
+    | Some (_, run) -> lblk := !lblk + run
+    | None -> ok := false
+  done;
+  !ok
+
 let truncate t inode size =
   if size < 0 then Fsapi.Errno.(error EINVAL "truncate");
   cpu t (timing t).Timing.ext4_inode_cpu;

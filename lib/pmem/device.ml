@@ -28,6 +28,48 @@ let block_size = 4096
 let lines_per_word = 32
 let word_mask = 0xFFFFFFFF
 
+(* ------------------------------------------------------------------ *)
+(* Persist-order journal (crash-state exploration support)              *)
+(* ------------------------------------------------------------------ *)
+
+(** One post-commit version of a cache line: its full 64-byte content
+    after the store that created it. [nt] marks non-temporal stores (which
+    real hardware may tear at 8-byte granularity); [reached] means the
+    content has reached the persistence domain (NT store, clwb, or the
+    writeback an NT store forces on a covered dirty line) and will be
+    committed by the next fence. *)
+type jversion = { vdata : Bytes.t; nt : bool; mutable reached : bool }
+
+(** Pending state of one journalled line. [jbase] is the line's durable
+    content as of the last fence (the state a crash falls back to when no
+    later version survives); [jversions] are the post-commit versions,
+    newest first. *)
+type jline = { jbase : Bytes.t; mutable jversions : jversion list }
+
+(** Survivor choice for one line in a partial crash: keep the first
+    [s_keep] pending versions (0 = revert to the fence-committed base).
+    [s_tear] is an 8-bit mask over the kept frontier version's eight
+    8-byte chunks; set bits revert that chunk to the previous version —
+    modelling a non-temporal store that only partially reached media. *)
+type survivor = { s_line : int; s_keep : int; s_tear : int }
+
+(** Pending summary of one line, exposed to the exploration engine:
+    [p_versions] pending versions, bit [k] of [p_nt_mask] set iff version
+    [k+1] (1-based, oldest first) came from a non-temporal store. *)
+type pending_line = { p_line : int; p_versions : int; p_nt_mask : int }
+
+type journal = {
+  jlines : (int, jline) Hashtbl.t;
+  mutable j_fences : int;  (** fences observed since [journal_begin] *)
+  j_fence_pending : (int, pending_line array) Hashtbl.t;
+      (** per fence index, the pending summary captured just before that
+          fence committed (or would have committed) *)
+  mutable j_trip_fence : int;  (** fence index to crash at; -1 = disarmed *)
+  mutable j_trip_survivors : survivor list;
+}
+
+exception Crashed
+
 type t = {
   capacity : int;
   persistent : Bytes.t;
@@ -42,6 +84,13 @@ type t = {
   stats : Stats.t;
   mutable last_read_start : int;  (** to classify sequential vs random reads *)
   mutable last_read_end : int;
+  mutable journal : journal option;
+      (** persist-order journal; opt-in ([journal_begin]) and purely
+          passive — it never changes simulated-time charges *)
+  mutable halted : bool;
+      (** set when an armed partial crash fired: every device operation is
+          ignored until [resume], so unwinding code cannot disturb the
+          chosen crash image *)
 }
 
 let create ?(capacity = 64 * 1024 * 1024) ~clock ~timing ~stats () =
@@ -58,6 +107,8 @@ let create ?(capacity = 64 * 1024 * 1024) ~clock ~timing ~stats () =
     stats;
     last_read_start = -1;
     last_read_end = -1;
+    journal = None;
+    halted = false;
   }
 
 let capacity t = t.capacity
@@ -174,6 +225,213 @@ let span_end t ~d ~line ~last =
   !l
 
 (* ------------------------------------------------------------------ *)
+(* Persist-order journal hooks                                          *)
+(*                                                                      *)
+(* The journal mirrors, per cache line, the sequence of contents that    *)
+(* could be the line's post-crash state: the fence-committed base plus   *)
+(* every store since. Under x86-TSO with ADR, a crash leaves each line   *)
+(* at its base or at any single later version (caches may evict          *)
+(* speculatively; clwb/NT stores may or may not have completed before    *)
+(* the power loss), so the per-line choice space is "keep the first k    *)
+(* versions" for k in 0..n. A fence commits the newest version that has  *)
+(* reached the persistence domain and keeps cached-only newer versions   *)
+(* pending. All hooks are passive: they never touch simulated time.      *)
+(* ------------------------------------------------------------------ *)
+
+let j_touch j t line =
+  match Hashtbl.find_opt j.jlines line with
+  | Some jl -> jl
+  | None ->
+      let jl =
+        {
+          jbase = Bytes.sub t.persistent (line * line_size) line_size;
+          jversions = [];
+        }
+      in
+      Hashtbl.add j.jlines line jl;
+      jl
+
+(** The line's newest cached content reached the persistence domain
+    (clwb, or the writeback an NT store forces). *)
+let j_reached t jl line =
+  match jl.jversions with
+  | v :: _ -> v.reached <- true
+  | [] ->
+      (* dirty line whose store predates journal_begin: record its cached
+         content as the sole (reached) version *)
+      jl.jversions <-
+        [
+          {
+            vdata = Bytes.sub t.shadow (line * line_size) line_size;
+            nt = false;
+            reached = true;
+          };
+        ]
+
+(** After a temporal store: push one unreached version per touched line,
+    holding the line's full post-store cached content. *)
+let j_store t ~addr ~len =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        let jl = j_touch j t line in
+        jl.jversions <-
+          {
+            vdata = Bytes.sub t.shadow (line * line_size) line_size;
+            nt = false;
+            reached = false;
+          }
+          :: jl.jversions
+      done
+
+(** Before an NT store's writeback/blit: capture line bases and mark
+    cached content of covered dirty lines as reached (the store forces
+    their writeback). Must run before [persistent] is modified. *)
+let j_store_nt_pre t ~addr ~len =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        let jl = j_touch j t line in
+        if t.dirty_count > 0 && line_dirty t line then j_reached t jl line
+      done
+
+(** After an NT store's blit: push one reached NT version per line with
+    the line's full post-store durable content. *)
+let j_store_nt_post t ~addr ~len =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        let jl = j_touch j t line in
+        jl.jversions <-
+          {
+            vdata = Bytes.sub t.persistent (line * line_size) line_size;
+            nt = true;
+            reached = true;
+          }
+          :: jl.jversions
+      done
+
+(** Before a flush writes dirty lines back: mark their newest cached
+    versions reached. Must run before [persistent] is modified. *)
+let j_flush t ~addr ~len =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      if t.dirty_count > 0 then begin
+        let first = addr / line_size and last = (addr + len - 1) / line_size in
+        for line = first to last do
+          if line_dirty t line then begin
+            let jl = j_touch j t line in
+            j_reached t jl line
+          end
+        done
+      end
+
+(** Per-line pending summary, sorted by line for determinism. *)
+let pending_summary j =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun line jl ->
+      if jl.jversions <> [] then begin
+        let n = List.length jl.jversions in
+        let mask = ref 0 in
+        List.iteri
+          (fun i v -> if v.nt then mask := !mask lor (1 lsl (n - 1 - i)))
+          jl.jversions;
+        acc := { p_line = line; p_versions = n; p_nt_mask = !mask } :: !acc
+      end)
+    j.jlines;
+  let arr = Array.of_list !acc in
+  Array.sort (fun a b -> compare a.p_line b.p_line) arr;
+  arr
+
+(** Fence commit: for each line, the newest reached version becomes the
+    new base; versions older than it can no longer survive a crash and
+    are dropped; cached-only newer versions stay pending. *)
+let commit_journal j =
+  Hashtbl.iter
+    (fun _ jl ->
+      match jl.jversions with
+      | [] -> ()
+      | vs -> (
+          let rec split kept = function
+            | [] -> None
+            | v :: rest ->
+                if v.reached then Some (List.rev kept, v)
+                else split (v :: kept) rest
+          in
+          match split [] vs with
+          | None -> ()
+          | Some (newer, r) ->
+              Bytes.blit r.vdata 0 jl.jbase 0 line_size;
+              jl.jversions <- newer))
+    j.jlines
+
+(* Crash-state application --------------------------------------------- *)
+
+(* Common post-crash reset: the cache is gone, read adjacency is
+   meaningless, and the fast/slow-path hit counters restart so post-crash
+   resource tables describe the cold simulator, not the pre-crash run. *)
+let crash_common t =
+  if t.dirty_count > 0 then begin
+    Array.fill t.dirty 0 (Array.length t.dirty) 0;
+    t.dirty_count <- 0
+  end;
+  t.last_read_start <- -1;
+  t.last_read_end <- -1;
+  t.stats.Stats.fast_path_hits <- 0;
+  t.stats.Stats.slow_path_hits <- 0
+
+(* Write one survivor choice into the durable image. [s_keep] is clamped
+   to the line's pending-version count. *)
+let apply_survivor t j s =
+  match Hashtbl.find_opt j.jlines s.s_line with
+  | None -> ()
+  | Some jl ->
+      let n = List.length jl.jversions in
+      let keep = max 0 (min n s.s_keep) in
+      (* [jversions] is newest-first; version [k] counts oldest-first *)
+      let version k = List.nth jl.jversions (n - k) in
+      let content =
+        Bytes.copy (if keep = 0 then jl.jbase else (version keep).vdata)
+      in
+      if keep > 0 && s.s_tear land 0xFF <> 0 then begin
+        let prev = if keep = 1 then jl.jbase else (version (keep - 1)).vdata in
+        for c = 0 to 7 do
+          if s.s_tear land (1 lsl c) <> 0 then
+            Bytes.blit prev (c * 8) content (c * 8) 8
+        done
+      end;
+      Bytes.blit content 0 t.persistent (s.s_line * line_size) line_size
+
+(** Crash leaving a chosen subset of pending stores durable. Lines not
+    named in [survivors] default to their newest pending content (every
+    store to them persisted); a [survivor] entry reverts its line to an
+    earlier version — optionally with an 8-byte-granularity tear against
+    the version below it. The pending journal state is consumed. *)
+let crash_partial t ~survivors =
+  match t.journal with
+  | None -> invalid_arg "Device.crash_partial: journaling is off"
+  | Some j ->
+      Hashtbl.iter
+        (fun line jl ->
+          match jl.jversions with
+          | [] -> ()
+          | v :: _ ->
+              Bytes.blit v.vdata 0 t.persistent (line * line_size) line_size)
+        j.jlines;
+      List.iter (apply_survivor t j) survivors;
+      crash_common t;
+      t.stats.Stats.partial_crashes <- t.stats.Stats.partial_crashes + 1;
+      Hashtbl.reset j.jlines
+
+(* ------------------------------------------------------------------ *)
 (* Stores                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -181,7 +439,7 @@ let span_end t ~d ~line ~last =
     flushed. *)
 let store t ~addr src ~off ~len =
   assert (check_range t addr len);
-  if len > 0 then begin
+  if len > 0 && not t.halted then begin
     Simclock.advance t.clock
       (float_of_int len *. t.timing.Timing.cache_store_per_byte);
     ensure_shadow t;
@@ -192,14 +450,16 @@ let store t ~addr src ~off ~len =
     init_line_if_clean t first;
     if last <> first then init_line_if_clean t last;
     if last > first + 1 then mark_range_dirty t (first + 1) (last - 1);
-    Bytes.blit src off t.shadow addr len
+    Bytes.blit src off t.shadow addr len;
+    j_store t ~addr ~len
   end
 
 (** Non-temporal store: bypasses the cache; durable once a subsequent fence
     orders it (ADR makes it durable on arrival, the fence is ordering). *)
 let store_nt t ~addr src ~off ~len =
   assert (check_range t addr len);
-  if len > 0 then begin
+  if len > 0 && not t.halted then begin
+    j_store_nt_pre t ~addr ~len;
     if t.dirty_count = 0 then
       t.stats.Stats.fast_path_hits <- t.stats.Stats.fast_path_hits + 1
     else begin
@@ -210,6 +470,7 @@ let store_nt t ~addr src ~off ~len =
       writeback_dirty_range t (addr / line_size) ((addr + len - 1) / line_size)
     end;
     Bytes.blit src off t.persistent addr len;
+    j_store_nt_post t ~addr ~len;
     charge_media t (Timing.nt_write_cost t.timing len);
     t.stats.Stats.nt_stores <- t.stats.Stats.nt_stores + 1;
     t.stats.Stats.pm_write_bytes <- t.stats.Stats.pm_write_bytes + len;
@@ -224,7 +485,8 @@ let store_nt t ~addr src ~off ~len =
     bits in the range are visited, clean words are skipped wholesale. *)
 let flush t ~addr ~len =
   assert (check_range t addr len);
-  if len > 0 then begin
+  if len > 0 && not t.halted then begin
+    j_flush t ~addr ~len;
     if t.dirty_count = 0 then
       t.stats.Stats.fast_path_hits <- t.stats.Stats.fast_path_hits + 1
     else begin
@@ -260,8 +522,24 @@ let flush t ~addr ~len =
   end
 
 let fence t =
-  Simclock.advance t.clock t.timing.Timing.sfence;
-  t.stats.Stats.fences <- t.stats.Stats.fences + 1
+  if not t.halted then begin
+    (match t.journal with
+    | None -> ()
+    | Some j ->
+        (* record the choice space a crash at this fence would face, then
+           either trip the armed crash or commit reached versions *)
+        Hashtbl.replace j.j_fence_pending j.j_fences (pending_summary j);
+        let here = j.j_fences in
+        j.j_fences <- here + 1;
+        if j.j_trip_fence = here then begin
+          crash_partial t ~survivors:j.j_trip_survivors;
+          t.halted <- true;
+          raise Crashed
+        end
+        else commit_journal j);
+    Simclock.advance t.clock t.timing.Timing.sfence;
+    t.stats.Stats.fences <- t.stats.Stats.fences + 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Loads                                                                *)
@@ -273,7 +551,7 @@ let fence t =
     the last load ended, or exactly repeating it, counts as sequential. *)
 let load t ~addr dst ~off ~len =
   assert (check_range t addr len);
-  if len > 0 then begin
+  if len > 0 && not t.halted then begin
     let random =
       not
         (addr = t.last_read_end
@@ -345,12 +623,8 @@ let zero_nt t ~addr ~len =
 (** Crash: all cache lines not yet flushed (and not written with NT stores)
     are lost. The durable image is untouched. *)
 let crash t =
-  if t.dirty_count > 0 then begin
-    Array.fill t.dirty 0 (Array.length t.dirty) 0;
-    t.dirty_count <- 0
-  end;
-  t.last_read_start <- -1;
-  t.last_read_end <- -1
+  crash_common t;
+  match t.journal with Some j -> Hashtbl.reset j.jlines | None -> ()
 
 (** Number of dirty (would-be-lost) cache lines; exposed for tests. *)
 let dirty_lines t = t.dirty_count
@@ -362,3 +636,51 @@ let total_wear t = Array.fold_left ( + ) 0 t.wear
 
 (** Peek at the durable image without charging time (test/debug only). *)
 let peek_persistent t ~addr ~len = Bytes.sub t.persistent addr len
+
+(* ------------------------------------------------------------------ *)
+(* Persist-order journal API                                            *)
+(* ------------------------------------------------------------------ *)
+
+let journal_begin t =
+  t.journal <-
+    Some
+      {
+        jlines = Hashtbl.create 256;
+        j_fences = 0;
+        j_fence_pending = Hashtbl.create 64;
+        j_trip_fence = -1;
+        j_trip_survivors = [];
+      }
+
+let journal_stop t = t.journal <- None
+let journaling t = t.journal <> None
+
+(** Fences observed since [journal_begin]; fence index [i] is the
+    (i+1)-th fence the journalled run will execute. *)
+let fence_count t = match t.journal with Some j -> j.j_fences | None -> 0
+
+(** The pending-line summary captured just before fence [i] committed. *)
+let fence_pending t i =
+  match t.journal with
+  | Some j -> ( try Hashtbl.find j.j_fence_pending i with Not_found -> [||])
+  | None -> [||]
+
+(** The pending-line summary right now (the choice space of a crash at
+    the current point, e.g. at end of trace). *)
+let pending_now t =
+  match t.journal with Some j -> pending_summary j | None -> [||]
+
+(** Arm a crash at fence index [fence]: when the journalled run reaches
+    it, the device applies [survivors] via [crash_partial], halts (all
+    further device operations no-op until [resume]), and raises
+    [Crashed]. [fence = -1] disarms. *)
+let arm_crash t ~fence ~survivors =
+  match t.journal with
+  | None -> invalid_arg "Device.arm_crash: journaling is off"
+  | Some j ->
+      j.j_trip_fence <- fence;
+      j.j_trip_survivors <- survivors
+
+(** Reactivate a device halted by an armed crash, so recovery can run
+    against the chosen crash image. *)
+let resume t = t.halted <- false

@@ -62,3 +62,65 @@ val total_wear : t -> int
 
 (** Peek at the durable image without charging time (test/debug only). *)
 val peek_persistent : t -> addr:int -> len:int -> Bytes.t
+
+(** {1 Persist-order journal (crash-state exploration)}
+
+    When journaling is on, the device records per cache line the sequence
+    of contents the line could hold after a crash, under x86-TSO persist
+    semantics with ADR: everything committed by the last sfence is
+    durable; any later store — flushed, non-temporal, or merely cached
+    (caches evict speculatively) — may or may not have reached the
+    persistence domain. Per line, the legal post-crash contents are the
+    fence-committed base or any single later version; choices across
+    lines are independent. Journaling is passive — it never changes
+    simulated-time charges. *)
+
+(** Survivor choice for one line in a partial crash: keep the first
+    [s_keep] pending versions, counted oldest-first (0 = revert to the
+    fence-committed base). [s_tear] is an 8-bit mask over the kept
+    frontier version's eight 8-byte chunks; set bits revert that chunk to
+    the version below — modelling a non-temporal store that only
+    partially reached media (x86 guarantees 8-byte atomicity, nothing
+    wider). *)
+type survivor = { s_line : int; s_keep : int; s_tear : int }
+
+(** Pending summary of one line: [p_versions] pending versions; bit [k-1]
+    of [p_nt_mask] is set iff version [k] (1-based, oldest-first) came
+    from a non-temporal store (and may therefore tear sub-line). *)
+type pending_line = { p_line : int; p_versions : int; p_nt_mask : int }
+
+exception Crashed
+(** Raised by [fence] when an armed crash trips. *)
+
+val journal_begin : t -> unit
+(** Start (or restart) persist-order journaling. Call at a quiescent
+    point — ideally with no dirty lines and no armed crash. *)
+
+val journal_stop : t -> unit
+val journaling : t -> bool
+
+val fence_count : t -> int
+(** Fences executed since [journal_begin]. *)
+
+val fence_pending : t -> int -> pending_line array
+(** [fence_pending t i] is the pending summary captured just before fence
+    index [i] (0-based) committed — the choice space of a crash at that
+    fence. Empty if [i] has not been reached. *)
+
+val pending_now : t -> pending_line array
+(** The pending summary right now (the choice space of a crash at the
+    current point, e.g. at end of trace). *)
+
+val crash_partial : t -> survivors:survivor list -> unit
+(** Crash leaving a chosen subset of pending stores durable. Lines not
+    named in [survivors] keep their newest pending content. Consumes the
+    pending journal state and resets the cache like [crash]. *)
+
+val arm_crash : t -> fence:int -> survivors:survivor list -> unit
+(** When the run reaches fence index [fence], apply [crash_partial
+    ~survivors], halt the device (every device operation becomes a no-op
+    so unwinding code cannot disturb the crash image) and raise
+    [Crashed]. [fence = -1] disarms. *)
+
+val resume : t -> unit
+(** Reactivate a halted device so recovery can run on the crash image. *)

@@ -36,6 +36,8 @@ type t = {
           path (zero dirty lines: one blit, no per-line probes) *)
   mutable slow_path_hits : int;
       (** device calls that had to walk the dirty-line bitmap *)
+  mutable partial_crashes : int;
+      (** crash states applied via [Device.crash_partial] (crashcheck) *)
 }
 
 let create () =
@@ -60,6 +62,7 @@ let create () =
     dirty_lines_hwm = 0;
     fast_path_hits = 0;
     slow_path_hits = 0;
+    partial_crashes = 0;
   }
 
 let reset t =
@@ -82,7 +85,8 @@ let reset t =
   t.background_ns <- 0.;
   t.dirty_lines_hwm <- 0;
   t.fast_path_hits <- 0;
-  t.slow_path_hits <- 0
+  t.slow_path_hits <- 0;
+  t.partial_crashes <- 0
 
 let copy t = { t with pm_read_bytes = t.pm_read_bytes }
 
@@ -111,6 +115,7 @@ let diff a b =
     dirty_lines_hwm = a.dirty_lines_hwm;
     fast_path_hits = a.fast_path_hits - b.fast_path_hits;
     slow_path_hits = a.slow_path_hits - b.slow_path_hits;
+    partial_crashes = a.partial_crashes - b.partial_crashes;
   }
 
 let pp ppf t =
@@ -118,9 +123,9 @@ let pp ppf t =
     "pm_read=%dB pm_write=%dB nt_stores=%d flushes=%d fences=%d syscalls=%d \
      faults=%d(huge %d) jcommits=%d jbytes=%d relinks=%d relink_copy=%dB \
      log_entries=%d staged=%dB mmaps=%d media=%.0fns bg=%.0fns \
-     dirty_hwm=%d fast=%d slow=%d"
+     dirty_hwm=%d fast=%d slow=%d pcrashes=%d"
     t.pm_read_bytes t.pm_write_bytes t.nt_stores t.flushes t.fences t.syscalls
     t.page_faults t.page_faults_huge t.journal_commits t.journal_bytes
     t.relinks t.relink_copied_bytes t.log_entries t.staged_bytes t.mmap_setups
     t.media_ns t.background_ns t.dirty_lines_hwm t.fast_path_hits
-    t.slow_path_hits
+    t.slow_path_hits t.partial_crashes

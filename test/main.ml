@@ -11,6 +11,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("oplog", Test_oplog.suite);
       ("crash", Test_crash.suite);
+      ("crashcheck", Test_crashcheck.suite);
       ("apps", Test_apps.suite);
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);

@@ -1,0 +1,237 @@
+(** Crashcheck: the crash-state exploration engine itself (exhaustive
+    enumeration on a hand-built device trace), the relink-atomicity
+    window, the sampled differential run against the ref_fs oracle, and
+    the injected-bug canary (op-log checksum verification disabled must
+    be caught by the sampler). *)
+
+open Crashcheck
+
+let tc = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive enumeration on a hand-built ≤10-store trace               *)
+(* ------------------------------------------------------------------ *)
+
+(** Three cache lines A (addr 0), B (64), C (128):
+
+    - store A='a' (temporal, never flushed)
+    - store B='b' (temporal), flush B
+    - store_nt C='c'
+    - fence                 — crash point 0: A, B, C each base-or-new: 8 states
+    - store_nt C='d'
+    - store_nt C='e'        — end of trace: A in {base,'a'}, C in
+                              {'c','d','e'} (B committed): 6 states
+
+    14 legal crash states in total; enumeration must visit every one
+    exactly once. *)
+let line c = Bytes.make 64 c
+
+let run_trace dev =
+  Pmem.Device.store dev ~addr:0 (line 'a') ~off:0 ~len:64;
+  Pmem.Device.store dev ~addr:64 (line 'b') ~off:0 ~len:64;
+  Pmem.Device.flush dev ~addr:64 ~len:64;
+  Pmem.Device.store_nt dev ~addr:128 (line 'c') ~off:0 ~len:64;
+  Pmem.Device.fence dev;
+  Pmem.Device.store_nt dev ~addr:128 (line 'd') ~off:0 ~len:64;
+  Pmem.Device.store_nt dev ~addr:128 (line 'e') ~off:0 ~len:64
+
+(** Re-run the trace on a fresh device, crash into [survivors] at fence
+    [fence] ([-1] = end of trace), and return the resulting (A, B, C)
+    line contents. *)
+let crash_state ~fence ~survivors =
+  let env = Pmem.Env.create ~capacity:(64 * 1024) () in
+  let dev = env.Pmem.Env.dev in
+  Pmem.Device.journal_begin dev;
+  if fence >= 0 then Pmem.Device.arm_crash dev ~fence ~survivors;
+  (try run_trace dev with Pmem.Device.Crashed -> ());
+  if fence < 0 then Pmem.Device.crash_partial dev ~survivors;
+  let peek addr = Bytes.get (Pmem.Device.peek_persistent dev ~addr ~len:64) 0 in
+  (peek 0, peek 64, peek 128)
+
+let test_exhaustive_trace () =
+  (* profile once to collect the crash points *)
+  let env = Pmem.Env.create ~capacity:(64 * 1024) () in
+  let dev = env.Pmem.Env.dev in
+  Pmem.Device.journal_begin dev;
+  run_trace dev;
+  Util.check_int "one fence in the trace" 1 (Pmem.Device.fence_count dev);
+  let p_fence = Pmem.Device.fence_pending dev 0 in
+  let p_end = Pmem.Device.pending_now dev in
+  Util.check_int "states at the fence" 8 (Explore.state_count p_fence);
+  Util.check_int "states at end of trace" 6 (Explore.state_count p_end);
+  Util.check_int "total legal crash states" 14
+    (Explore.state_count p_fence + Explore.state_count p_end);
+  (* enumerate both points; every state visited exactly once *)
+  let states_of ~fence pending =
+    List.map (fun survivors -> crash_state ~fence ~survivors)
+      (Explore.enumerate pending)
+  in
+  let distinct l = List.sort_uniq compare l in
+  let at_fence = states_of ~fence:0 p_fence in
+  Util.check_int "fence: no state visited twice" 8
+    (List.length (distinct at_fence));
+  Util.check_int "fence: every state visited" 8 (List.length at_fence);
+  (* the 8 states are exactly base-or-new per line *)
+  let expect =
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun b -> List.map (fun c -> (a, b, c)) [ '\000'; 'c' ])
+          [ '\000'; 'b' ])
+      [ '\000'; 'a' ]
+  in
+  Alcotest.(check bool)
+    "fence: states are exactly {base,new}^3" true
+    (distinct at_fence = List.sort compare expect);
+  let at_end = states_of ~fence:(-1) p_end in
+  Util.check_int "end: no state visited twice" 6
+    (List.length (distinct at_end));
+  Util.check_int "end: every state visited" 6 (List.length at_end);
+  (* B committed at the fence; A still at risk; C one of its 3 versions *)
+  List.iter
+    (fun (a, b, c) ->
+      Alcotest.(check char) "end: B durable" 'b' b;
+      Alcotest.(check bool) "end: A base or new" true (a = '\000' || a = 'a');
+      Alcotest.(check bool)
+        "end: C one version" true
+        (List.mem c [ 'c'; 'd'; 'e' ]))
+    at_end
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: Device.crash resets the PR-1 path-hit counters            *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_resets_path_counters () =
+  let env = Pmem.Env.create ~capacity:(64 * 1024) () in
+  let dev = env.Pmem.Env.dev in
+  let stats = env.Pmem.Env.stats in
+  let buf = Bytes.create 64 in
+  Pmem.Device.store dev ~addr:0 (line 'x') ~off:0 ~len:64;
+  Pmem.Device.load dev ~addr:0 buf ~off:0 ~len:64;
+  Pmem.Device.load dev ~addr:4096 buf ~off:0 ~len:64;
+  Alcotest.(check bool)
+    "counters moved" true
+    (stats.Pmem.Stats.fast_path_hits + stats.Pmem.Stats.slow_path_hits > 0);
+  Pmem.Device.crash dev;
+  Util.check_int "fast-path hits reset" 0 stats.Pmem.Stats.fast_path_hits;
+  Util.check_int "slow-path hits reset" 0 stats.Pmem.Stats.slow_path_hits;
+  (* and the partial-crash path resets them too *)
+  Pmem.Device.journal_begin dev;
+  Pmem.Device.store dev ~addr:0 (line 'y') ~off:0 ~len:64;
+  Pmem.Device.load dev ~addr:0 buf ~off:0 ~len:64;
+  Pmem.Device.crash_partial dev ~survivors:[];
+  Util.check_int "fast-path hits reset (partial)" 0
+    stats.Pmem.Stats.fast_path_hits;
+  Util.check_int "slow-path hits reset (partial)" 0
+    stats.Pmem.Stats.slow_path_hits
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: relink atomicity window                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Strict mode, one staged full-block append, then fsync. The fsync's
+    fences bracket the relink journal commit and the op-log Relinked
+    append: a crash anywhere must recover to the pre-relink (empty) or
+    post-relink (4096 B) file — never a mix — and both outcomes must
+    actually be reachable. The empty outcome appears at the write's own
+    fence (op-log entry line dropped, or entry kept with torn staged
+    data); once the relink transaction commits, only the full file is
+    legal. *)
+let test_relink_atomicity_window () =
+  let w =
+    {
+      Workload.mode = Splitfs.Config.Strict;
+      nfiles = 1;
+      initial = [| 0 |];
+      ops =
+        [
+          Workload.Write { file = 0; at = 0; len = 4096; seed = 11 };
+          Workload.Fsync { file = 0 };
+        ];
+    }
+  in
+  let points = Runner.profile w in
+  (* fence 0 is the write's own fence; everything after belongs to the
+     fsync — the relink window proper *)
+  Alcotest.(check bool) "fsync emits fences" true
+    (List.length (List.filter (fun (p : Explore.point) -> p.fence >= 1) points)
+    >= 2);
+  let sizes_seen = ref [] in
+  let rng = Workloads.Rng.create 0xAB1E in
+  List.iter
+    (fun (p : Explore.point) ->
+      let states =
+        if Explore.state_count p.pending <= 256 then
+          Explore.enumerate p.pending
+        else List.init 64 (fun _ -> Explore.sample rng p.pending)
+      in
+      List.iter
+        (fun survivors ->
+          let t = Runner.run_trial w ~point:p ~survivors in
+          (match t.Runner.violations with
+          | [] -> ()
+          | (_, reason) :: _ ->
+              Alcotest.failf "fence %d: relink window violation: %s" p.fence
+                reason);
+          let size = Bytes.length t.Runner.recovered.(0) in
+          Alcotest.(check bool)
+            "recovered file is pre- or post-relink, never a mix" true
+            (size = 0 || size = 4096);
+          if not (List.mem size !sizes_seen) then
+            sizes_seen := size :: !sizes_seen)
+        states)
+    points;
+  Alcotest.(check bool)
+    "both pre- and post-relink outcomes reachable" true
+    (List.mem 0 !sizes_seen && List.mem 4096 !sizes_seen)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: sampled differential run, committed seed                  *)
+(* ------------------------------------------------------------------ *)
+
+let committed_seed = 0x51ED
+
+let test_differential mode () =
+  let r = check_mode ~samples:200 ~seed:committed_seed ~nops:24 mode in
+  Alcotest.(check bool) "space too large to enumerate" false r.r_exhaustive;
+  Util.check_int "explored exactly the sample budget" 200 r.r_explored;
+  Alcotest.(check bool)
+    "every crash point got pending-line summaries" true (r.r_points > 0);
+  match r.r_violations with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "differential violation: %a" pp_violation v
+
+(* ------------------------------------------------------------------ *)
+(* Injected bug: skipping checksum verification must be caught          *)
+(* ------------------------------------------------------------------ *)
+
+let test_injected_bug_caught () =
+  Fun.protect
+    ~finally:(fun () -> Splitfs.Oplog.verify_checksums := true)
+    (fun () ->
+      Splitfs.Oplog.verify_checksums := false;
+      let r =
+        check_mode ~samples:200 ~seed:committed_seed ~nops:24
+          Splitfs.Config.Strict
+      in
+      Alcotest.(check bool)
+        "disabled checksum verification is caught by the sampler" true
+        (r.r_violations <> []))
+
+let suite =
+  [
+    tc "exhaustive enumeration visits all 14 states once" `Quick
+      test_exhaustive_trace;
+    tc "crash resets fast/slow path counters" `Quick
+      test_crash_resets_path_counters;
+    tc "relink window: never a pre/post mix" `Quick
+      test_relink_atomicity_window;
+    tc "differential vs ref_fs oracle, posix (200 sampled states)" `Quick
+      (test_differential Splitfs.Config.Posix);
+    tc "differential vs ref_fs oracle, sync (200 sampled states)" `Quick
+      (test_differential Splitfs.Config.Sync);
+    tc "differential vs ref_fs oracle, strict (200 sampled states)" `Quick
+      (test_differential Splitfs.Config.Strict);
+    tc "injected bug: unverified op-log checksums are caught" `Quick
+      test_injected_bug_caught;
+  ]

@@ -8,9 +8,11 @@ let tc = Alcotest.test_case
 let sample_ops =
   [
     Oplog.Append
-      { target_ino = 12; file_off = 4096; staging_ino = 99; staging_off = 8192; len = 4096 };
+      { target_ino = 12; file_off = 4096; staging_ino = 99; staging_off = 8192;
+        len = 4096; data_crc = 0x1234ABCD };
     Oplog.Overwrite
-      { target_ino = 3; file_off = 0; staging_ino = 99; staging_off = 0; len = 100 };
+      { target_ino = 3; file_off = 0; staging_ino = 99; staging_off = 0;
+        len = 100; data_crc = 0 };
     Oplog.Relinked { target_ino = 12 };
     Oplog.Create { ino = 44 };
     Oplog.Unlink { ino = 45 };
@@ -41,7 +43,8 @@ let prop_corruption_detected =
     (fun (pos, delta) ->
       let entry =
         Oplog.Append
-          { target_ino = 7; file_off = 12288; staging_ino = 9; staging_off = 0; len = 512 }
+          { target_ino = 7; file_off = 12288; staging_ino = 9; staging_off = 0;
+            len = 512; data_crc = 42 }
       in
       let b = Oplog.encode entry in
       Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) + delta) land 0xFF));
@@ -74,7 +77,7 @@ let test_scan_finds_entries () =
       Util.check_int "torn" 0 scan.Oplog.torn;
       Alcotest.(check bool) "entries match" true (scan.Oplog.valid = sample_ops))
 
-let test_scan_skips_torn_entry () =
+let test_scan_stops_at_torn_entry () =
   with_log (fun env sys log ->
       Oplog.append log (Oplog.Create { ino = 1 });
       Oplog.append log (Oplog.Create { ino = 2 });
@@ -86,8 +89,82 @@ let test_scan_skips_torn_entry () =
       Kernelfs.Syscall.close sys kfd;
       ignore env;
       let scan = Oplog.scan sys "/oplog" in
-      Util.check_int "one torn" 1 scan.Oplog.torn;
-      Util.check_int "two valid" 2 (List.length scan.Oplog.valid))
+      (* collection stops at the tear: the entry beyond it postdates the
+         tear and cannot be trusted, so it counts as torn too *)
+      Util.check_int "torn (tear + untrusted successor)" 2 scan.Oplog.torn;
+      Util.check_int "whole non-zero prefix scanned" 3 scan.Oplog.scanned;
+      Alcotest.(check bool) "only the prefix before the tear is valid" true
+        (scan.Oplog.valid = [ Oplog.Create { ino = 1 } ]))
+
+(** Satellite: torn-entry corpus. Three hand-built entries; for every slot
+    and every non-empty subset of its eight 8-byte chunks, drop (zero) that
+    subset — the granularity at which an NT-stored line can tear — and
+    assert replay stops at the first bad slot, never skipping over it. *)
+let test_torn_corpus () =
+  let mk i =
+    Oplog.Append
+      { target_ino = 100 + i; file_off = (i + 1) * 4096; staging_ino = 50 + i;
+        staging_off = (i + 1) * 8192; len = 4096; data_crc = 0xC0FFEE + i }
+  in
+  let entries = [| mk 0; mk 1; mk 2 |] in
+  (* which 8-byte chunks of an encoded entry actually hold non-zero bytes
+     (dropping an all-zero chunk is unobservable) *)
+  let nonzero_chunks e =
+    let b = Oplog.encode e in
+    let m = ref 0 in
+    for c = 0 to 7 do
+      for i = c * 8 to (c * 8) + 7 do
+        if Bytes.get b i <> '\000' then m := !m lor (1 lsl c)
+      done
+    done;
+    !m
+  in
+  let env, _kfs, sys = Util.make_kernel () in
+  let path = "/.splitfs-oplog-7" in
+  let zeros = Bytes.make 8 '\000' in
+  for slot = 0 to 2 do
+    let live = nonzero_chunks entries.(slot) in
+    for mask = 1 to 255 do
+      (* rewrite all three slots (the previous iteration's recovery zeroed
+         the prefix; appends overwrite the rest), then drop [mask]'s
+         chunks of [slot] — the granularity at which an NT line tears *)
+      let log = Oplog.create ~sys ~env ~path ~size:(16 * 64) in
+      Array.iter (Oplog.append log) entries;
+      Pmem.Device.fence env.Pmem.Env.dev;
+      let kfd = Kernelfs.Syscall.open_ sys path Fsapi.Flags.rdwr in
+      for c = 0 to 7 do
+        if mask land (1 lsl c) <> 0 then
+          ignore
+            (Kernelfs.Syscall.pwrite sys kfd ~buf:zeros ~boff:0 ~len:8
+               ~at:((slot * 64) + (c * 8)))
+      done;
+      Kernelfs.Syscall.close sys kfd;
+      let scan = Oplog.scan sys path in
+      let changed = mask land live <> 0 in
+      let now_empty = live land lnot mask = 0 in
+      let expect =
+        if not changed then Array.to_list entries
+        else Array.to_list (Array.sub entries 0 slot)
+      in
+      if not (scan.Oplog.valid = expect) then
+        Alcotest.failf "slot %d mask %#x: replay did not stop at the tear"
+          slot mask;
+      if changed && not now_empty then begin
+        (* a detectable tear: reported as torn by scan and by recovery *)
+        Alcotest.(check bool)
+          (Printf.sprintf "slot %d mask %#x counted torn" slot mask)
+          true (scan.Oplog.torn >= 1);
+        let report = Splitfs.Recovery.recover ~sys ~env ~instance:7 in
+        Alcotest.(check bool)
+          (Printf.sprintf "slot %d mask %#x recovery reports torn" slot mask)
+          true
+          (report.Splitfs.Recovery.torn_entries >= 1)
+      end
+      else
+        (* leave the log zeroed for the next iteration *)
+        ignore (Splitfs.Recovery.recover ~sys ~env ~instance:7)
+    done
+  done
 
 let test_clear_resets () =
   with_log (fun _env sys log ->
@@ -116,7 +193,8 @@ let suite =
     tc "all-zero slot is Empty" `Quick test_empty_slot;
     tc "append = one NT store, no fence" `Quick test_append_one_nt_store_no_fence;
     tc "scan finds appended entries" `Quick test_scan_finds_entries;
-    tc "scan skips torn entries" `Quick test_scan_skips_torn_entry;
+    tc "scan stops at the first torn entry" `Quick test_scan_stops_at_torn_entry;
+    tc "torn-entry corpus: replay never skips a tear" `Quick test_torn_corpus;
     tc "clear resets and allows reuse" `Quick test_clear_resets;
     tc "full log raises ENOSPC" `Quick test_full_log_raises;
     QCheck_alcotest.to_alcotest prop_corruption_detected;
