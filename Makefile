@@ -1,4 +1,4 @@
-.PHONY: all build test bench crashcheck check
+.PHONY: all build test bench bench-json crashcheck check
 
 all: build
 
@@ -10,6 +10,12 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Perf-trajectory point for this PR: host ns/op per experiment kernel
+# (bechamel) plus simulated ns/op per scaling configuration. Diffable
+# against the BENCH_PR*.json of earlier PRs.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_PR3.json
 
 # Crash-state exploration: sampled partial-persistence crash states per
 # mode, each recovered and checked against the reference oracle. Exits

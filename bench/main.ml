@@ -233,6 +233,22 @@ let write_trajectory path estimates =
   close_out oc;
   Printf.printf "\nwrote perf trajectory point to %s\n" path
 
+(* The scaling experiment's trajectory entries carry *simulated* ns/op
+   (aggregate makespan over total ops at each client count) — the quantity
+   the acceptance test pins — rather than host-clock cost: contention
+   results need to stay comparable across machines. *)
+let scaling_estimates results =
+  List.concat_map
+    (fun (spec, rs) ->
+      List.map
+        (fun (r : Harness.Multiclient.result) ->
+          ( Printf.sprintf "scaling/%s-%dc" (Harness.Fs_config.name spec)
+              r.Harness.Multiclient.nclients,
+            r.Harness.Multiclient.makespan_ns
+            /. float_of_int (max 1 r.Harness.Multiclient.total_ops) ))
+        rs)
+    results
+
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
   let json_path =
@@ -254,8 +270,11 @@ let () =
   ignore (Harness.Experiments.recovery ());
   ignore (Harness.Experiments.resources ());
   ignore (Harness.Experiments.ablations ());
+  let scaling = Harness.Experiments.scaling () in
   if not fast then begin
     let estimates = run_bechamel () in
-    Option.iter (fun path -> write_trajectory path estimates) json_path
+    Option.iter
+      (fun path -> write_trajectory path (estimates @ scaling_estimates scaling))
+      json_path
   end;
   print_endline "\nAll experiments completed."

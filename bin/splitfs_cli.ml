@@ -32,6 +32,7 @@ let run_crashcheck samples seed nops =
   then exit 1
 let run_ablations total_mb = ignore (Harness.Experiments.ablations ~total_mb ())
 let run_resources () = ignore (Harness.Experiments.resources ())
+let run_scaling () = ignore (Harness.Experiments.scaling ())
 
 let total_mb =
   Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"Total IO volume in MB.")
@@ -130,6 +131,9 @@ let () =
               Term.(const run_ablations $ total_mb);
             cmd "resources" "U-Split resource consumption."
               Term.(const run_resources $ const ());
+            cmd "scaling"
+              "Aggregate throughput vs concurrent clients (deterministic)."
+              Term.(const run_scaling $ const ());
             smoke;
             all_cmd;
           ]))

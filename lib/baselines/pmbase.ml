@@ -58,8 +58,7 @@ let block_addr t phys = t.data_start + (phys * block_size)
 
 (* --- namespace --- *)
 
-let split_path path =
-  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+let split_path = Fsapi.Path.split
 
 let rec walk dir = function
   | [] -> Dir dir
@@ -77,15 +76,12 @@ let find_node t path =
   match split_path path with [] -> Dir t.root | parts -> walk t.root parts
 
 let parent_of t path =
-  match List.rev (split_path path) with
-  | [] -> Fsapi.Errno.(error EINVAL path)
-  | name :: rev_parents -> (
-      match walk t.root (List.rev rev_parents) with
-      | Dir d -> (d, name)
-      | File _ -> Fsapi.Errno.(error ENOTDIR path)
-      | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) when rev_parents = []
-        ->
-          (t.root, name))
+  let parents, name = Fsapi.Path.split_parent path in
+  match walk t.root parents with
+  | Dir d -> (d, name)
+  | File _ -> Fsapi.Errno.(error ENOTDIR path)
+  | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) when parents = [] ->
+      (t.root, name)
 
 let fresh_file t =
   let f =

@@ -37,6 +37,10 @@ type file_state = {
   mutable mmap_last : int;  (** last-hit slot in [mmap_index] *)
   mutable open_count : int;
   mutable unlinked : bool;
+  f_lock : Pmem.Lock.t;
+      (** §3.5 fine-grained per-file lock: concurrent clients of one
+          U-Split instance serialize writes to the same file; inert (and
+          uncharged) outside multi-actor runs *)
 }
 
 type open_desc = {
@@ -68,6 +72,14 @@ type t = {
 
 let bookkeeping t = Env.cpu t.env t.env.Env.timing.Timing.usplit_bookkeeping
 let fence t = Device.fence t.env.Env.dev
+
+(** Run a write-side operation under the §3.5 per-file lock. The take /
+    release CPU cost only exists in multi-client runs; the single-client
+    cost is part of the calibrated [usplit_bookkeeping] constant. *)
+let with_file_lock t st f =
+  if Simclock.multi t.env.Env.clock then
+    Env.cpu t.env t.env.Env.timing.Timing.usplit_lock_cpu;
+  Env.with_lock t.env st.f_lock f
 
 (** Bounce buffer of at least [len] bytes, reused across relink copies so
     the staging->target path allocates nothing per call. *)
@@ -459,7 +471,8 @@ let do_pwrite t od ~buf ~boff ~len ~at =
   bookkeeping t;
   let st = od.st in
   if len = 0 then 0
-  else begin
+  else
+    with_file_lock t st @@ fun () ->
     (if at > st.usize then begin
        (* write beyond EOF creating a hole: settle staged state first, then
           let the kernel produce the sparse file *)
@@ -509,7 +522,6 @@ let do_pwrite t od ~buf ~boff ~len ~at =
            in
            if synchronous then fence t);
     len
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Data path: reads                                                     *)
@@ -608,6 +620,7 @@ let make_state t path kfd =
       mmap_last = 0;
       open_count = 0;
       unlinked = false;
+      f_lock = Pmem.Lock.create (Printf.sprintf "ufile:%d" kstat.Fsapi.Fs.st_ino);
     }
   in
   Hashtbl.replace t.files_by_ino st.f_ino st;
@@ -695,6 +708,7 @@ let dup t fd =
 let fsync t fd =
   bookkeeping t;
   let od = fd_entry t fd in
+  with_file_lock t od.st @@ fun () ->
   relink_file t od.st;
   Kernelfs.Syscall.fsync t.sys od.st.f_kfd
 
@@ -703,6 +717,7 @@ let ftruncate t fd size =
   bookkeeping t;
   let od = fd_entry t fd in
   let st = od.st in
+  with_file_lock t st @@ fun () ->
   if size < st.ksize then begin
     reset_after_truncate st size;
     Kernelfs.Syscall.ftruncate t.sys st.f_kfd size;
@@ -911,6 +926,7 @@ let adopt_fd t' ~od_kfd ~fpos ~oflags =
             mmap_last = 0;
             open_count = 0;
             unlinked = kstat.Fsapi.Fs.st_nlink = 0;
+            f_lock = Pmem.Lock.create (Printf.sprintf "ufile:%d" ino);
           }
         in
         Hashtbl.replace t'.files_by_ino ino st;

@@ -340,8 +340,7 @@ module Runner = struct
         | _ -> View.empty)
 
   (** Post-crash file content as the kernel serves it. *)
-  let read_back sys i =
-    let path = file_path i in
+  let read_back_path sys path =
     match Kernelfs.Syscall.stat sys path with
     | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> None
     | st ->
@@ -355,6 +354,8 @@ module Runner = struct
               Kernelfs.Syscall.pread sys fd ~buf ~boff:0 ~len:size ~at:0
             in
             Some (Bytes.sub buf 0 got))
+
+  let read_back sys i = read_back_path sys (file_path i)
 
   type trial = {
     crashed_at_op : int option;
@@ -581,3 +582,208 @@ let run ?samples ?seed ?nops () =
   List.map
     (fun mode -> check_mode ?samples ?seed ?nops mode)
     [ Splitfs.Config.Posix; Splitfs.Config.Sync; Splitfs.Config.Strict ]
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent crashcheck: two interleaved clients (PR 3)                *)
+(* ------------------------------------------------------------------ *)
+
+(** Differential crash checking under concurrency: two clients — each a
+    scheduler actor with its own U-Split instance and kernel fd table over
+    one shared kernel and device — run interleaved workloads on disjoint
+    file sets. The persist-order journal records the merged NT/flush/fence
+    stream of both clients plus the shared jbd2 journal; every sampled
+    crash state is recovered (both instances) and each client's files are
+    checked against the per-mode contract exactly as in the single-client
+    harness. This is the evidence that the per-actor clock refactor and
+    the contention charges did not change what reaches the media, or the
+    order it becomes durable in. *)
+module Concurrent = struct
+  let nclients = 2
+  let file_path c i = Printf.sprintf "/c%df%d" c i
+
+  type stack = {
+    env : Pmem.Env.t;
+    sys : Kernelfs.Syscall.t array;  (** per-client process fd table *)
+    u : Splitfs.Usplit.t array;
+    fs : Fsapi.Fs.t array;
+    actors : Pmem.Simclock.actor array;
+  }
+
+  let build mode =
+    let env = Pmem.Env.create ~capacity:(16 * 1024 * 1024) () in
+    let kfs = Kernelfs.Ext4.mkfs ~journal_len:(1024 * 1024) env in
+    let cfg =
+      {
+        (Splitfs.Config.with_mode mode) with
+        Splitfs.Config.staging_files = 2;
+        staging_size = 256 * 1024;
+        oplog_size = 16 * 1024;
+      }
+    in
+    let sys = Array.init nclients (fun _ -> Kernelfs.Syscall.make kfs) in
+    let u =
+      Array.init nclients (fun c ->
+          Splitfs.Usplit.mount ~cfg ~sys:sys.(c) ~env ~instance:c ())
+    in
+    let fs = Array.map Splitfs.Usplit.as_fsapi u in
+    let actors =
+      Array.init nclients (fun c ->
+          Pmem.Env.new_actor env ~name:(Printf.sprintf "client%d" c))
+    in
+    { env; sys; u; fs; actors }
+
+  let setup c (w : Workload.t) (fs : Fsapi.Fs.t) =
+    Array.init w.Workload.nfiles (fun i ->
+        let fd = fs.Fsapi.Fs.open_ (file_path c i) Fsapi.Flags.create_rw in
+        let len = w.Workload.initial.(i) in
+        let buf = Workload.payload ~seed:(2000 + (100 * c) + i) len in
+        ignore (fs.Fsapi.Fs.pwrite fd ~buf ~boff:0 ~len ~at:0);
+        fs.Fsapi.Fs.fsync fd;
+        fd)
+
+  (** Round-robin interleaving of the two clients' op streams. *)
+  let rec weave l0 l1 =
+    match (l0, l1) with
+    | [], rest -> List.map (fun op -> (1, op)) rest
+    | rest, [] -> List.map (fun op -> (0, op)) rest
+    | a :: ra, b :: rb -> (0, a) :: (1, b) :: weave ra rb
+
+  (** Profile the merged trace: one run to completion with the
+      persist-order journal on, each client's ops dispatched on its own
+      actor. Returns the crash points of the merged stream. *)
+  let profile (ws : Workload.t array) =
+    let st = build ws.(0).Workload.mode in
+    let fds = Array.init nclients (fun c -> setup c ws.(c) st.fs.(c)) in
+    let dev = st.env.Pmem.Env.dev in
+    Pmem.Device.journal_begin dev;
+    List.iter
+      (fun (c, op) ->
+        Pmem.Env.run_as st.env st.actors.(c) (fun () ->
+            Runner.apply
+              ~checkpoint:(fun () -> Splitfs.Usplit.relink_all st.u.(c))
+              st.fs.(c) fds.(c) op))
+      (weave ws.(0).Workload.ops ws.(1).Workload.ops);
+    let nf = Pmem.Device.fence_count dev in
+    let points =
+      List.init nf (fun i ->
+          { Explore.fence = i; pending = Pmem.Device.fence_pending dev i })
+      @ [ { Explore.fence = nf; pending = Pmem.Device.pending_now dev } ]
+    in
+    Pmem.Device.journal_stop dev;
+    points
+
+  (** One crash state end to end, as {!Runner.run_trial} but with two
+      lockstep clients sharing one oracle namespace. The client whose op
+      was in flight gets pre/post views around that op; the other client
+      crashed between ops, so its pre and post coincide. *)
+  let run_trial (ws : Workload.t array) ~(point : Explore.point) ~survivors =
+    let st = build ws.(0).Workload.mode in
+    let fds = Array.init nclients (fun c -> setup c ws.(c) st.fs.(c)) in
+    let ofs, oracle = Fsapi.Ref_fs.make_oracle () in
+    let ofds = Array.init nclients (fun c -> setup c ws.(c) ofs) in
+    let dev = st.env.Pmem.Env.dev in
+    Pmem.Device.journal_begin dev;
+    Pmem.Device.arm_crash dev ~fence:point.Explore.fence ~survivors;
+    let snapshot_c c =
+      Array.init ws.(c).Workload.nfiles (fun i ->
+          let p = file_path c i in
+          match
+            (oracle.Fsapi.Ref_fs.dump p, oracle.Fsapi.Ref_fs.dump_stable p)
+          with
+          | Some cur, Some (stable, stable_ow) ->
+              { View.cur; stable; stable_ow }
+          | _ -> View.empty)
+    in
+    let apply_real c op =
+      Pmem.Env.run_as st.env st.actors.(c) (fun () ->
+          Runner.apply
+            ~checkpoint:(fun () -> Splitfs.Usplit.relink_all st.u.(c))
+            st.fs.(c) fds.(c) op)
+    in
+    let apply_oracle c op =
+      Runner.apply
+        ~checkpoint:(fun () -> Array.iter (fun fd -> ofs.Fsapi.Fs.fsync fd) ofds.(c))
+        ofs ofds.(c) op
+    in
+    let pre = Array.make nclients [||] in
+    let post = Array.make nclients [||] in
+    let crashed_at = ref None in
+    let rec go k = function
+      | [] ->
+          for c = 0 to nclients - 1 do
+            pre.(c) <- snapshot_c c;
+            post.(c) <- pre.(c)
+          done;
+          Pmem.Device.crash_partial dev ~survivors
+      | (c, op) :: rest -> (
+          match apply_real c op with
+          | () ->
+              apply_oracle c op;
+              go (k + 1) rest
+          | exception Pmem.Device.Crashed ->
+              crashed_at := Some (c, k);
+              for c' = 0 to nclients - 1 do
+                pre.(c') <- snapshot_c c'
+              done;
+              apply_oracle c op;
+              for c' = 0 to nclients - 1 do
+                post.(c') <- snapshot_c c'
+              done)
+    in
+    go 0 (weave ws.(0).Workload.ops ws.(1).Workload.ops);
+    Pmem.Device.resume dev;
+    Pmem.Device.journal_stop dev;
+    for c = 0 to nclients - 1 do
+      ignore (Splitfs.Recovery.recover ~sys:st.sys.(c) ~env:st.env ~instance:c)
+    done;
+    let violations = ref [] in
+    for c = nclients - 1 downto 0 do
+      for i = ws.(c).Workload.nfiles - 1 downto 0 do
+        let recovered =
+          match Runner.read_back_path st.sys.(c) (file_path c i) with
+          | Some b -> b
+          | None -> Bytes.empty
+        in
+        match
+          Check.check ws.(c).Workload.mode ~pre:pre.(c).(i) ~post:post.(c).(i)
+            recovered
+        with
+        | None -> ()
+        | Some reason -> violations := (c, i, reason) :: !violations
+      done
+    done;
+    (!crashed_at, !violations)
+
+  type report = {
+    c_mode : Splitfs.Config.mode;
+    c_points : int;
+    c_explored : int;
+    c_violations : (int * int * string) list;  (** (client, file, reason) *)
+  }
+
+  (** Seeded sampling over the merged trace's crash states; client 0 runs
+      the seed workload, client 1 an independently generated one. *)
+  let check_mode ?(samples = 100) ?(seed = 0x51ED) ?(nops = 16) mode =
+    let ws =
+      [|
+        Workload.generate ~mode ~seed ~nops ();
+        Workload.generate ~mode ~seed:(seed lxor 0x2C11E27) ~nops ();
+      |]
+    in
+    let points = profile ws in
+    let rng = Workloads.Rng.create (seed lxor 0x5EED5EED) in
+    let parr = Array.of_list points in
+    let violations = ref [] in
+    for _ = 1 to samples do
+      let p = parr.(Workloads.Rng.int rng (Array.length parr)) in
+      let svs = Explore.sample rng p.Explore.pending in
+      let _, vs = run_trial ws ~point:p ~survivors:svs in
+      violations := vs @ !violations
+    done;
+    {
+      c_mode = mode;
+      c_points = Array.length parr;
+      c_explored = samples;
+      c_violations = !violations;
+    }
+end

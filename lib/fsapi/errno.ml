@@ -30,7 +30,9 @@ exception Error of t * string
 
 let error e ctx = raise (Error (e, ctx))
 
+(* Printed the way strace renders an errno — [ENOENT "/path"] — so a
+   scheduler or test failure names the code and offending path directly. *)
 let () =
   Printexc.register_printer (function
-    | Error (e, ctx) -> Some (Printf.sprintf "Errno.Error(%s, %S)" (to_string e) ctx)
+    | Error (e, ctx) -> Some (Printf.sprintf "%s %S" (to_string e) ctx)
     | _ -> None)

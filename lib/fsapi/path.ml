@@ -1,0 +1,20 @@
+(** Shared path-walking helpers.
+
+    Every simulated file system (the reference model, ext4, the PM
+    baselines) resolves slash-separated absolute paths the same way; the
+    splitting and parent/leaf decomposition live here so each keeps only
+    its own directory-walk over its own node representation. *)
+
+(** Split a path into its non-empty components: ["/a//b/"] -> [["a"; "b"]].
+    The root path maps to []. *)
+let split path =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+(** [split_parent path] decomposes a path into the components of its parent
+    directory and its final component: ["/a/b/c"] -> [(["a"; "b"], "c")].
+    Raises [Errno.Error (EINVAL, path)] for the root path (no final
+    component to name). *)
+let split_parent path =
+  match List.rev (split path) with
+  | [] -> Errno.error Errno.EINVAL path
+  | name :: rev_parents -> (List.rev rev_parents, name)

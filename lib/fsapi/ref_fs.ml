@@ -30,8 +30,7 @@ type t = {
   mutable next_ino : int;
 }
 
-let split_path path =
-  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+let split_path = Path.split
 
 let create () =
   { root = Hashtbl.create 64; fds = Hashtbl.create 16; next_fd = 3; next_ino = 2 }
@@ -46,9 +45,8 @@ let rec lookup_dir dir = function
 
 (** Resolve a path to its parent directory table and final component. *)
 let resolve_parent t path =
-  match List.rev (split_path path) with
-  | [] -> Errno.error Errno.EINVAL path
-  | name :: rev_parents -> (lookup_dir t.root (List.rev rev_parents), name)
+  let parents, name = Path.split_parent path in
+  (lookup_dir t.root parents, name)
 
 let find_node t path =
   match split_path path with

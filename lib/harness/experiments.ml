@@ -797,3 +797,57 @@ let crashcheck ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) ?(print = true)
       reports
   end;
   reports
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: aggregate throughput vs concurrent clients (§5e)            *)
+(* ------------------------------------------------------------------ *)
+
+let scaling_specs =
+  [ Ext4_dax; Pmfs; Nova_relaxed; Splitfs_posix; Splitfs_sync; Splitfs_strict ]
+
+let scaling_counts = [ 1; 2; 4; 8; 16 ]
+
+(** Aggregate append throughput for N concurrent clients per file system:
+    each client appends 4 KB records to a private file (fsync every 10)
+    and the scheduler interleaves them deterministically. ext4 DAX
+    serializes every client's metadata behind one jbd2 journal, while each
+    SplitFS client appends through its own staging files and op-log — the
+    concurrency half of the paper's software-overhead argument. *)
+let scaling ?(print = true) () =
+  let results =
+    List.map
+      (fun spec ->
+        ( spec,
+          List.map
+            (fun n -> Multiclient.run spec ~nclients:n)
+            scaling_counts ))
+      scaling_specs
+  in
+  if print then begin
+    Runner.print_table
+      ~title:"Scaling: aggregate append throughput (kops/s) vs clients"
+      ("file system"
+      :: List.map (fun n -> Printf.sprintf "%d" n) scaling_counts)
+      (List.map
+         (fun (spec, rs) ->
+           name spec
+           :: List.map
+                (fun (r : Multiclient.result) -> Runner.f1 r.Multiclient.kops_per_s)
+                rs)
+         results);
+    Runner.print_table
+      ~title:"Scaling: time blocked on contention at 8 clients (us)"
+      [ "file system"; "lock wait"; "bandwidth wait" ]
+      (List.map
+         (fun (spec, rs) ->
+           let r8 =
+             List.find (fun (r : Multiclient.result) -> r.Multiclient.nclients = 8) rs
+           in
+           [
+             name spec;
+             Runner.f1 (r8.Multiclient.lock_wait_ns /. 1e3);
+             Runner.f1 (r8.Multiclient.bw_wait_ns /. 1e3);
+           ])
+         results)
+  end;
+  results

@@ -1,0 +1,146 @@
+(** Closed-loop multi-client driver: N concurrent clients over one shared
+    PM device and kernel, dispatched by {!Sched}.
+
+    Process model per file system:
+    - ext4 DAX: one shared kernel instance; each client is a process with
+      its own fd table ([Kernelfs.Syscall.make] over the shared [Ext4.t]),
+      so all clients contend on the same jbd2 journal, inode locks and PM
+      bandwidth.
+    - SplitFS: the same shared kernel, plus a private U-Split instance per
+      client (its own staging pool and op-log, paper §3.2) — exactly how
+      independent applications share a SplitFS mount.
+    - PMFS / NOVA: one shared in-kernel file system; clients share it the
+      way processes share a mount (their file sets are disjoint).
+
+    The workload is the paper's concurrency stressor: each client appends
+    [write_size]-byte records to a private file, fsyncing every
+    [fsync_every] appends. Private files mean no lock contention between
+    SplitFS clients — what remains shared is the kernel journal (ext4's
+    scaling bottleneck) and PM bandwidth, which is the comparison the
+    scaling experiment is after. *)
+
+let mb = 1024 * 1024
+
+type params = {
+  ops_per_client : int;
+  write_size : int;
+  fsync_every : int;
+}
+
+let default_params = { ops_per_client = 200; write_size = 4096; fsync_every = 10 }
+
+type result = {
+  spec : Fs_config.spec;
+  nclients : int;
+  total_ops : int;  (** scheduler dispatches across all clients *)
+  makespan_ns : float;  (** first spawn to last client completion *)
+  kops_per_s : float;  (** aggregate throughput in simulated kops/s *)
+  lock_wait_ns : float;
+  bw_wait_ns : float;
+  trace_hash : int;  (** fingerprint of the dispatch interleaving *)
+}
+
+(** Small staging footprint so 16 U-Split instances fit one device. *)
+let scaling_cfg mode =
+  {
+    Splitfs.Config.default with
+    Splitfs.Config.mode;
+    staging_files = 2;
+    staging_size = 2 * mb;
+    oplog_size = 1 * mb;
+  }
+
+(** Build one shared stack and a per-client [Fsapi.Fs.t] view of it. *)
+let build spec ~nclients =
+  let env = Pmem.Env.create ~capacity:(256 * mb) () in
+  let shared_kernel () = Kernelfs.Ext4.mkfs ~journal_len:(8 * mb) env in
+  let fss =
+    match spec with
+    | Fs_config.Ext4_dax ->
+        let kfs = shared_kernel () in
+        Array.init nclients (fun _ ->
+            Kernelfs.Syscall.as_fsapi (Kernelfs.Syscall.make kfs))
+    | Fs_config.Splitfs_posix | Fs_config.Splitfs_sync
+    | Fs_config.Splitfs_strict ->
+        let mode =
+          match spec with
+          | Fs_config.Splitfs_posix -> Splitfs.Config.Posix
+          | Fs_config.Splitfs_sync -> Splitfs.Config.Sync
+          | _ -> Splitfs.Config.Strict
+        in
+        let kfs = shared_kernel () in
+        Array.init nclients (fun i ->
+            let sys = Kernelfs.Syscall.make kfs in
+            let u =
+              Splitfs.Usplit.mount ~cfg:(scaling_cfg mode) ~sys ~env
+                ~instance:i ()
+            in
+            Splitfs.Usplit.as_fsapi u)
+    | Fs_config.Pmfs ->
+        let p = Baselines.Pmfs.mkfs env in
+        Array.init nclients (fun _ -> Baselines.Pmfs.as_fsapi p)
+    | Fs_config.Nova_relaxed | Fs_config.Nova_strict ->
+        let mode =
+          if spec = Fs_config.Nova_relaxed then Baselines.Nova.Relaxed
+          else Baselines.Nova.Strict
+        in
+        let n = Baselines.Nova.mkfs env ~mode in
+        Array.init nclients (fun _ -> Baselines.Nova.as_fsapi n)
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Multiclient.build: no multi-client model for %s"
+             (Fs_config.name spec))
+  in
+  (env, fss)
+
+(** One client's closed loop: open a private file, append, fsync
+    periodically, close. Step 0 opens, steps 1..ops append, the final step
+    fsyncs and closes. *)
+let client_step (fs : Fsapi.Fs.t) ~path ~p =
+  let fd = ref (-1) in
+  let buf = Bytes.make p.write_size 'w' in
+  fun (_ : Sched.client) i ->
+    if i = 0 then begin
+      fd := fs.Fsapi.Fs.open_ path Fsapi.Flags.create_rw;
+      true
+    end
+    else if i <= p.ops_per_client then begin
+      let at = (i - 1) * p.write_size in
+      let n = fs.Fsapi.Fs.pwrite !fd ~buf ~boff:0 ~len:p.write_size ~at in
+      assert (n = p.write_size);
+      if i mod p.fsync_every = 0 then fs.Fsapi.Fs.fsync !fd;
+      true
+    end
+    else if i = p.ops_per_client + 1 then begin
+      fs.Fsapi.Fs.fsync !fd;
+      fs.Fsapi.Fs.close !fd;
+      true
+    end
+    else false
+
+(** Run [nclients] concurrent clients of [spec] and report aggregate
+    throughput plus the contention breakdown. Fully deterministic. *)
+let run ?(params = default_params) spec ~nclients =
+  let env, fss = build spec ~nclients in
+  let s = Sched.create env in
+  for c = 0 to nclients - 1 do
+    let path = Printf.sprintf "/client%d" c in
+    ignore
+      (Sched.spawn s
+         ~name:(Printf.sprintf "%s-c%d" (Fs_config.name spec) c)
+         ~step:(client_step fss.(c) ~path ~p:params))
+  done;
+  Sched.run s;
+  let makespan_ns = Sched.makespan s in
+  let total_ops = Sched.total_ops s in
+  let stats = env.Pmem.Env.stats in
+  {
+    spec;
+    nclients;
+    total_ops;
+    makespan_ns;
+    kops_per_s = float_of_int total_ops /. makespan_ns *. 1e6;
+    lock_wait_ns = stats.Pmem.Stats.lock_wait_ns;
+    bw_wait_ns = stats.Pmem.Stats.bw_wait_ns;
+    trace_hash = Sched.trace_hash s;
+  }

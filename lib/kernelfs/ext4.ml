@@ -24,6 +24,9 @@ type inode = {
   mutable refcount : int;  (** open file descriptors *)
   extents : Extent_tree.t;
   dir : (string, int) Hashtbl.t option;  (** [Some _] for directories *)
+  ilock : Pmem.Lock.t;
+      (** inode rwsem: writers to the same inode serialize (VFS write path);
+          inert outside multi-actor runs *)
 }
 
 type t = {
@@ -69,6 +72,7 @@ let mkfs ?(journal_len = 8 * 1024 * 1024) (env : Env.t) =
       refcount = 0;
       extents = Extent_tree.create ();
       dir = Some (Hashtbl.create 64);
+      ilock = Pmem.Lock.create "inode:2";
     }
   in
   let t =
@@ -96,8 +100,7 @@ let root_inode t = t.root
 (* Path resolution                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let split_path path =
-  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+let split_path = Fsapi.Path.split
 
 let inode_of t ino =
   match Hashtbl.find_opt t.inodes ino with
@@ -123,9 +126,8 @@ let namei t path = walk t t.root (split_path path)
 
 (** Resolve to the parent directory inode and the final component. *)
 let lookup_parent t path =
-  match List.rev (split_path path) with
-  | [] -> Fsapi.Errno.(error EINVAL path)
-  | name :: rev_parents -> (walk t t.root (List.rev rev_parents), name)
+  let parents, name = Fsapi.Path.split_parent path in
+  (walk t t.root parents, name)
 
 (* ------------------------------------------------------------------ *)
 (* Inode lifecycle                                                      *)
@@ -167,6 +169,7 @@ let make_inode t kind =
         (match kind with
         | Fsapi.Fs.Directory -> Some (Hashtbl.create 16)
         | Fsapi.Fs.Regular -> None);
+      ilock = Pmem.Lock.create (Printf.sprintf "inode:%d" t.next_ino);
     }
   in
   t.next_ino <- t.next_ino + 1;
@@ -304,6 +307,7 @@ let get_or_alloc_block t inode lblk =
     huge pages. Does not change [size] (KEEP_SIZE semantics). *)
 let fallocate t inode ~off ~len =
   if off mod block_size <> 0 then Fsapi.Errno.(error EINVAL "fallocate");
+  Env.with_lock t.env inode.ilock @@ fun () ->
   let first = off / block_size in
   let nblocks = (len + block_size - 1) / block_size in
   let allocated = ref 0 in
@@ -384,14 +388,15 @@ let write_data t inode ~off buf ~boff ~len =
     dirtied by allocation or size change joins the running transaction. *)
 let pwrite t inode ~off buf ~boff ~len =
   if len < 0 || off < 0 then Fsapi.Errno.(error EINVAL "pwrite");
-  let allocating = off + len > inode.size in
-  cpu t
-    (if allocating then (timing t).Timing.ext4_append_cpu
-     else (timing t).Timing.ext4_write_cpu);
-  let meta = write_data t inode ~off buf ~boff ~len in
-  stage_meta t meta;
-  Device.fence t.env.Env.dev;
-  len
+  Env.with_lock t.env inode.ilock (fun () ->
+      let allocating = off + len > inode.size in
+      cpu t
+        (if allocating then (timing t).Timing.ext4_append_cpu
+         else (timing t).Timing.ext4_write_cpu);
+      let meta = write_data t inode ~off buf ~boff ~len in
+      stage_meta t meta;
+      Device.fence t.env.Env.dev;
+      len)
 
 (** pread(2): DAX read, media cost charged per contiguous extent. *)
 let pread t inode ~off buf ~boff ~len =
@@ -436,6 +441,7 @@ let range_mapped (_t : t) inode ~off ~len =
 
 let truncate t inode size =
   if size < 0 then Fsapi.Errno.(error EINVAL "truncate");
+  Env.with_lock t.env inode.ilock @@ fun () ->
   cpu t (timing t).Timing.ext4_inode_cpu;
   let old_blocks = (inode.size + block_size - 1) / block_size in
   let new_blocks = (size + block_size - 1) / block_size in
@@ -483,7 +489,7 @@ let truncate t inode size =
     makes ext4 DAX fsync expensive after a burst of appends (paper
     Table 6). *)
 let fsync t inode =
-  ignore inode;
+  Env.with_lock t.env inode.ilock @@ fun () ->
   cpu t (timing t).Timing.ext4_inode_cpu;
   if t.running_meta > 0 then begin
     let blocks = t.running_meta in
@@ -507,6 +513,8 @@ let fsync t inode =
     blocks remain valid; U-Split re-points its collection of mmaps. *)
 let swap_extents t ~src ~src_blk ~dst ~dst_blk ~nblks =
   if nblks <= 0 then Fsapi.Errno.(error EINVAL "swap_extents");
+  Env.with_lock t.env src.ilock @@ fun () ->
+  Env.with_lock t.env dst.ilock @@ fun () ->
   let ex_src = Extent_tree.remove_range src.extents ~logical:src_blk ~len:nblks in
   let ex_dst = Extent_tree.remove_range dst.extents ~logical:dst_blk ~len:nblks in
   let shift into delta e =
@@ -529,6 +537,8 @@ let swap_extents t ~src ~src_blk ~dst ~dst_blk ~nblks =
     extent manipulation as {!swap_extents}. *)
 let relink t ~src ~src_blk ~dst ~dst_blk ~nblks ~dst_size =
   if nblks <= 0 then Fsapi.Errno.(error EINVAL "relink");
+  Env.with_lock t.env src.ilock @@ fun () ->
+  Env.with_lock t.env dst.ilock @@ fun () ->
   let replaced = Extent_tree.remove_range dst.extents ~logical:dst_blk ~len:nblks in
   List.iter
     (fun e ->
@@ -555,6 +565,7 @@ let relink t ~src ~src_blk ~dst ~dst_blk ~nblks ~dst_size =
 (** Free a block range of [inode] (relink uses this to drop the staging
     file's temporarily allocated blocks). Metadata-only. *)
 let dealloc_range t inode ~blk ~nblks =
+  Env.with_lock t.env inode.ilock @@ fun () ->
   let removed = Extent_tree.remove_range inode.extents ~logical:blk ~len:nblks in
   List.iter
     (fun e ->
@@ -565,6 +576,7 @@ let dealloc_range t inode ~blk ~nblks =
   Journal.commit t.journal ~meta_blocks:2
 
 let set_size t inode size =
+  Env.with_lock t.env inode.ilock @@ fun () ->
   cpu t (timing t).Timing.ext4_inode_cpu;
   inode.size <- size;
   Journal.commit t.journal ~meta_blocks:1

@@ -21,6 +21,10 @@ type t = {
   mutable head : int;  (** next write offset within the region *)
   mutable commits : int;
   scratch : Bytes.t;
+  jlock : Pmem.Lock.t;
+      (** jbd2 has one running transaction: concurrent committers serialize
+          behind it, which is what makes ext4 DAX appends collapse under
+          multi-client load (paper §2) *)
 }
 
 let create ~env ~region_start ~region_len ~block_size =
@@ -33,6 +37,7 @@ let create ~env ~region_start ~region_len ~block_size =
     head = 0;
     commits = 0;
     scratch = Bytes.make block_size '\000';
+    jlock = Pmem.Lock.create "jbd2";
   }
 
 let write_journal_block t =
@@ -49,19 +54,19 @@ let write_journal_block t =
 (** [commit t ~meta_blocks] charges one transaction that dirtied
     [meta_blocks] metadata blocks. *)
 let commit t ~meta_blocks =
-  if meta_blocks > 0 then begin
-    let dev = t.env.Pmem.Env.dev in
-    (* descriptor block + journalled copies of the metadata blocks *)
-    for _ = 0 to meta_blocks do
-      write_journal_block t
-    done;
-    Pmem.Device.fence dev;
-    (* commit record, made durable before the op returns *)
-    write_journal_block t;
-    Pmem.Device.fence dev;
-    t.commits <- t.commits + 1;
-    let stats = t.env.Pmem.Env.stats in
-    stats.Pmem.Stats.journal_commits <- stats.Pmem.Stats.journal_commits + 1
-  end
+  if meta_blocks > 0 then
+    Pmem.Env.with_lock t.env t.jlock (fun () ->
+        let dev = t.env.Pmem.Env.dev in
+        (* descriptor block + journalled copies of the metadata blocks *)
+        for _ = 0 to meta_blocks do
+          write_journal_block t
+        done;
+        Pmem.Device.fence dev;
+        (* commit record, made durable before the op returns *)
+        write_journal_block t;
+        Pmem.Device.fence dev;
+        t.commits <- t.commits + 1;
+        let stats = t.env.Pmem.Env.stats in
+        stats.Pmem.Stats.journal_commits <- stats.Pmem.Stats.journal_commits + 1)
 
 let commits t = t.commits

@@ -91,6 +91,10 @@ type t = {
       (** set when an armed partial crash fired: every device operation is
           ignored until [resume], so unwinding code cannot disturb the
           chosen crash image *)
+  mutable media_free_at : float;
+      (** virtual time the media finishes its last accepted transfer; the
+          shared-bandwidth contention model (multi-actor only) queues a new
+          transfer behind it, M/D/1-style in dispatch order *)
 }
 
 let create ?(capacity = 64 * 1024 * 1024) ~clock ~timing ~stats () =
@@ -109,12 +113,36 @@ let create ?(capacity = 64 * 1024 * 1024) ~clock ~timing ~stats () =
     last_read_end = -1;
     journal = None;
     halted = false;
+    media_free_at = 0.;
   }
 
 let capacity t = t.capacity
 let check_range t addr len = addr >= 0 && len >= 0 && addr + len <= t.capacity
 
 let charge_media t ns =
+  (* Shared-bandwidth contention: with several actors the media is a
+     deterministic M/D/1-style server — a transfer dispatched while the
+     device is still busy waits for [media_free_at] first, then occupies
+     the device for [ns / pm_channels] (DIMM interleave absorbs that much
+     parallelism; the issuing actor still experiences the full [ns]
+     latency). Single-actor clocks are monotone, so the branch can only
+     ever charge a wait when a second actor exists; it stays inert (and
+     bit-identical to the pre-actor model) otherwise. *)
+  if Simclock.multi t.clock then begin
+    let now = Simclock.now t.clock in
+    if t.media_free_at > now then begin
+      let wait = t.media_free_at -. now in
+      Simclock.advance t.clock wait;
+      t.stats.Stats.bw_wait_ns <- t.stats.Stats.bw_wait_ns +. wait;
+      let a = Simclock.current t.clock in
+      a.Simclock.a_bw_wait_ns <- a.Simclock.a_bw_wait_ns +. wait
+    end;
+    t.media_free_at <-
+      Simclock.now t.clock
+      +. (ns /. float_of_int (max 1 t.timing.Timing.pm_channels));
+    let a = Simclock.current t.clock in
+    a.Simclock.a_media_ns <- a.Simclock.a_media_ns +. ns
+  end;
   Simclock.advance t.clock ns;
   t.stats.Stats.media_ns <- t.stats.Stats.media_ns +. ns
 

@@ -30,9 +30,30 @@ let in_background t f =
   let t0 = Simclock.now t.clock in
   let x = f () in
   let t1 = Simclock.now t.clock in
-  t.clock.Simclock.now_ns <- t0;
+  Simclock.set_now t.clock t0;
   t.stats.Stats.background_ns <- t.stats.Stats.background_ns +. (t1 -. t0);
   x
+
+(* --- actors (multi-client support) --- *)
+
+(** Register a fresh actor (simulated client thread); its clock starts at
+    the current actor's time, so it cannot contend with work that finished
+    before it was spawned. *)
+let new_actor t ~name = Simclock.new_actor t.clock ~name
+
+let current_actor t = Simclock.current t.clock
+
+(** [run_as t a f] runs [f ()] with [a] as the current actor — all charges
+    (CPU, media, lock waits) land on [a]'s clock — then restores the
+    previous actor. *)
+let run_as t a f =
+  let prev = Simclock.current t.clock in
+  Simclock.set_current t.clock a;
+  Fun.protect ~finally:(fun () -> Simclock.set_current t.clock prev) f
+
+(** [with_lock t l f] runs [f] as a critical section of [l], charging any
+    contention wait to the current actor. *)
+let with_lock t l f = Lock.with_ l ~clock:t.clock ~stats:t.stats f
 
 (** [measure t f] returns [f ()] along with elapsed simulated time and the
     statistics delta. *)

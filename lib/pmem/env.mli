@@ -27,6 +27,20 @@ val snapshot_stats : t -> Stats.t
     pre-allocation and similar work off the critical path, §4). *)
 val in_background : t -> (unit -> 'a) -> 'a
 
+(** Register a fresh actor (simulated client thread); its clock starts at
+    the current actor's time. *)
+val new_actor : t -> name:string -> Simclock.actor
+
+val current_actor : t -> Simclock.actor
+
+(** [run_as t a f] runs [f ()] with [a] as the current actor — all charges
+    land on [a]'s clock — then restores the previous actor. *)
+val run_as : t -> Simclock.actor -> (unit -> 'a) -> 'a
+
+(** [with_lock t l f] runs [f] as a critical section of [l], charging any
+    contention wait to the current actor. *)
+val with_lock : t -> Lock.t -> (unit -> 'a) -> 'a
+
 (** [measure t f] returns [f ()] along with elapsed simulated time and the
     statistics delta. *)
 val measure : t -> (unit -> 'a) -> 'a * float * Stats.t

@@ -1,0 +1,50 @@
+(** Simulated mutual-exclusion locks for the contention model.
+
+    Execution is host-sequential (one op runs to completion before the
+    scheduler dispatches the next), so a lock never blocks the host: it
+    only moves virtual time. [free_at] remembers when the last critical
+    section ended in virtual time; an actor acquiring earlier than that is
+    charged the wait ([free_at - now]) and its clock jumps to [free_at] —
+    the deterministic serialization a kernel mutex imposes on overlapping
+    critical sections.
+
+    With a single registered actor the lock is inert (its clock is
+    monotone, so no window can overlap), keeping single-client results
+    bit-identical to the pre-actor model; uncontended acquisition cost is
+    part of the calibrated per-op CPU constants. Re-entrant acquisition by
+    the holder is harmless: [free_at] is only published at release, so a
+    nested acquire sees a past timestamp and charges nothing. *)
+
+type t = {
+  l_name : string;
+  mutable free_at : float;  (** virtual time the last holder released *)
+  mutable contended : int;  (** host-side count of charged waits *)
+}
+
+let create name = { l_name = name; free_at = 0.; contended = 0 }
+let name t = t.l_name
+let contended t = t.contended
+
+(** Charge the current actor for entering the critical section now. *)
+let acquire t ~clock ~(stats : Stats.t) =
+  if Simclock.multi clock then begin
+    let now = Simclock.now clock in
+    if t.free_at > now then begin
+      let wait = t.free_at -. now in
+      Simclock.advance clock wait;
+      t.contended <- t.contended + 1;
+      stats.Stats.lock_wait_ns <- stats.Stats.lock_wait_ns +. wait;
+      let a = Simclock.current clock in
+      a.Simclock.a_lock_wait_ns <- a.Simclock.a_lock_wait_ns +. wait
+    end
+  end
+
+(** Publish the end of the critical section. *)
+let release t ~clock =
+  if Simclock.multi clock then t.free_at <- Simclock.now clock
+
+(** [with_ t ~clock ~stats f] runs [f] as one critical section. The lock
+    is released even if [f] raises (e.g. a simulated crash mid-commit). *)
+let with_ t ~clock ~stats f =
+  acquire t ~clock ~stats;
+  Fun.protect ~finally:(fun () -> release t ~clock) f

@@ -1,25 +1,84 @@
-(** Simulated clock, in nanoseconds.
+(** Simulated time, in nanoseconds — per-actor virtual clocks.
 
     Every component of the simulation charges time here instead of measuring
     wall-clock time, which makes experiments deterministic and independent of
-    the host machine. *)
+    the host machine.
 
-type t = { mutable now_ns : float }
+    Each {e actor} (a simulated thread of execution: the main experiment
+    driver, or one client of a multi-client workload) owns a virtual clock
+    plus wait counters. A clock [t] designates one actor as {e current};
+    every charge lands on the current actor's clock. Single-actor clocks —
+    the default, and everything the single-client experiments use — behave
+    exactly like the old global clock: [multi t] is false and the contention
+    machinery (locks, shared-bandwidth queueing) stays inert, so those
+    results are bit-identical to the pre-actor model. *)
 
-let create () = { now_ns = 0. }
+type actor = {
+  aid : int;  (** dense id, 0 for the initial actor *)
+  a_name : string;
+  mutable a_now : float;  (** this actor's virtual time, ns *)
+  mutable a_start : float;  (** virtual time when the actor was created *)
+  (* --- per-actor breakdowns (host-side observability) --- *)
+  mutable a_lock_wait_ns : float;  (** time spent waiting on {!Lock}s *)
+  mutable a_bw_wait_ns : float;  (** time queued on shared PM bandwidth *)
+  mutable a_media_ns : float;  (** PM media time charged to this actor *)
+}
 
-let now t = t.now_ns
+type t = {
+  mutable current : actor;
+  mutable actors : actor list;  (** in creation order; head is actor 0 *)
+  mutable nactors : int;
+}
 
-(** [advance t ns] charges [ns] nanoseconds of simulated time. *)
+let make_actor ~aid ~name ~at =
+  {
+    aid;
+    a_name = name;
+    a_now = at;
+    a_start = at;
+    a_lock_wait_ns = 0.;
+    a_bw_wait_ns = 0.;
+    a_media_ns = 0.;
+  }
+
+let create () =
+  let a0 = make_actor ~aid:0 ~name:"main" ~at:0. in
+  { current = a0; actors = [ a0 ]; nactors = 1 }
+
+let now t = t.current.a_now
+
+(** [advance t ns] charges [ns] nanoseconds to the current actor. *)
 let advance t ns =
   assert (ns >= 0.);
-  t.now_ns <- t.now_ns +. ns
+  t.current.a_now <- t.current.a_now +. ns
 
-let reset t = t.now_ns <- 0.
+(** Rewind/set the current actor's clock (background-work accounting). *)
+let set_now t ns = t.current.a_now <- ns
+
+let reset t = List.iter (fun a -> a.a_now <- a.a_start) t.actors
 
 (** [timed t f] runs [f ()] and returns its result together with the
-    simulated time it consumed. *)
+    simulated time it consumed (on the current actor's clock). *)
 let timed t f =
-  let start = t.now_ns in
+  let start = t.current.a_now in
   let x = f () in
-  (x, t.now_ns -. start)
+  (x, t.current.a_now -. start)
+
+(* --- actors --- *)
+
+(** More than one actor registered: contention modelling is live. *)
+let multi t = t.nactors > 1
+
+let current t = t.current
+let set_current t a = t.current <- a
+let actors t = t.actors
+
+(** [new_actor t ~name] registers a fresh actor whose clock starts at the
+    current actor's time ([?at] overrides), modelling a thread spawned
+    now: it cannot contend with work that finished before it existed. *)
+let new_actor ?at t ~name =
+  let at = match at with Some v -> v | None -> t.current.a_now in
+  let a = make_actor ~aid:t.nactors ~name ~at in
+  t.actors <- t.actors @ [ a ];
+  t.nactors <- t.nactors + 1;
+  a

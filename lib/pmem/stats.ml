@@ -28,6 +28,12 @@ type t = {
       (** work done by background threads (staging pre-allocation, deferred
           closes); charged here instead of the foreground clock, and
           reported by the resource-consumption experiment (§5.10) *)
+  mutable lock_wait_ns : float;
+      (** virtual time actors spent waiting on contended locks (inode,
+          journal-commit, per-file); zero in single-actor runs *)
+  mutable bw_wait_ns : float;
+      (** virtual time actors spent queued behind other actors' transfers
+          on the shared PM bandwidth; zero in single-actor runs *)
   (* --- host-side simulator observability (no simulated-time impact) --- *)
   mutable dirty_lines_hwm : int;
       (** high-water mark of simultaneously dirty cache lines on the device *)
@@ -59,6 +65,8 @@ let create () =
     mmap_setups = 0;
     media_ns = 0.;
     background_ns = 0.;
+    lock_wait_ns = 0.;
+    bw_wait_ns = 0.;
     dirty_lines_hwm = 0;
     fast_path_hits = 0;
     slow_path_hits = 0;
@@ -83,6 +91,8 @@ let reset t =
   t.mmap_setups <- 0;
   t.media_ns <- 0.;
   t.background_ns <- 0.;
+  t.lock_wait_ns <- 0.;
+  t.bw_wait_ns <- 0.;
   t.dirty_lines_hwm <- 0;
   t.fast_path_hits <- 0;
   t.slow_path_hits <- 0;
@@ -111,6 +121,8 @@ let diff a b =
     mmap_setups = a.mmap_setups - b.mmap_setups;
     media_ns = a.media_ns -. b.media_ns;
     background_ns = a.background_ns -. b.background_ns;
+    lock_wait_ns = a.lock_wait_ns -. b.lock_wait_ns;
+    bw_wait_ns = a.bw_wait_ns -. b.bw_wait_ns;
     (* a high-water mark is not additive: report the later snapshot's *)
     dirty_lines_hwm = a.dirty_lines_hwm;
     fast_path_hits = a.fast_path_hits - b.fast_path_hits;
@@ -123,9 +135,9 @@ let pp ppf t =
     "pm_read=%dB pm_write=%dB nt_stores=%d flushes=%d fences=%d syscalls=%d \
      faults=%d(huge %d) jcommits=%d jbytes=%d relinks=%d relink_copy=%dB \
      log_entries=%d staged=%dB mmaps=%d media=%.0fns bg=%.0fns \
-     dirty_hwm=%d fast=%d slow=%d pcrashes=%d"
+     lockw=%.0fns bww=%.0fns dirty_hwm=%d fast=%d slow=%d pcrashes=%d"
     t.pm_read_bytes t.pm_write_bytes t.nt_stores t.flushes t.fences t.syscalls
     t.page_faults t.page_faults_huge t.journal_commits t.journal_bytes
     t.relinks t.relink_copied_bytes t.log_entries t.staged_bytes t.mmap_setups
-    t.media_ns t.background_ns t.dirty_lines_hwm t.fast_path_hits
-    t.slow_path_hits t.partial_crashes
+    t.media_ns t.background_ns t.lock_wait_ns t.bw_wait_ns t.dirty_lines_hwm
+    t.fast_path_hits t.slow_path_hits t.partial_crashes

@@ -56,6 +56,16 @@ type t = {
   usplit_bookkeeping : float;
       (** fd table, collection-of-mmaps lookup, offset update *)
   usplit_log_cpu : float;  (** compose + checksum one 64 B log entry *)
+  usplit_lock_cpu : float;
+      (** take/release one fine-grained per-file lock (§3.5); only charged
+          in multi-client runs — single-client cost is inside
+          [usplit_bookkeeping] *)
+  pm_channels : int;
+      (** DIMM interleave width: how many concurrent actors' transfers the
+          media absorbs before they queue. A single transfer still sees its
+          full latency (the per-byte costs above); under concurrency each
+          transfer only occupies the shared device for [1/pm_channels] of
+          its latency. Only the multi-actor contention model reads this. *)
   memcpy_per_byte : float;  (** user-space memcpy DRAM<->cache *)
   huge_pages_enabled : bool;
       (** when false, every DAX mapping faults at 4 KB granularity — the
@@ -98,6 +108,9 @@ let default =
     strata_digest_per_byte = 0.05;
     usplit_bookkeeping = 480.;
     usplit_log_cpu = 40.;
+    usplit_lock_cpu = 18.;
+    (* the paper's testbed interleaves across the socket's Optane DIMMs *)
+    pm_channels = 6;
     memcpy_per_byte = 0.03;
     huge_pages_enabled = true;
   }

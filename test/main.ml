@@ -17,4 +17,5 @@ let () =
       ("faults", Test_faults.suite);
       ("process", Test_process.suite);
       ("experiments", Test_experiments.suite);
+      ("sched", Test_sched.suite);
     ]

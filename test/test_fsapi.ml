@@ -51,8 +51,7 @@ let test_ref_fs_is_posixish () =
         (fun () -> fs.Fsapi.Fs.fsync fd))
 
 let test_errno_printer () =
-  Util.check_str "printer registered"
-    "Errno.Error(ENOENT, \"/x\")"
+  Util.check_str "printer registered" "ENOENT \"/x\""
     (Printexc.to_string (Fsapi.Errno.Error (Fsapi.Errno.ENOENT, "/x")))
 
 let test_crc32_known_vector () =

@@ -1,0 +1,160 @@
+(** Tests for the per-actor clock, the deterministic scheduler, the
+    contention model, and the multi-client scaling experiment (PR 3). *)
+
+let tc = Alcotest.test_case
+
+(* --- Simclock actors ------------------------------------------------ *)
+
+let test_actor_clocks () =
+  let clock = Pmem.Simclock.create () in
+  Alcotest.(check bool) "single actor: not multi" false (Pmem.Simclock.multi clock);
+  Pmem.Simclock.advance clock 100.;
+  let a = Pmem.Simclock.new_actor clock ~name:"a" in
+  Alcotest.(check bool) "two actors: multi" true (Pmem.Simclock.multi clock);
+  Alcotest.(check (float 0.)) "spawned at current time" 100. a.Pmem.Simclock.a_now;
+  Pmem.Simclock.set_current clock a;
+  Pmem.Simclock.advance clock 50.;
+  Alcotest.(check (float 0.)) "charge lands on current actor" 150.
+    a.Pmem.Simclock.a_now;
+  Alcotest.(check (float 0.)) "other actor unaffected" 100.
+    (List.hd (Pmem.Simclock.actors clock)).Pmem.Simclock.a_now
+
+(* --- Lock contention model ------------------------------------------ *)
+
+let test_lock_charges_wait () =
+  let env = Util.make_env ~capacity:(1024 * 1024) () in
+  let l = Pmem.Lock.create "l" in
+  let a = Pmem.Env.new_actor env ~name:"a" in
+  let b = Pmem.Env.new_actor env ~name:"b" in
+  (* actor a holds the lock over [0, 500) *)
+  Pmem.Env.run_as env a (fun () ->
+      Pmem.Env.with_lock env l (fun () -> Pmem.Env.cpu env 500.));
+  (* actor b, dispatched at 0, must wait until 500 *)
+  Pmem.Env.run_as env b (fun () ->
+      Pmem.Env.with_lock env l (fun () -> Pmem.Env.cpu env 100.));
+  Alcotest.(check (float 0.)) "b waited for a's critical section" 600.
+    b.Pmem.Simclock.a_now;
+  Alcotest.(check (float 0.)) "wait accounted" 500.
+    env.Pmem.Env.stats.Pmem.Stats.lock_wait_ns;
+  Alcotest.(check (float 0.)) "wait charged to b" 500.
+    b.Pmem.Simclock.a_lock_wait_ns
+
+let test_lock_inert_single_actor () =
+  let env = Util.make_env ~capacity:(1024 * 1024) () in
+  let l = Pmem.Lock.create "l" in
+  Pmem.Env.with_lock env l (fun () -> Pmem.Env.cpu env 500.);
+  (* a single-actor clock is monotone, but even a rewound clock (as
+     [in_background] produces) must charge nothing without a second actor *)
+  Pmem.Simclock.set_now env.Pmem.Env.clock 0.;
+  Pmem.Env.with_lock env l (fun () -> ());
+  Alcotest.(check (float 0.)) "no contention charge" 0.
+    env.Pmem.Env.stats.Pmem.Stats.lock_wait_ns
+
+(* --- Scheduler ------------------------------------------------------ *)
+
+let test_min_clock_dispatch () =
+  let env = Util.make_env ~capacity:(1024 * 1024) () in
+  let s = Sched.create env in
+  let order = ref [] in
+  let mk name cost nops =
+    Sched.spawn s ~name ~step:(fun c i ->
+        if i >= nops then false
+        else begin
+          order := (c.Sched.c_name, i) :: !order;
+          Pmem.Env.cpu env cost;
+          true
+        end)
+  in
+  let _a = mk "a" 10. 3 in
+  let _b = mk "b" 25. 2 in
+  Sched.run s;
+  (* a@0 (tie, lower id), b@0, a@10, a@20, b@25, then exhaustion probes *)
+  Alcotest.(check (list (pair string int)))
+    "min-clock order, ties by id"
+    [ ("a", 0); ("b", 0); ("a", 1); ("a", 2); ("b", 1) ]
+    (List.rev !order);
+  Alcotest.(check int) "total ops" 5 (Sched.total_ops s);
+  Alcotest.(check (float 0.)) "makespan = slowest client" 50. (Sched.makespan s)
+
+let test_scheduler_deterministic () =
+  let go () =
+    let r =
+      Harness.Multiclient.run Harness.Fs_config.Splitfs_posix ~nclients:4
+    in
+    (r.Harness.Multiclient.makespan_ns, r.Harness.Multiclient.trace_hash,
+     r.Harness.Multiclient.total_ops)
+  in
+  let m1, h1, o1 = go () in
+  let m2, h2, o2 = go () in
+  Alcotest.(check (float 0.)) "identical simulated makespan" m1 m2;
+  Alcotest.(check int) "identical interleaving (trace hash)" h1 h2;
+  Alcotest.(check int) "identical op count" o1 o2
+
+(* --- Contention end to end ------------------------------------------ *)
+
+let test_single_client_no_contention () =
+  let r = Harness.Multiclient.run Harness.Fs_config.Ext4_dax ~nclients:1 in
+  Alcotest.(check (float 0.)) "one client: no lock waits" 0.
+    r.Harness.Multiclient.lock_wait_ns;
+  Alcotest.(check (float 0.)) "one client: no bandwidth waits" 0.
+    r.Harness.Multiclient.bw_wait_ns
+
+let test_contention_appears () =
+  let r = Harness.Multiclient.run Harness.Fs_config.Ext4_dax ~nclients:8 in
+  Alcotest.(check bool) "8 ext4 clients contend on the journal lock" true
+    (r.Harness.Multiclient.lock_wait_ns > 0.);
+  Alcotest.(check bool) "8 ext4 clients contend on PM bandwidth" true
+    (r.Harness.Multiclient.bw_wait_ns > 0.)
+
+let test_splitfs_scales_over_ext4 () =
+  let split =
+    Harness.Multiclient.run Harness.Fs_config.Splitfs_posix ~nclients:8
+  in
+  let ext4 = Harness.Multiclient.run Harness.Fs_config.Ext4_dax ~nclients:8 in
+  let ratio =
+    split.Harness.Multiclient.kops_per_s /. ext4.Harness.Multiclient.kops_per_s
+  in
+  if ratio < 2. then
+    Alcotest.failf
+      "SplitFS(posix) aggregate at 8 clients is only %.2fx ext4 DAX (need >= 2x)"
+      ratio
+
+let test_scaling_improves_with_clients () =
+  let run n =
+    (Harness.Multiclient.run Harness.Fs_config.Splitfs_posix ~nclients:n)
+      .Harness.Multiclient.kops_per_s
+  in
+  let t1 = run 1 and t8 = run 8 in
+  if not (t8 > t1 *. 1.5) then
+    Alcotest.failf "aggregate throughput barely scales: 1 client %.1f, 8 clients %.1f"
+      t1 t8
+
+(* --- Crashcheck under concurrency ----------------------------------- *)
+
+let test_concurrent_crashcheck () =
+  List.iter
+    (fun mode ->
+      let r =
+        Crashcheck.Concurrent.check_mode ~samples:60 ~seed:0x51ED ~nops:12 mode
+      in
+      List.iter
+        (fun (c, f, reason) ->
+          Alcotest.failf "mode %s client %d file %d: %s"
+            (Splitfs.Config.mode_to_string mode)
+            c f reason)
+        r.Crashcheck.Concurrent.c_violations)
+    [ Splitfs.Config.Posix; Splitfs.Config.Sync; Splitfs.Config.Strict ]
+
+let suite =
+  [
+    tc "actor clocks independent" `Quick test_actor_clocks;
+    tc "lock charges deterministic wait" `Quick test_lock_charges_wait;
+    tc "lock inert without second actor" `Quick test_lock_inert_single_actor;
+    tc "scheduler dispatches min clock first" `Quick test_min_clock_dispatch;
+    tc "multi-client run is deterministic" `Quick test_scheduler_deterministic;
+    tc "single client sees no contention" `Quick test_single_client_no_contention;
+    tc "contention appears at 8 clients" `Quick test_contention_appears;
+    tc "splitfs >= 2x ext4 at 8 clients" `Quick test_splitfs_scales_over_ext4;
+    tc "aggregate throughput scales" `Quick test_scaling_improves_with_clients;
+    tc "2-client interleaved crashcheck" `Slow test_concurrent_crashcheck;
+  ]
