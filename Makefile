@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json crashcheck check
+.PHONY: all build test bench bench-json crashcheck profile check
 
 all: build
 
@@ -15,7 +15,16 @@ bench:
 # (bechamel) plus simulated ns/op per scaling configuration. Diffable
 # against the BENCH_PR*.json of earlier PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR3.json
+	dune exec bench/main.exe -- --json BENCH_PR4.json
+
+# Observability: the software-overhead attribution table (where every
+# simulated ns goes, per stack), latency percentiles per (stack x op),
+# and a Perfetto-loadable span trace of a 4-client SplitFS run.
+profile:
+	dune exec bin/splitfs_cli.exe -- profile
+	dune exec bin/splitfs_cli.exe -- latency
+	dune exec bin/splitfs_cli.exe -- trace --fs splitfs-posix --clients 4 \
+	  --out trace.json
 
 # Crash-state exploration: sampled partial-persistence crash states per
 # mode, each recovered and checked against the reference oracle. Exits

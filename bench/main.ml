@@ -249,6 +249,40 @@ let scaling_estimates results =
         rs)
     results
 
+(* Latency percentiles and the overhead attribution likewise carry
+   simulated ns — stable across machines, so the trajectory can watch the
+   cost model rather than the host. *)
+let latency_estimates rows =
+  List.concat_map
+    (fun (r : Harness.Experiments.latency_row) ->
+      let base =
+        Printf.sprintf "lat/%s/%s"
+          (Harness.Fs_config.name r.Harness.Experiments.lat_spec)
+          r.Harness.Experiments.lat_op
+      in
+      [
+        (base ^ "/p50", r.Harness.Experiments.lat_p50);
+        (base ^ "/p90", r.Harness.Experiments.lat_p90);
+        (base ^ "/p99", r.Harness.Experiments.lat_p99);
+        (base ^ "/p999", r.Harness.Experiments.lat_p999);
+      ])
+    rows
+
+let profile_estimates rows =
+  List.concat_map
+    (fun (r : Harness.Experiments.profile_row) ->
+      List.filter_map
+        (fun (cat, ns) ->
+          if ns = 0. then None
+          else
+            Some
+              ( Printf.sprintf "profile/%s/%s"
+                  (Harness.Fs_config.name r.Harness.Experiments.pr_spec)
+                  (Obs.cat_name cat),
+                ns /. float_of_int r.Harness.Experiments.pr_ops ))
+        r.Harness.Experiments.pr_breakdown)
+    rows
+
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
   let json_path =
@@ -271,10 +305,15 @@ let () =
   ignore (Harness.Experiments.resources ());
   ignore (Harness.Experiments.ablations ());
   let scaling = Harness.Experiments.scaling () in
+  let profile = Harness.Experiments.profile () in
+  let latency = Harness.Experiments.latency () in
   if not fast then begin
     let estimates = run_bechamel () in
     Option.iter
-      (fun path -> write_trajectory path (estimates @ scaling_estimates scaling))
+      (fun path ->
+        write_trajectory path
+          (estimates @ scaling_estimates scaling @ profile_estimates profile
+         @ latency_estimates latency))
       json_path
   end;
   print_endline "\nAll experiments completed."

@@ -33,6 +33,51 @@ let run_crashcheck samples seed nops =
 let run_ablations total_mb = ignore (Harness.Experiments.ablations ~total_mb ())
 let run_resources () = ignore (Harness.Experiments.resources ())
 let run_scaling () = ignore (Harness.Experiments.scaling ())
+let run_profile () = ignore (Harness.Experiments.profile ())
+let run_latency () = ignore (Harness.Experiments.latency ())
+
+(** [trace]: run a multi-client workload with span tracing on and write a
+    Chrome trace-event JSON (load it at https://ui.perfetto.dev). With
+    [--syscalls], also stream strace-style lines to stdout as they
+    happen. *)
+let run_trace fs_name nclients ops out sample syscalls =
+  let spec = Harness.Fs_config.of_name fs_name in
+  let params =
+    { Harness.Multiclient.default_params with
+      Harness.Multiclient.ops_per_client = ops }
+  in
+  let env_ref = ref None in
+  let on_env (env : Pmem.Env.t) =
+    env_ref := Some env;
+    let obs = env.Pmem.Env.obs in
+    Obs.set_tracing ~sample obs true;
+    if syscalls then
+      Obs.set_on_event obs
+        (Some
+           (fun s ->
+             let n = s.Obs.e_name in
+             if String.length n >= 4 && String.sub n 0 4 = "sys:" then
+               match s.Obs.e_arg with
+               | Some line ->
+                   Printf.printf "[%12.0f ns] actor%-2d %s\n" s.Obs.e_t0
+                     s.Obs.e_actor line
+               | None -> ()))
+  in
+  let r = Harness.Multiclient.run ~params ~instrument:true ~on_env spec ~nclients in
+  let env = Option.get !env_ref in
+  let obs = env.Pmem.Env.obs in
+  let actors =
+    List.map
+      (fun a -> (a.Pmem.Simclock.aid, a.Pmem.Simclock.a_name))
+      (Pmem.Simclock.actors env.Pmem.Env.clock)
+  in
+  let oc = open_out out in
+  output_string oc (Obs.chrome_json ~actors obs);
+  close_out oc;
+  Printf.printf
+    "wrote %s: %d spans retained (%d overwritten), %d actor tracks, makespan %.0f ns\n"
+    out (Obs.span_count obs) (Obs.overwritten obs) (List.length actors)
+    r.Harness.Multiclient.makespan_ns
 
 let total_mb =
   Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"Total IO volume in MB.")
@@ -59,6 +104,33 @@ let cc_ops =
     value & opt int 24
     & info [ "ops" ] ~doc:"Operations per crashcheck workload.")
 
+let trace_fs =
+  Arg.(
+    value
+    & opt string "splitfs-posix"
+    & info [ "fs" ] ~doc:"File system stack to trace.")
+
+let trace_clients =
+  Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent clients.")
+
+let trace_ops =
+  Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Appends per client.")
+
+let trace_out =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "out" ] ~doc:"Output path for the Chrome trace-event JSON.")
+
+let trace_sample =
+  Arg.(
+    value & opt int 1
+    & info [ "sample" ] ~doc:"Keep 1-in-N spans (1 keeps everything).")
+
+let trace_syscalls =
+  Arg.(
+    value & flag
+    & info [ "syscalls" ] ~doc:"Stream strace-style per-syscall lines to stdout.")
+
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let smoke =
@@ -69,9 +141,10 @@ let smoke =
     Fsapi.Fs.write_file fs "/hello.txt" "hello from the PM simulator";
     Printf.printf "wrote and read back on %s: %S\n" fs_name
       (Fsapi.Fs.read_file fs "/hello.txt");
-    Printf.printf "simulated time: %.0f ns\nstats: %s\n"
+    Printf.printf "simulated time: %.0f ns\n%s"
       (Pmem.Env.now stack.Harness.Fs_config.env)
-      (Fmt.str "%a" Pmem.Stats.pp stack.Harness.Fs_config.env.Pmem.Env.stats)
+      (Fmt.str "%a" Pmem.Stats.pp_table
+         stack.Harness.Fs_config.env.Pmem.Env.stats)
   in
   let fs_arg =
     Arg.(
@@ -134,6 +207,16 @@ let () =
             cmd "scaling"
               "Aggregate throughput vs concurrent clients (deterministic)."
               Term.(const run_scaling $ const ());
+            cmd "profile"
+              "Software-overhead attribution: where every simulated ns goes."
+              Term.(const run_profile $ const ());
+            cmd "latency" "Latency percentiles per (stack x op)."
+              Term.(const run_latency $ const ());
+            cmd "trace"
+              "Run a traced multi-client workload, write Perfetto-loadable JSON."
+              Term.(
+                const run_trace $ trace_fs $ trace_clients $ trace_ops
+                $ trace_out $ trace_sample $ trace_syscalls);
             smoke;
             all_cmd;
           ]))

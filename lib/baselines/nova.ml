@@ -44,14 +44,15 @@ let mkfs (env : Env.t) ~mode =
 
 let trap t =
   let tm = t.env.Env.timing in
-  Env.cpu t.env (tm.Timing.syscall_trap +. tm.Timing.vfs_path);
+  Env.cpu_cat t.env Obs.Syscall (tm.Timing.syscall_trap +. tm.Timing.vfs_path);
   t.env.Env.stats.Stats.syscalls <- t.env.Env.stats.Stats.syscalls + 1
 
-let cpu t = Env.cpu t.env t.env.Env.timing.Timing.nova_op_cpu
+let cpu t = Env.cpu_cat t.env Obs.Kernel t.env.Env.timing.Timing.nova_op_cpu
 
 (** One logged operation: log entry + persisted tail = two cache lines,
     two fences. *)
 let log_op t =
+  Env.with_cat t.env Obs.Journal @@ fun () ->
   let dev = t.env.Env.dev in
   if t.log_cursor + 128 > t.log_len then t.log_cursor <- 0;
   Device.store_nt dev ~addr:(t.log_start + t.log_cursor) t.entry ~off:0 ~len:64;
@@ -65,7 +66,8 @@ let log_op t =
   stats.Stats.log_entries <- stats.Stats.log_entries + 1
 
 let alloc_cpu t n =
-  Env.cpu t.env (t.env.Env.timing.Timing.nova_alloc_cpu *. float_of_int (max 1 n))
+  Env.cpu_cat t.env Obs.Alloc
+    (t.env.Env.timing.Timing.nova_alloc_cpu *. float_of_int (max 1 n))
 
 (* --- operations --- *)
 
@@ -99,7 +101,7 @@ let do_pwrite t fd ~buf ~boff ~len ~at =
 
 let do_pread t fd ~buf ~boff ~len ~at =
   trap t;
-  Env.cpu t.env t.env.Env.timing.Timing.ext4_read_cpu;
+  Env.cpu_cat t.env Obs.Kernel t.env.Env.timing.Timing.ext4_read_cpu;
   let e = Pmbase.fd_entry t.base fd in
   if not (Fsapi.Flags.readable e.Pmbase.oflags) then
     Fsapi.Errno.(error EBADF "pread");

@@ -32,13 +32,14 @@ let mkfs (env : Env.t) =
 
 let trap t =
   let tm = t.env.Env.timing in
-  Env.cpu t.env (tm.Timing.syscall_trap +. tm.Timing.vfs_path);
+  Env.cpu_cat t.env Obs.Syscall (tm.Timing.syscall_trap +. tm.Timing.vfs_path);
   t.env.Env.stats.Stats.syscalls <- t.env.Env.stats.Stats.syscalls + 1
 
-let cpu t = Env.cpu t.env t.env.Env.timing.Timing.pmfs_op_cpu
+let cpu t = Env.cpu_cat t.env Obs.Kernel t.env.Env.timing.Timing.pmfs_op_cpu
 
 (** [undo_log t n] writes [n] 64-byte undo entries, fenced. *)
 let undo_log t n =
+  Env.with_cat t.env Obs.Journal @@ fun () ->
   let dev = t.env.Env.dev in
   for _ = 1 to n do
     if t.log_cursor + 64 > t.log_len then t.log_cursor <- 0;
@@ -81,7 +82,7 @@ let do_pwrite t fd ~buf ~boff ~len ~at =
 
 let do_pread t fd ~buf ~boff ~len ~at =
   trap t;
-  Env.cpu t.env t.env.Env.timing.Timing.ext4_read_cpu;
+  Env.cpu_cat t.env Obs.Kernel t.env.Env.timing.Timing.ext4_read_cpu;
   let e = Pmbase.fd_entry t.base fd in
   if not (Fsapi.Flags.readable e.Pmbase.oflags) then
     Fsapi.Errno.(error EBADF "pread");

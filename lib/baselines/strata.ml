@@ -41,7 +41,7 @@ let mkfs ?(log_len = 8 * 1024 * 1024) ?(digest_threshold = 0.9) (env : Env.t) =
     header = Bytes.make header_size '\x03';
   }
 
-let cpu t = Env.cpu t.env t.env.Env.timing.Timing.strata_op_cpu
+let cpu t = Env.cpu_cat t.env Obs.Usplit t.env.Env.timing.Timing.strata_op_cpu
 let digests t = t.digests
 
 let shadow_of t ino =
@@ -66,7 +66,8 @@ let digest_file t ino (file : Pmbase.file) =
           Device.load t.env.Env.dev
             ~addr:(t.log_start + e.Kernelfs.Extent_tree.physical)
             buf ~off:0 ~len;
-          Env.cpu t.env (tm.Timing.strata_digest_per_byte *. float_of_int len);
+          Env.cpu_cat t.env Obs.Usplit
+            (tm.Timing.strata_digest_per_byte *. float_of_int len);
           ignore
             (Pmbase.write_data t.base file
                ~off:e.Kernelfs.Extent_tree.logical buf ~boff:0 ~len ~cow:false))

@@ -201,6 +201,7 @@ let clear t =
     together. The caller (U-Split) checkpoints before the log fills; a
     genuinely full log is a protocol bug and raises ENOSPC. *)
 let append t entry =
+  Env.with_cat t.env Obs.Log_append @@ fun () ->
   let idx = Atomic.fetch_and_add t.tail 1 in
   if idx >= t.capacity then Fsapi.Errno.(error ENOSPC "oplog full");
   let tm = t.env.Env.timing in

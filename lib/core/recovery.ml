@@ -154,6 +154,7 @@ let verify_final_data kfs valid =
   | _ -> (valid, 0)
 
 let recover ~sys ~env ~instance =
+  Env.with_span env ~cat:Obs.Usplit ~name:"u:recover" @@ fun () ->
   let kfs = Kernelfs.Syscall.kernel sys in
   let path = Printf.sprintf "/.splitfs-oplog-%d" instance in
   let t0 = Env.now env in

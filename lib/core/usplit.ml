@@ -70,7 +70,9 @@ type t = {
           demand — keeps the staging->target copy path allocation-free *)
 }
 
-let bookkeeping t = Env.cpu t.env t.env.Env.timing.Timing.usplit_bookkeeping
+let bookkeeping t =
+  Env.cpu_cat t.env Obs.Usplit t.env.Env.timing.Timing.usplit_bookkeeping
+
 let fence t = Device.fence t.env.Env.dev
 
 (** Run a write-side operation under the §3.5 per-file lock. The take /
@@ -78,8 +80,15 @@ let fence t = Device.fence t.env.Env.dev
     cost is part of the calibrated [usplit_bookkeeping] constant. *)
 let with_file_lock t st f =
   if Simclock.multi t.env.Env.clock then
-    Env.cpu t.env t.env.Env.timing.Timing.usplit_lock_cpu;
+    Env.cpu_cat t.env Obs.Usplit t.env.Env.timing.Timing.usplit_lock_cpu;
   Env.with_lock t.env st.f_lock f
+
+(** [uspan t name f] marks one U-Split entry point: charges inside it are
+    attributed to [Obs.Usplit] unless a more specific region (media,
+    syscall, log append, relink copy...) overrides from within, and a
+    [u:<name>] trace span covering the whole operation is emitted when
+    tracing. *)
+let uspan t name f = Env.with_span t.env ~cat:Obs.Usplit ~name f
 
 (** Bounce buffer of at least [len] bytes, reused across relink copies so
     the staging->target path allocates nothing per call. *)
@@ -355,12 +364,12 @@ and relink_extent t st h (e : Kernelfs.Extent_tree.extent) ~dst_size =
      staging mapping, store them through the target's mapping (kernel
      pwrite only as a fallback for unmapped holes). *)
   let copy ~t_off ~s_off ~len =
-    if len > 0 then begin
+    if len > 0 then
+      Env.with_cat t.env Obs.Relink_copy @@ fun () ->
       let buf = scratch_buf t len in
       Staging.read t.staging_pool h ~off:s_off buf ~boff:0 ~len;
       write_inplace t st ~at:t_off buf ~boff:0 ~len;
       stats.Stats.relink_copied_bytes <- stats.Stats.relink_copied_bytes + len
-    end
   in
   let t_off = e.Kernelfs.Extent_tree.logical in
   let s_off = e.Kernelfs.Extent_tree.physical in
@@ -369,6 +378,7 @@ and relink_extent t st h (e : Kernelfs.Extent_tree.extent) ~dst_size =
     (* Figure 3 ablation (staging without relink) and the §4 DRAM-staging
        design: fsync copies the staged data into the target file through
        the kernel *)
+    Env.with_cat t.env Obs.Relink_copy @@ fun () ->
     let buf = scratch_buf t len in
     Staging.read t.staging_pool h ~off:s_off buf ~boff:0 ~len;
     let n = Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff:0 ~len ~at:t_off in
@@ -414,6 +424,7 @@ and relink_extent t st h (e : Kernelfs.Extent_tree.extent) ~dst_size =
     log checkpoint. Afterwards the staged ranges are part of the file, the
     mappings are retained, and the staging handle returns to the pool. *)
 and relink_file t st =
+  uspan t "u:relink" @@ fun () ->
   (match st.staging with
   | None -> ()
   | Some h ->
@@ -466,6 +477,7 @@ let relink_all t =
 (* ------------------------------------------------------------------ *)
 
 let do_pwrite t od ~buf ~boff ~len ~at =
+  uspan t "u:write" @@ fun () ->
   if len < 0 || at < 0 then Fsapi.Errno.(error EINVAL "pwrite");
   if not (Fsapi.Flags.writable od.oflags) then Fsapi.Errno.(error EBADF "pwrite");
   bookkeeping t;
@@ -551,6 +563,7 @@ let read_mapped t st ~at buf ~boff ~len =
   done
 
 let do_pread t od ~buf ~boff ~len ~at =
+  uspan t "u:read" @@ fun () ->
   if len < 0 || at < 0 then Fsapi.Errno.(error EINVAL "pread");
   if not (Fsapi.Flags.readable od.oflags) then Fsapi.Errno.(error EBADF "pread");
   bookkeeping t;
@@ -633,6 +646,7 @@ let reset_after_truncate st size =
   invalidate_mmap_index st
 
 let open_ t path (flags : Fsapi.Flags.t) =
+  uspan t "u:open" @@ fun () ->
   bookkeeping t;
   let st, od_kfd, created =
     match Hashtbl.find_opt t.files_by_path path with
@@ -685,6 +699,7 @@ let cleanup_state t st =
   Kernelfs.Syscall.close t.sys st.f_kfd
 
 let close t fd =
+  uspan t "u:close" @@ fun () ->
   bookkeeping t;
   let od = fd_entry t fd in
   let st = od.st in
@@ -706,6 +721,7 @@ let dup t fd =
   install_fd t { od with od_kfd }
 
 let fsync t fd =
+  uspan t "u:fsync" @@ fun () ->
   bookkeeping t;
   let od = fd_entry t fd in
   with_file_lock t od.st @@ fun () ->

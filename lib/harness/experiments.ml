@@ -851,3 +851,182 @@ let scaling ?(print = true) () =
          results)
   end;
   results
+
+(* ------------------------------------------------------------------ *)
+(* Profile: software-overhead attribution (paper Fig. 2 analogue, §5f)  *)
+(* ------------------------------------------------------------------ *)
+
+(** The canonical profiling workload: 512 4 KB appends with an fsync every
+    10 writes, a read-back pass, close — the append+fsync pattern whose
+    overhead the paper's Figure 2 decomposes. Returns the op count. *)
+let profile_workload (fs : Fsapi.Fs.t) =
+  let wsize = 4096 in
+  let nwrites = 512 in
+  let buf = Bytes.make wsize 'p' in
+  let ops = ref 0 in
+  let op f =
+    f ();
+    incr ops
+  in
+  let fd = fs.Fsapi.Fs.open_ "/profile" Fsapi.Flags.create_rw in
+  incr ops;
+  for i = 0 to nwrites - 1 do
+    op (fun () ->
+        let n = fs.Fsapi.Fs.pwrite fd ~buf ~boff:0 ~len:wsize ~at:(i * wsize) in
+        assert (n = wsize));
+    if (i + 1) mod 10 = 0 then op (fun () -> fs.Fsapi.Fs.fsync fd)
+  done;
+  op (fun () -> fs.Fsapi.Fs.fsync fd);
+  for i = 0 to 127 do
+    op (fun () ->
+        ignore (fs.Fsapi.Fs.pread fd ~buf ~boff:0 ~len:wsize ~at:(i * 4 * wsize)))
+  done;
+  op (fun () -> fs.Fsapi.Fs.close fd);
+  !ops
+
+type profile_row = {
+  pr_spec : spec;
+  pr_ops : int;
+  pr_breakdown : (Obs.cat * float) list;
+      (** measured-section simulated ns per category *)
+  pr_identity : float * float;
+      (** whole-env (attributed, accountable) — equal up to float rounding *)
+  pr_stats : Pmem.Stats.t * Pmem.Stats.t;  (** (after, before) snapshots *)
+}
+
+let profile_specs =
+  [ Ext4_dax; Pmfs; Nova_relaxed; Splitfs_posix; Splitfs_sync; Splitfs_strict ]
+
+(** Where every simulated nanosecond goes, per stack: run the profiling
+    workload on a fresh stack, diff the attribution array around it, and
+    check the accounting identity on the whole environment (mount
+    included). This is the software-overhead breakdown behind the paper's
+    Figure 2: ext4 DAX pays traps + journal, SplitFS-POSIX pays a little
+    U-Split CPU and log appends on top of near-bare media time. *)
+let profile ?(print = true) () =
+  let rows =
+    List.map
+      (fun spec ->
+        let stack = make spec in
+        let obs = stack.env.Pmem.Env.obs in
+        let snap = Obs.snapshot obs in
+        let s0 = Pmem.Stats.copy stack.env.Pmem.Env.stats in
+        let ops = profile_workload stack.fs in
+        let breakdown = Obs.breakdown_since obs snap in
+        let identity = Pmem.Env.check_identity stack.env in
+        {
+          pr_spec = spec;
+          pr_ops = ops;
+          pr_breakdown = breakdown;
+          pr_identity = identity;
+          pr_stats = (Pmem.Stats.copy stack.env.Pmem.Env.stats, s0);
+        })
+      profile_specs
+  in
+  let section_total r = List.fold_left (fun a (_, v) -> a +. v) 0. r.pr_breakdown in
+  if print then begin
+    let per_op r v = v /. float_of_int r.pr_ops in
+    let cell r v =
+      let t = section_total r in
+      let pct = if t > 0. then 100. *. v /. t else 0. in
+      if v = 0. then "-" else Printf.sprintf "%s (%s%%)" (Runner.f0 (per_op r v)) (Runner.f1 pct)
+    in
+    let cat_rows =
+      List.filter_map
+        (fun c ->
+          let vals = List.map (fun r -> List.assoc c r.pr_breakdown) rows in
+          if List.for_all (fun v -> v = 0.) vals then None
+          else Some (Obs.cat_name c :: List.map2 cell rows vals))
+        Obs.all_cats
+    in
+    let summary label f = label :: List.map (fun r -> Runner.f0 (per_op r (f r))) rows in
+    Runner.print_table
+      ~title:
+        "Overhead attribution: ns/op (% of total), 4K appends + fsync/10 + read-back"
+      ("category" :: List.map (fun r -> name r.pr_spec) rows)
+      (cat_rows
+      @ [
+          summary "TOTAL" section_total;
+          summary "software overhead" (fun r ->
+              section_total r -. List.assoc Obs.Media r.pr_breakdown);
+        ]);
+    List.iter
+      (fun r ->
+        let att, acc = r.pr_identity in
+        Printf.printf "  identity %-16s attributed %.0f ns = accountable %.0f ns\n"
+          (name r.pr_spec) att acc)
+      rows;
+    print_newline ();
+    List.iter
+      (fun r ->
+        if r.pr_spec = Ext4_dax || r.pr_spec = Splitfs_posix then begin
+          Printf.printf "PM activity during workload (%s):\n" (name r.pr_spec);
+          Format.printf "%a@." Pmem.Stats.pp_delta r.pr_stats
+        end)
+      rows
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Latency: per-(stack x op) percentiles from the obs histograms (§5f)  *)
+(* ------------------------------------------------------------------ *)
+
+type latency_row = {
+  lat_spec : spec;
+  lat_op : string;
+  lat_n : int;
+  lat_p50 : float;
+  lat_p90 : float;
+  lat_p99 : float;
+  lat_p999 : float;
+}
+
+(** Tail latency per operation type on the profiling workload: each stack
+    runs behind {!Instrument.fs}, which buckets every op's simulated
+    latency into a log-scaled histogram keyed ["<stack>/<op>"]. The
+    percentile spread shows what averages hide — e.g. ext4's p999 write
+    absorbing a jbd2 commit, and SplitFS's flat write profile. *)
+let latency ?(print = true) () =
+  let rows =
+    List.concat_map
+      (fun spec ->
+        let stack = make spec in
+        let fs = Instrument.fs ~key:(name spec) stack.env stack.fs in
+        let (_ : int) = profile_workload fs in
+        let (_ : float * float) = Pmem.Env.check_identity stack.env in
+        List.map
+          (fun (key, h) ->
+            let op =
+              match String.index_opt key '/' with
+              | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+              | None -> key
+            in
+            {
+              lat_spec = spec;
+              lat_op = op;
+              lat_n = Obs.Hist.n h;
+              lat_p50 = Obs.Hist.percentile h 50.;
+              lat_p90 = Obs.Hist.percentile h 90.;
+              lat_p99 = Obs.Hist.percentile h 99.;
+              lat_p999 = Obs.Hist.percentile h 99.9;
+            })
+          (Obs.hists stack.env.Pmem.Env.obs))
+      profile_specs
+  in
+  if print then
+    Runner.print_table
+      ~title:"Latency percentiles per (stack x op), simulated ns"
+      [ "stack"; "op"; "n"; "p50"; "p90"; "p99"; "p999" ]
+      (List.map
+         (fun r ->
+           [
+             name r.lat_spec;
+             r.lat_op;
+             string_of_int r.lat_n;
+             Runner.f0 r.lat_p50;
+             Runner.f0 r.lat_p90;
+             Runner.f0 r.lat_p99;
+             Runner.f0 r.lat_p999;
+           ])
+         rows);
+  rows

@@ -1,0 +1,57 @@
+(** Opt-in per-operation instrumentation of an [Fsapi.Fs.t].
+
+    [fs env inner] wraps every operation of [inner] so that its simulated
+    latency is recorded into the environment's per-(stack x op) latency
+    histograms ([Obs.hists], keyed ["<key>/<op>"]) and, when tracing is
+    enabled, an [op:<name>] span is emitted on the calling actor's track.
+    Purely observational: the wrapper charges no simulated time, so a
+    wrapped stack produces bit-identical results. Stacks that are not
+    wrapped pay nothing — instrumentation is opt-in by construction. *)
+
+let fs ?key (env : Pmem.Env.t) (inner : Fsapi.Fs.t) : Fsapi.Fs.t =
+  let obs = env.Pmem.Env.obs in
+  let clock = env.Pmem.Env.clock in
+  let prefix =
+    (match key with Some k -> k | None -> inner.Fsapi.Fs.fs_name) ^ "/"
+  in
+  let record : 'a. string -> (unit -> 'a) -> 'a =
+   fun op f ->
+    let a = Pmem.Simclock.current clock in
+    let t0 = a.Pmem.Simclock.a_now in
+    let x = f () in
+    let t1 = a.Pmem.Simclock.a_now in
+    Obs.record_latency obs (prefix ^ op) (t1 -. t0);
+    if Obs.tracing obs then
+      Obs.emit obs ~name:("op:" ^ op) ~cat:Obs.App ~actor:a.Pmem.Simclock.aid
+        ~t0 ~t1;
+    x
+  in
+  {
+    inner with
+    Fsapi.Fs.open_ = (fun p fl -> record "open" (fun () -> inner.Fsapi.Fs.open_ p fl));
+    close = (fun fd -> record "close" (fun () -> inner.Fsapi.Fs.close fd));
+    dup = (fun fd -> record "dup" (fun () -> inner.Fsapi.Fs.dup fd));
+    pread =
+      (fun fd ~buf ~boff ~len ~at ->
+        record "pread" (fun () -> inner.Fsapi.Fs.pread fd ~buf ~boff ~len ~at));
+    pwrite =
+      (fun fd ~buf ~boff ~len ~at ->
+        record "pwrite" (fun () -> inner.Fsapi.Fs.pwrite fd ~buf ~boff ~len ~at));
+    read =
+      (fun fd ~buf ~boff ~len ->
+        record "read" (fun () -> inner.Fsapi.Fs.read fd ~buf ~boff ~len));
+    write =
+      (fun fd ~buf ~boff ~len ->
+        record "write" (fun () -> inner.Fsapi.Fs.write fd ~buf ~boff ~len));
+    lseek = (fun fd off w -> record "lseek" (fun () -> inner.Fsapi.Fs.lseek fd off w));
+    fsync = (fun fd -> record "fsync" (fun () -> inner.Fsapi.Fs.fsync fd));
+    ftruncate =
+      (fun fd size -> record "ftruncate" (fun () -> inner.Fsapi.Fs.ftruncate fd size));
+    fstat = (fun fd -> record "fstat" (fun () -> inner.Fsapi.Fs.fstat fd));
+    stat = (fun p -> record "stat" (fun () -> inner.Fsapi.Fs.stat p));
+    unlink = (fun p -> record "unlink" (fun () -> inner.Fsapi.Fs.unlink p));
+    rename = (fun s d -> record "rename" (fun () -> inner.Fsapi.Fs.rename s d));
+    mkdir = (fun p -> record "mkdir" (fun () -> inner.Fsapi.Fs.mkdir p));
+    rmdir = (fun p -> record "rmdir" (fun () -> inner.Fsapi.Fs.rmdir p));
+    readdir = (fun p -> record "readdir" (fun () -> inner.Fsapi.Fs.readdir p));
+  }

@@ -119,9 +119,20 @@ let client_step (fs : Fsapi.Fs.t) ~path ~p =
     else false
 
 (** Run [nclients] concurrent clients of [spec] and report aggregate
-    throughput plus the contention breakdown. Fully deterministic. *)
-let run ?(params = default_params) spec ~nclients =
+    throughput plus the contention breakdown. Fully deterministic.
+    [on_env] sees the environment after the stack is built and before any
+    client runs (the CLI uses it to enable tracing); [instrument] wraps
+    every client's [Fsapi.Fs.t] in {!Instrument.fs} so per-op latency
+    histograms and [op:*] spans are collected. *)
+let run ?(params = default_params) ?(instrument = false) ?on_env spec ~nclients
+    =
   let env, fss = build spec ~nclients in
+  (match on_env with Some f -> f env | None -> ());
+  let fss =
+    if instrument then
+      Array.map (Instrument.fs ~key:(Fs_config.name spec) env) fss
+    else fss
+  in
   let s = Sched.create env in
   for c = 0 to nclients - 1 do
     let path = Printf.sprintf "/client%d" c in

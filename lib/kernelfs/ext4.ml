@@ -48,6 +48,7 @@ type t = {
 let running_meta_limit = 128
 
 let cpu t ns = Env.cpu t.env ns
+let cpu_cat t cat ns = Env.cpu_cat t.env cat ns
 let timing t = t.env.Env.timing
 
 (* ------------------------------------------------------------------ *)
@@ -291,7 +292,7 @@ let get_or_alloc_block t inode lblk =
   match Extent_tree.find inode.extents lblk with
   | Some (phys, _) -> (phys, false)
   | None ->
-      cpu t (timing t).Timing.ext4_alloc_cpu;
+      cpu_cat t Obs.Alloc (timing t).Timing.ext4_alloc_cpu;
       let goal =
         match Extent_tree.find inode.extents (lblk - 1) with
         | Some (p, _) -> p + 1
@@ -320,7 +321,7 @@ let fallocate t inode ~off ~len =
         lblk := !lblk + n;
         remaining := !remaining - n
     | None ->
-        cpu t (timing t).Timing.ext4_alloc_cpu;
+        cpu_cat t Obs.Alloc (timing t).Timing.ext4_alloc_cpu;
         let chunk = min !remaining blocks_per_huge in
         (* never allocate past the next already-mapped block (the file may
            be fragmented by earlier relinks) *)
@@ -496,7 +497,7 @@ let fsync t inode =
     t.running_meta <- 0;
     Journal.commit t.journal ~meta_blocks:blocks;
     (* wake jbd2, wait for the commit to land *)
-    cpu t (timing t).Timing.jbd2_fsync_wait
+    cpu_cat t Obs.Journal (timing t).Timing.jbd2_fsync_wait
   end
   else
     (* no running transaction: jbd2 fast path *)

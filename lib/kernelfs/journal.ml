@@ -55,6 +55,7 @@ let write_journal_block t =
     [meta_blocks] metadata blocks. *)
 let commit t ~meta_blocks =
   if meta_blocks > 0 then
+    Pmem.Env.with_span t.env ~cat:Obs.Journal ~name:"jbd2:commit" @@ fun () ->
     Pmem.Env.with_lock t.env t.jlock (fun () ->
         let dev = t.env.Pmem.Env.dev in
         (* descriptor block + journalled copies of the metadata blocks *)

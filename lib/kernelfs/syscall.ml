@@ -1,6 +1,14 @@
 (** System-call layer over {!Ext4}: file-descriptor table plus the cost of
     crossing into the kernel. Everything an application (or U-Split) asks of
-    the kernel goes through here and pays [syscall_trap + vfs_path]. *)
+    the kernel goes through here and pays [syscall_trap + vfs_path].
+
+    Each operation runs under the profiler as one [kcall]: the trap charge
+    is attributed to [Obs.Syscall], the in-kernel body to [Obs.Kernel]
+    (more specific regions — journal, allocator, media — override from
+    inside), and when tracing is enabled a span named [sys:<op>] carrying
+    an strace-style detail line ([open("/x") = 3], or
+    [open("/x") = ENOENT "/x"] on a failed path) is emitted. The detail
+    string is only formatted when tracing is on. *)
 
 open Pmem
 
@@ -18,8 +26,39 @@ let kernel t = t.kfs
 let trap t =
   let env = Ext4.env t.kfs in
   let tm = env.Env.timing in
-  Env.cpu env (tm.Timing.syscall_trap +. tm.Timing.vfs_path);
+  Env.cpu_cat env Obs.Syscall (tm.Timing.syscall_trap +. tm.Timing.vfs_path);
   env.Env.stats.Stats.syscalls <- env.Env.stats.Stats.syscalls + 1
+
+(** [kcall t name fargs fres f] runs one system call [f] under the
+    profiler. [fargs]/[fres] render the strace-style argument list and
+    result; both are only invoked when tracing is enabled. *)
+let kcall t name fargs fres f =
+  let env = Ext4.env t.kfs in
+  let obs = env.Env.obs in
+  let a = Simclock.current env.Env.clock in
+  let t0 = a.Simclock.a_now in
+  trap t;
+  match Env.with_cat env Obs.Kernel f with
+  | x ->
+      if Obs.tracing obs then
+        Obs.emit obs ~name:("sys:" ^ name) ~cat:Obs.Syscall
+          ~actor:a.Simclock.aid ~t0 ~t1:a.Simclock.a_now
+          ~arg:(Printf.sprintf "%s(%s) = %s" name (fargs ()) (fres x));
+      x
+  | exception (Fsapi.Errno.Error (err, ctx) as exn) ->
+      if Obs.tracing obs then
+        Obs.emit obs ~name:("sys:" ^ name) ~cat:Obs.Syscall
+          ~actor:a.Simclock.aid ~t0 ~t1:a.Simclock.a_now
+          ~arg:
+            (Printf.sprintf "%s(%s) = %s %S" name (fargs ())
+               (Fsapi.Errno.to_string err) ctx);
+      raise exn
+
+let ri = string_of_int
+let r0 () = "0"
+let rpath p () = Printf.sprintf "%S" p
+let rfd fd () = ri fd
+let rio fd len at () = Printf.sprintf "%d, %d, @%d" fd len at
 
 let fd_entry t fd =
   match Hashtbl.find_opt t.fds fd with
@@ -36,7 +75,7 @@ let install t inode flags =
   fd
 
 let open_ t path (flags : Fsapi.Flags.t) =
-  trap t;
+  kcall t "open" (rpath path) ri @@ fun () ->
   let inode =
     match Ext4.namei t.kfs path with
     | inode ->
@@ -52,13 +91,13 @@ let open_ t path (flags : Fsapi.Flags.t) =
   install t inode flags
 
 let close t fd =
-  trap t;
+  kcall t "close" (rfd fd) r0 @@ fun () ->
   let e = fd_entry t fd in
   Hashtbl.remove t.fds fd;
   Ext4.decref t.kfs e.inode
 
 let dup t fd =
-  trap t;
+  kcall t "dup" (rfd fd) ri @@ fun () ->
   let e = fd_entry t fd in
   let nfd = t.next_fd in
   t.next_fd <- t.next_fd + 1;
@@ -67,19 +106,19 @@ let dup t fd =
   nfd
 
 let pwrite t fd ~buf ~boff ~len ~at =
-  trap t;
+  kcall t "pwrite" (rio fd len at) ri @@ fun () ->
   let e = fd_entry t fd in
   if not (Fsapi.Flags.writable e.flags) then Fsapi.Errno.(error EBADF "pwrite");
   Ext4.pwrite t.kfs e.inode ~off:at buf ~boff ~len
 
 let pread t fd ~buf ~boff ~len ~at =
-  trap t;
+  kcall t "pread" (rio fd len at) ri @@ fun () ->
   let e = fd_entry t fd in
   if not (Fsapi.Flags.readable e.flags) then Fsapi.Errno.(error EBADF "pread");
   Ext4.pread t.kfs e.inode ~off:at buf ~boff ~len
 
 let write t fd ~buf ~boff ~len =
-  trap t;
+  kcall t "write" (fun () -> Printf.sprintf "%d, %d" fd len) ri @@ fun () ->
   let e = fd_entry t fd in
   if not (Fsapi.Flags.writable e.flags) then Fsapi.Errno.(error EBADF "write");
   let at = if e.flags.append then e.inode.Ext4.size else !(e.pos) in
@@ -88,7 +127,7 @@ let write t fd ~buf ~boff ~len =
   n
 
 let read t fd ~buf ~boff ~len =
-  trap t;
+  kcall t "read" (fun () -> Printf.sprintf "%d, %d" fd len) ri @@ fun () ->
   let e = fd_entry t fd in
   if not (Fsapi.Flags.readable e.flags) then Fsapi.Errno.(error EBADF "read");
   let n = Ext4.pread t.kfs e.inode ~off:!(e.pos) buf ~boff ~len in
@@ -96,7 +135,7 @@ let read t fd ~buf ~boff ~len =
   n
 
 let lseek t fd off whence =
-  trap t;
+  kcall t "lseek" (fun () -> Printf.sprintf "%d, %d" fd off) ri @@ fun () ->
   let e = fd_entry t fd in
   let base =
     match whence with
@@ -110,52 +149,57 @@ let lseek t fd off whence =
   npos
 
 let fsync t fd =
-  trap t;
+  kcall t "fsync" (rfd fd) r0 @@ fun () ->
   let e = fd_entry t fd in
   Ext4.fsync t.kfs e.inode
 
 let ftruncate t fd size =
-  trap t;
+  kcall t "ftruncate" (fun () -> Printf.sprintf "%d, %d" fd size) r0
+  @@ fun () ->
   let e = fd_entry t fd in
   Ext4.truncate t.kfs e.inode size
 
 let fstat t fd =
-  trap t;
+  kcall t "fstat" (rfd fd) (fun _ -> "0") @@ fun () ->
   Ext4.stat_of_inode (fd_entry t fd).inode
 
 let stat t path =
-  trap t;
-  Ext4.stat t.kfs path
+  kcall t "stat" (rpath path) (fun _ -> "0") @@ fun () -> Ext4.stat t.kfs path
 
 let unlink t path =
-  trap t;
-  Ext4.unlink t.kfs path
+  kcall t "unlink" (rpath path) r0 @@ fun () -> Ext4.unlink t.kfs path
 
 let rename t src dst =
-  trap t;
-  Ext4.rename t.kfs src dst
+  kcall t "rename"
+    (fun () -> Printf.sprintf "%S, %S" src dst)
+    r0
+  @@ fun () -> Ext4.rename t.kfs src dst
 
 let mkdir t path =
-  trap t;
-  Ext4.mkdir t.kfs path
+  kcall t "mkdir" (rpath path) r0 @@ fun () -> Ext4.mkdir t.kfs path
 
 let rmdir t path =
-  trap t;
-  Ext4.rmdir t.kfs path
+  kcall t "rmdir" (rpath path) r0 @@ fun () -> Ext4.rmdir t.kfs path
 
 let readdir t path =
-  trap t;
-  Ext4.readdir t.kfs path
+  kcall t "readdir" (rpath path)
+    (fun l -> Printf.sprintf "[%d entries]" (List.length l))
+  @@ fun () -> Ext4.readdir t.kfs path
 
 (* --- kernel services used by U-Split (each is one trap) --- *)
 
 let fallocate t fd ~off ~len =
-  trap t;
+  kcall t "fallocate" (rio fd len off) ri @@ fun () ->
   Ext4.fallocate t.kfs (inode_of_fd t fd) ~off ~len
 
 (** The relink system call added by SplitFS: one trap, one transaction. *)
 let relink t ~src_fd ~src_blk ~dst_fd ~dst_blk ~nblks ~dst_size =
-  trap t;
+  kcall t "relink"
+    (fun () ->
+      Printf.sprintf "%d+%d -> %d+%d, %d blks" src_fd src_blk dst_fd dst_blk
+        nblks)
+    r0
+  @@ fun () ->
   Ext4.relink t.kfs
     ~src:(inode_of_fd t src_fd)
     ~src_blk
@@ -164,7 +208,12 @@ let relink t ~src_fd ~src_blk ~dst_fd ~dst_blk ~nblks ~dst_size =
 
 (** The relink ioctl: swap extents between two open files. *)
 let ioctl_swap_extents t ~src_fd ~src_blk ~dst_fd ~dst_blk ~nblks =
-  trap t;
+  kcall t "ioctl_swap_extents"
+    (fun () ->
+      Printf.sprintf "%d+%d <-> %d+%d, %d blks" src_fd src_blk dst_fd dst_blk
+        nblks)
+    r0
+  @@ fun () ->
   Ext4.swap_extents t.kfs
     ~src:(inode_of_fd t src_fd)
     ~src_blk
@@ -172,15 +221,17 @@ let ioctl_swap_extents t ~src_fd ~src_blk ~dst_fd ~dst_blk ~nblks =
     ~dst_blk ~nblks
 
 let dealloc_range t fd ~blk ~nblks =
-  trap t;
-  Ext4.dealloc_range t.kfs (inode_of_fd t fd) ~blk ~nblks
+  kcall t "dealloc_range"
+    (fun () -> Printf.sprintf "%d, %d+%d" fd blk nblks)
+    r0
+  @@ fun () -> Ext4.dealloc_range t.kfs (inode_of_fd t fd) ~blk ~nblks
 
 let set_size t fd size =
-  trap t;
-  Ext4.set_size t.kfs (inode_of_fd t fd) size
+  kcall t "set_size" (fun () -> Printf.sprintf "%d, %d" fd size) r0
+  @@ fun () -> Ext4.set_size t.kfs (inode_of_fd t fd) size
 
 let mmap t fd ~off ~len =
-  trap t;
+  kcall t "mmap" (rio fd len off) (fun _ -> "0") @@ fun () ->
   Ext4.mmap t.kfs (inode_of_fd t fd) ~off ~len
 
 (* ------------------------------------------------------------------ *)

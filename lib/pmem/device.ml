@@ -128,11 +128,14 @@ let charge_media t ns =
      latency). Single-actor clocks are monotone, so the branch can only
      ever charge a wait when a second actor exists; it stays inert (and
      bit-identical to the pre-actor model) otherwise. *)
+  let obs = Simclock.obs t.clock in
   if Simclock.multi t.clock then begin
     let now = Simclock.now t.clock in
     if t.media_free_at > now then begin
       let wait = t.media_free_at -. now in
+      Obs.push obs Obs.Bw_wait;
       Simclock.advance t.clock wait;
+      Obs.pop obs;
       t.stats.Stats.bw_wait_ns <- t.stats.Stats.bw_wait_ns +. wait;
       let a = Simclock.current t.clock in
       a.Simclock.a_bw_wait_ns <- a.Simclock.a_bw_wait_ns +. wait
@@ -143,7 +146,9 @@ let charge_media t ns =
     let a = Simclock.current t.clock in
     a.Simclock.a_media_ns <- a.Simclock.a_media_ns +. ns
   end;
+  Obs.push obs Obs.Media;
   Simclock.advance t.clock ns;
+  Obs.pop obs;
   t.stats.Stats.media_ns <- t.stats.Stats.media_ns +. ns
 
 let add_wear t addr len =
@@ -487,6 +492,9 @@ let store t ~addr src ~off ~len =
 let store_nt t ~addr src ~off ~len =
   assert (check_range t addr len);
   if len > 0 && not t.halted then begin
+    let obs = Simclock.obs t.clock in
+    let a = Simclock.current t.clock in
+    let t0 = a.Simclock.a_now in
     j_store_nt_pre t ~addr ~len;
     if t.dirty_count = 0 then
       t.stats.Stats.fast_path_hits <- t.stats.Stats.fast_path_hits + 1
@@ -502,7 +510,10 @@ let store_nt t ~addr src ~off ~len =
     charge_media t (Timing.nt_write_cost t.timing len);
     t.stats.Stats.nt_stores <- t.stats.Stats.nt_stores + 1;
     t.stats.Stats.pm_write_bytes <- t.stats.Stats.pm_write_bytes + len;
-    add_wear t addr len
+    add_wear t addr len;
+    if Obs.tracing obs then
+      Obs.emit obs ~name:"pm:w" ~cat:Obs.Media ~actor:a.Simclock.aid ~t0
+        ~t1:a.Simclock.a_now
   end
 
 (* ------------------------------------------------------------------ *)
@@ -580,6 +591,9 @@ let fence t =
 let load t ~addr dst ~off ~len =
   assert (check_range t addr len);
   if len > 0 && not t.halted then begin
+    let obs = Simclock.obs t.clock in
+    let a = Simclock.current t.clock in
+    let t0 = a.Simclock.a_now in
     let random =
       not
         (addr = t.last_read_end
@@ -623,7 +637,10 @@ let load t ~addr dst ~off ~len =
         charge_media t (Timing.pm_read_cost t.timing ~random !uncached);
         t.stats.Stats.pm_read_bytes <- t.stats.Stats.pm_read_bytes + !uncached
       end
-    end
+    end;
+    if Obs.tracing obs then
+      Obs.emit obs ~name:"pm:r" ~cat:Obs.Media ~actor:a.Simclock.aid ~t0
+        ~t1:a.Simclock.a_now
   end
 
 (** Convenience wrappers over whole buffers. *)

@@ -6,13 +6,15 @@ type t = {
   timing : Timing.t;
   stats : Stats.t;
   dev : Device.t;
+  obs : Obs.t;  (** same object [Simclock.advance] attributes into *)
 }
 
-let create ?(capacity = 64 * 1024 * 1024) ?(timing = Timing.default) () =
-  let clock = Simclock.create () in
+let create ?(capacity = 64 * 1024 * 1024) ?(timing = Timing.default) ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let clock = Simclock.create ~obs () in
   let stats = Stats.create () in
   let dev = Device.create ~capacity ~clock ~timing ~stats () in
-  { clock; timing; stats; dev }
+  { clock; timing; stats; dev; obs }
 
 let now t = Simclock.now t.clock
 let advance t ns = Simclock.advance t.clock ns
@@ -20,19 +22,93 @@ let advance t ns = Simclock.advance t.clock ns
 (** Charge pure CPU time (no PM traffic). *)
 let cpu t ns = Simclock.advance t.clock ns
 
+(** [cpu_cat t cat ns] charges CPU time attributed to [cat] — the
+    closure-free form for hot single charges. *)
+let cpu_cat t cat ns =
+  Obs.push t.obs cat;
+  Simclock.advance t.clock ns;
+  Obs.pop t.obs
+
+(** [with_cat t cat f] attributes every charge in [f]'s dynamic extent to
+    [cat] (unless an inner region pushes a more specific category). *)
+let with_cat t cat f =
+  Obs.push t.obs cat;
+  match f () with
+  | x ->
+      Obs.pop t.obs;
+      x
+  | exception e ->
+      Obs.pop t.obs;
+      raise e
+
+(** [with_span t ~cat ~name f] is [with_cat] that additionally emits a
+    trace span covering [f]'s simulated extent when tracing is on. *)
+let with_span t ~cat ~name f =
+  Obs.push t.obs cat;
+  let a = Simclock.current t.clock in
+  let t0 = a.Simclock.a_now in
+  match f () with
+  | x ->
+      Obs.pop t.obs;
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~name ~cat ~actor:a.Simclock.aid ~t0
+          ~t1:a.Simclock.a_now;
+      x
+  | exception e ->
+      Obs.pop t.obs;
+      raise e
+
 let snapshot_stats t = Stats.copy t.stats
 
 (** [in_background t f] runs [f] on behalf of a background thread: the
     simulated time it consumes is moved off the foreground clock and
     accumulated in [stats.background_ns] (the paper keeps staging-file
-    pre-allocation and similar work off the critical path, §4). *)
+    pre-allocation and similar work off the critical path, §4). The
+    profiler attributes the same interval to [Obs.Background], keeping
+    the accounting identity exact. *)
 let in_background t f =
   let t0 = Simclock.now t.clock in
-  let x = f () in
-  let t1 = Simclock.now t.clock in
-  Simclock.set_now t.clock t0;
-  t.stats.Stats.background_ns <- t.stats.Stats.background_ns +. (t1 -. t0);
-  x
+  Obs.enter_background t.obs;
+  match f () with
+  | x ->
+      Obs.leave_background t.obs;
+      let t1 = Simclock.now t.clock in
+      Simclock.set_now t.clock t0;
+      t.stats.Stats.background_ns <- t.stats.Stats.background_ns +. (t1 -. t0);
+      x
+  | exception e ->
+      Obs.leave_background t.obs;
+      raise e
+
+(* --- attribution identity --- *)
+
+(** Simulated time the profiler must account for: foreground time across
+    all actors plus the background time rewound off their clocks. *)
+let accountable_ns t =
+  List.fold_left
+    (fun acc a -> acc +. (a.Simclock.a_now -. a.Simclock.a_start))
+    0.
+    (Simclock.actors t.clock)
+  +. t.stats.Stats.background_ns
+
+(** [check_identity t] verifies sum(categories) = total simulated ns.
+    The tolerance (1e-8 relative + 1e-6 ns absolute) covers only float
+    summation order; any structural accounting bug is orders of
+    magnitude larger. Returns [(attributed, accountable)] on success,
+    raises [Failure] otherwise. *)
+let check_identity t =
+  let attributed = Obs.total t.obs in
+  let accountable = accountable_ns t in
+  let tol = (1e-8 *. Float.max attributed accountable) +. 1e-6 in
+  if Float.abs (attributed -. accountable) > tol then
+    failwith
+      (Printf.sprintf
+         "obs accounting identity violated: attributed %.6f ns <> accountable \
+          %.6f ns (delta %.6f, tol %.6f)"
+         attributed accountable
+         (attributed -. accountable)
+         tol);
+  (attributed, accountable)
 
 (* --- actors (multi-client support) --- *)
 

@@ -6,10 +6,11 @@ type t = {
   timing : Timing.t;
   stats : Stats.t;
   dev : Device.t;
+  obs : Obs.t;  (** attribution/tracing sink; host time only *)
 }
 
 (** Fresh device (default 64 MB) with zeroed stats and clock. *)
-val create : ?capacity:int -> ?timing:Timing.t -> unit -> t
+val create : ?capacity:int -> ?timing:Timing.t -> ?obs:Obs.t -> unit -> t
 
 (** Current simulated time, in nanoseconds. *)
 val now : t -> float
@@ -18,6 +19,27 @@ val advance : t -> float -> unit
 
 (** Charge pure CPU time (no PM traffic). *)
 val cpu : t -> float -> unit
+
+(** [cpu_cat t cat ns] charges CPU time attributed to [cat]. *)
+val cpu_cat : t -> Obs.cat -> float -> unit
+
+(** [with_cat t cat f] attributes every charge in [f]'s dynamic extent
+    to [cat] (inner regions may override). *)
+val with_cat : t -> Obs.cat -> (unit -> 'a) -> 'a
+
+(** [with_span t ~cat ~name f] is [with_cat] that also emits a trace
+    span covering [f]'s simulated extent when tracing is enabled. *)
+val with_span : t -> cat:Obs.cat -> name:string -> (unit -> 'a) -> 'a
+
+(** Simulated time the profiler must account for: foreground time across
+    all actors plus rewound background time. *)
+val accountable_ns : t -> float
+
+(** Verify the accounting identity sum(categories) = total simulated ns
+    (tolerance 1e-8 relative + 1e-6 ns absolute, float summation order
+    only). Returns [(attributed, accountable)]; raises [Failure] on
+    violation. *)
+val check_identity : t -> float * float
 
 val snapshot_stats : t -> Stats.t
 

@@ -31,11 +31,17 @@ let acquire t ~clock ~(stats : Stats.t) =
     let now = Simclock.now clock in
     if t.free_at > now then begin
       let wait = t.free_at -. now in
+      let obs = Simclock.obs clock in
+      Obs.push obs Obs.Lock_wait;
       Simclock.advance clock wait;
+      Obs.pop obs;
       t.contended <- t.contended + 1;
       stats.Stats.lock_wait_ns <- stats.Stats.lock_wait_ns +. wait;
       let a = Simclock.current clock in
-      a.Simclock.a_lock_wait_ns <- a.Simclock.a_lock_wait_ns +. wait
+      a.Simclock.a_lock_wait_ns <- a.Simclock.a_lock_wait_ns +. wait;
+      if Obs.tracing obs then
+        Obs.emit obs ~name:("lock:" ^ t.l_name) ~cat:Obs.Lock_wait
+          ~actor:a.Simclock.aid ~t0:now ~t1:a.Simclock.a_now
     end
   end
 

@@ -28,6 +28,9 @@ type t = {
   mutable current : actor;
   mutable actors : actor list;  (** in creation order; head is actor 0 *)
   mutable nactors : int;
+  obs : Obs.t;
+      (** attribution/tracing sink shared by the whole environment; sees
+          every charge but never produces one (host time only) *)
 }
 
 let make_actor ~aid ~name ~at =
@@ -41,15 +44,20 @@ let make_actor ~aid ~name ~at =
     a_media_ns = 0.;
   }
 
-let create () =
+let create ?obs () =
   let a0 = make_actor ~aid:0 ~name:"main" ~at:0. in
-  { current = a0; actors = [ a0 ]; nactors = 1 }
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  { current = a0; actors = [ a0 ]; nactors = 1; obs }
 
 let now t = t.current.a_now
+let obs t = t.obs
 
-(** [advance t ns] charges [ns] nanoseconds to the current actor. *)
+(** [advance t ns] charges [ns] nanoseconds to the current actor. Every
+    simulated charge in the system funnels through here, so attributing
+    at this single point makes the profiler's categories exhaustive. *)
 let advance t ns =
   assert (ns >= 0.);
+  Obs.attribute t.obs ns;
   t.current.a_now <- t.current.a_now +. ns
 
 (** Rewind/set the current actor's clock (background-work accounting). *)

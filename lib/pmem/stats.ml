@@ -141,3 +141,56 @@ let pp ppf t =
     t.relinks t.relink_copied_bytes t.log_entries t.staged_bytes t.mmap_setups
     t.media_ns t.background_ns t.lock_wait_ns t.bw_wait_ns t.dirty_lines_hwm
     t.fast_path_hits t.slow_path_hits t.partial_crashes
+
+(** Every counter as a (label, rendered value) row — the single source
+    both human-readable tables below print from, so no field can be
+    forgotten in one of them. *)
+let rows t =
+  let i = string_of_int and ns v = Printf.sprintf "%.0f ns" v in
+  [
+    ("pm read bytes", i t.pm_read_bytes);
+    ("pm write bytes", i t.pm_write_bytes);
+    ("nt stores", i t.nt_stores);
+    ("flushes (clwb)", i t.flushes);
+    ("fences (sfence)", i t.fences);
+    ("syscalls", i t.syscalls);
+    ("page faults", i t.page_faults);
+    ("page faults (huge)", i t.page_faults_huge);
+    ("journal commits", i t.journal_commits);
+    ("journal bytes", i t.journal_bytes);
+    ("relinks", i t.relinks);
+    ("relink copied bytes", i t.relink_copied_bytes);
+    ("log entries", i t.log_entries);
+    ("staged bytes", i t.staged_bytes);
+    ("mmap setups", i t.mmap_setups);
+    ("media time", ns t.media_ns);
+    ("background time", ns t.background_ns);
+    ("lock wait", ns t.lock_wait_ns);
+    ("bandwidth wait", ns t.bw_wait_ns);
+    ("dirty lines HWM", i t.dirty_lines_hwm);
+    ("fast-path hits", i t.fast_path_hits);
+    ("slow-path hits", i t.slow_path_hits);
+    ("partial crashes", i t.partial_crashes);
+  ]
+
+(** Multi-line human-readable dump of every counter (including the PR-3
+    contention fields [lock_wait_ns]/[bw_wait_ns] the one-line [pp]
+    render is easy to lose in). *)
+let pp_table ppf t =
+  let rows = rows t in
+  let w = List.fold_left (fun w (l, _) -> max w (String.length l)) 0 rows in
+  List.iter (fun (l, v) -> Fmt.pf ppf "  %-*s  %s@." w l v) rows
+
+(** [pp_delta ppf (later, earlier)] prints the counters accumulated
+    between two snapshots, skipping rows whose delta is zero. *)
+let pp_delta ppf (later, earlier) =
+  let d = diff later earlier in
+  let rows =
+    List.filter
+      (fun (_, v) -> v <> "0" && v <> "0 ns" && v <> "-0 ns")
+      (rows d)
+  in
+  if rows = [] then Fmt.pf ppf "  (no change)@."
+  else
+    let w = List.fold_left (fun w (l, _) -> max w (String.length l)) 0 rows in
+    List.iter (fun (l, v) -> Fmt.pf ppf "  %-*s  +%s@." w l v) rows

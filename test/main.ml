@@ -18,4 +18,5 @@ let () =
       ("process", Test_process.suite);
       ("experiments", Test_experiments.suite);
       ("sched", Test_sched.suite);
+      ("obs", Test_obs.suite);
     ]
