@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json crashcheck profile check
+.PHONY: all build test bench bench-json crashcheck faultcheck profile check
 
 all: build
 
@@ -15,7 +15,7 @@ bench:
 # (bechamel) plus simulated ns/op per scaling configuration. Diffable
 # against the BENCH_PR*.json of earlier PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR4.json
+	dune exec bench/main.exe -- --json BENCH_PR5.json
 
 # Observability: the software-overhead attribution table (where every
 # simulated ns goes, per stack), latency percentiles per (stack x op),
@@ -32,6 +32,14 @@ profile:
 crashcheck:
 	dune exec bin/splitfs_cli.exe -- crashcheck
 
+# Fault-injection campaign: media errors (poisoned lines, worn blocks),
+# resource exhaustion (ENOSPC, journal/swap EIO), and scrubber patrols
+# injected into every stack x mode, each trial checked against the
+# differential fault oracle (masked / retried / correct errno — never
+# silent corruption). Exits non-zero on any violation. (~1s)
+faultcheck:
+	dune exec bin/splitfs_cli.exe -- faultcheck
+
 # Full verification: build, unit + property + differential tests, crash
 # state exploration, and the paper tables as a smoke test of every
 # experiment stack.
@@ -39,4 +47,5 @@ check:
 	dune build
 	dune runtest
 	dune exec bin/splitfs_cli.exe -- crashcheck
+	dune exec bin/splitfs_cli.exe -- faultcheck
 	dune exec bench/main.exe -- --fast

@@ -268,6 +268,42 @@ let latency_estimates rows =
       ])
     rows
 
+(* Faultcheck outcome counts per stack: how many injected-fault trials
+   were masked / retried / surfaced an honest errno. A shift in these
+   counts at a pinned seed means a degradation path changed behaviour —
+   exactly what a robustness trajectory should catch. *)
+let fault_estimates reports =
+  List.concat_map
+    (fun (r : Faultcheck.stack_report) ->
+      [
+        (Printf.sprintf "faults/%s/untriggered" r.Faultcheck.s_stack,
+         float_of_int r.Faultcheck.s_untriggered);
+        (Printf.sprintf "faults/%s/masked" r.Faultcheck.s_stack,
+         float_of_int r.Faultcheck.s_masked);
+        (Printf.sprintf "faults/%s/retried" r.Faultcheck.s_stack,
+         float_of_int r.Faultcheck.s_retried);
+        (Printf.sprintf "faults/%s/errno" r.Faultcheck.s_stack,
+         float_of_int r.Faultcheck.s_errno);
+      ])
+    reports
+
+(* Degraded-mode write latency (staging starved by a sticky allocator
+   fault) vs the healthy stack, simulated ns per percentile. *)
+let degraded_estimates rows =
+  List.concat_map
+    (fun (r : Harness.Experiments.degraded_row) ->
+      let base =
+        Printf.sprintf "faults/degraded-lat/%s/%s"
+          (Harness.Fs_config.name r.Harness.Experiments.dg_spec)
+          r.Harness.Experiments.dg_variant
+      in
+      [
+        (base ^ "/p50", r.Harness.Experiments.dg_p50);
+        (base ^ "/p90", r.Harness.Experiments.dg_p90);
+        (base ^ "/p99", r.Harness.Experiments.dg_p99);
+      ])
+    rows
+
 let profile_estimates rows =
   List.concat_map
     (fun (r : Harness.Experiments.profile_row) ->
@@ -307,13 +343,16 @@ let () =
   let scaling = Harness.Experiments.scaling () in
   let profile = Harness.Experiments.profile () in
   let latency = Harness.Experiments.latency () in
+  let faultcheck = Harness.Experiments.faultcheck () in
+  let degraded = Harness.Experiments.degraded_latency () in
   if not fast then begin
     let estimates = run_bechamel () in
     Option.iter
       (fun path ->
         write_trajectory path
           (estimates @ scaling_estimates scaling @ profile_estimates profile
-         @ latency_estimates latency))
+         @ latency_estimates latency @ fault_estimates faultcheck
+         @ degraded_estimates degraded))
       json_path
   end;
   print_endline "\nAll experiments completed."

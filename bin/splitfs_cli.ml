@@ -30,6 +30,10 @@ let run_crashcheck samples seed nops =
       (fun (r : Crashcheck.mode_report) -> r.Crashcheck.r_violations <> [])
       reports
   then exit 1
+let run_faultcheck seed nops =
+  let reports = Harness.Experiments.faultcheck ~seed ~nops () in
+  if not (Faultcheck.clean reports) then exit 1
+
 let run_ablations total_mb = ignore (Harness.Experiments.ablations ~total_mb ())
 let run_resources () = ignore (Harness.Experiments.resources ())
 let run_scaling () = ignore (Harness.Experiments.scaling ())
@@ -103,6 +107,14 @@ let cc_ops =
   Arg.(
     value & opt int 24
     & info [ "ops" ] ~doc:"Operations per crashcheck workload.")
+
+let fc_seed =
+  Arg.(value & opt int 0xFA17 & info [ "seed" ] ~doc:"Fault-campaign workload seed.")
+
+let fc_ops =
+  Arg.(
+    value & opt int 24
+    & info [ "ops" ] ~doc:"Operations per faultcheck workload.")
 
 let trace_fs =
   Arg.(
@@ -200,6 +212,9 @@ let () =
             cmd "crashcheck"
               "Crash-state exploration with a differential recovery oracle."
               Term.(const run_crashcheck $ samples $ seed $ cc_ops);
+            cmd "faultcheck"
+              "Fault-injection campaign: media errors, resource exhaustion, oracle."
+              Term.(const run_faultcheck $ fc_seed $ fc_ops);
             cmd "ablations" "Design-choice ablations (DRAM staging, huge pages, mmap size)."
               Term.(const run_ablations $ total_mb);
             cmd "resources" "U-Split resource consumption."

@@ -45,7 +45,7 @@ let create (env : Env.t) ~reserved =
   assert (reserved mod block_size = 0 && reserved < capacity);
   {
     env;
-    alloc = Kernelfs.Alloc.create ~nblocks:((capacity - reserved) / block_size);
+    alloc = Kernelfs.Alloc.create ~nblocks:((capacity - reserved) / block_size) ();
     data_start = reserved;
     root = Hashtbl.create 64;
     fds = Hashtbl.create 32;

@@ -26,6 +26,10 @@ type report = {
       (** valid-looking entries dropped because their staged data failed
           its checksum (entry persisted, data torn) *)
   files_recovered : int;
+  replay_skipped : int;
+      (** ops dropped because their staged source bytes were unreadable
+          (poisoned PM lines) — the lines are quarantined and the target
+          keeps its pre-op content instead of recovery failing outright *)
   replay_ns : float;  (** simulated time spent replaying *)
 }
 
@@ -117,6 +121,7 @@ let empty_report =
     torn_entries = 0;
     torn_data_entries = 0;
     files_recovered = 0;
+    replay_skipped = 0;
     replay_ns = 0.;
   }
 
@@ -156,17 +161,55 @@ let verify_final_data kfs valid =
 let recover ~sys ~env ~instance =
   Env.with_span env ~cat:Obs.Usplit ~name:"u:recover" @@ fun () ->
   let kfs = Kernelfs.Syscall.kernel sys in
+  let dev = env.Env.dev in
+  let faults = env.Env.faults in
   let path = Printf.sprintf "/.splitfs-oplog-%d" instance in
   let t0 = Env.now env in
-  match Oplog.scan sys path with
-  | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) ->
+  (* quarantine the PM line behind the most recent machine-check so the
+     faulted range reads back as zeros instead of faulting forever *)
+  let quarantine_last () =
+    let a = Device.last_poison dev in
+    if a >= 0 then Device.quarantine dev ~addr:a ~len:1
+  in
+  (* A poisoned line inside the log region surfaces as EIO from the scan's
+     kernel reads. Recovery must not fail on it: quarantine the line (the
+     slot then decodes as torn — checksums reject zeros with the entry's
+     other bytes — or empty) and rescan. *)
+  let max_scan_attempts = 64 in
+  let rec scan_log attempt =
+    match Oplog.scan sys path with
+    | scan -> Some scan
+    | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> None
+    | exception Fsapi.Errno.Error (Fsapi.Errno.EIO, _)
+      when attempt < max_scan_attempts && Device.last_poison dev >= 0 ->
+        quarantine_last ();
+        Faults.note_retried faults;
+        scan_log (attempt + 1)
+  in
+  match scan_log 1 with
+  | None ->
       (* POSIX-mode instances have no operation log: ext4 journal recovery
          alone suffices (§5.3) *)
       empty_report
-  | scan ->
-  let valid, torn_data = verify_final_data kfs scan.Oplog.valid in
+  | Some scan ->
+  let valid, torn_data =
+    match verify_final_data kfs scan.Oplog.valid with
+    | r -> r
+    | exception Faults.Poisoned a ->
+        (* the final entry's staged data is unreadable: it certainly
+           cannot pass its checksum — drop it and move on *)
+        Device.quarantine dev ~addr:a ~len:1;
+        (match List.rev scan.Oplog.valid with
+        | _ :: earlier -> (List.rev earlier, 1)
+        | [] -> ([], 0))
+  in
   let pending = collect valid in
-  let replayed = ref 0 and files = ref 0 in
+  let replayed = ref 0 and files = ref 0 and skipped = ref 0 in
+  let skip_op () =
+    quarantine_last ();
+    Faults.note_replay_skipped faults;
+    incr skipped
+  in
   Hashtbl.iter
     (fun ino ops ->
       match Kernelfs.Ext4.inode_of kfs ino with
@@ -175,9 +218,18 @@ let recover ~sys ~env ~instance =
           List.iter
             (fun (op : Oplog.data_op) ->
               match Kernelfs.Ext4.inode_of kfs op.Oplog.staging_ino with
-              | staging ->
-                  replay_op kfs env ~target ~staging op;
-                  incr replayed
+              | staging -> (
+                  match replay_op kfs env ~target ~staging op with
+                  | () -> incr replayed
+                  | exception Faults.Poisoned a ->
+                      (* staged source bytes are gone to a media fault:
+                         quarantine and skip — the target keeps its
+                         pre-op content for the unreplayed range *)
+                      Device.quarantine dev ~addr:a ~len:1;
+                      Faults.note_replay_skipped faults;
+                      incr skipped
+                  | exception Fsapi.Errno.Error (Fsapi.Errno.EIO, _) ->
+                      skip_op ())
               | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> ())
             (List.rev !ops)
       | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> ())
@@ -203,5 +255,6 @@ let recover ~sys ~env ~instance =
     torn_entries = scan.Oplog.torn;
     torn_data_entries = torn_data;
     files_recovered = !files;
+    replay_skipped = !skipped;
     replay_ns = Env.now env -. t0;
   }

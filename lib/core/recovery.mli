@@ -14,6 +14,10 @@ type report = {
       (** valid-looking entries dropped because their staged data failed
           its checksum (entry persisted before a crash, data torn) *)
   files_recovered : int;
+  replay_skipped : int;
+      (** ops dropped because their staged source bytes sat on poisoned
+          PM lines — the lines are quarantined, the target keeps its
+          pre-op content, and recovery completes instead of failing *)
   replay_ns : float;  (** simulated time spent replaying *)
 }
 

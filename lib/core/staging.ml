@@ -69,7 +69,20 @@ let new_handle t =
     else begin
       let path = Printf.sprintf "%s/staging-%d" t.dir (t.created - 1) in
       let sfd = Kernelfs.Syscall.open_ t.sys path Fsapi.Flags.create_rw in
-      ignore (Kernelfs.Syscall.fallocate t.sys sfd ~off:0 ~len:t.file_size);
+      (* pre-allocation runs under the [Staging_prealloc] origin so a
+         fault campaign can starve exactly this path (exercising the
+         degraded-write fallback) while foreground allocations stay
+         healthy; on ENOSPC the half-made file is torn down so the
+         caller sees a clean failure *)
+      (try
+         Faults.with_origin t.env.Env.faults Faults.Staging_prealloc
+           (fun () ->
+             ignore (Kernelfs.Syscall.fallocate t.sys sfd ~off:0 ~len:t.file_size))
+       with Fsapi.Errno.Error (Fsapi.Errno.ENOSPC, _) as e ->
+         Kernelfs.Syscall.close t.sys sfd;
+         Kernelfs.Syscall.unlink t.sys path;
+         t.live <- t.live - 1;
+         raise e);
       (* the file size covers the whole pre-allocation so that crash
          recovery can read staged bytes through the kernel *)
       Kernelfs.Syscall.set_size t.sys sfd t.file_size;
@@ -125,7 +138,13 @@ let release t h =
   if h.s_size - h.cursor >= min_useful then Queue.push h t.queue
   else begin
     retire t h;
-    Env.in_background t.env (fun () -> Queue.push (new_handle t) t.queue)
+    Env.in_background t.env (fun () ->
+        (* the background thread absorbs pre-allocation ENOSPC silently:
+           the pool just stays one file short and the next [acquire]
+           retries in the foreground *)
+        match new_handle t with
+        | h -> Queue.push h t.queue
+        | exception Fsapi.Errno.Error (Fsapi.Errno.ENOSPC, _) -> ())
   end
 
 let remaining h = h.s_size - h.cursor

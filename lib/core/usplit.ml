@@ -88,7 +88,16 @@ let with_file_lock t st f =
     syscall, log append, relink copy...) overrides from within, and a
     [u:<name>] trace span covering the whole operation is emitted when
     tracing. *)
-let uspan t name f = Env.with_span t.env ~cat:Obs.Usplit ~name f
+let uspan t name f =
+  Env.with_span t.env ~cat:Obs.Usplit ~name @@ fun () ->
+  try f ()
+  with Faults.Poisoned a ->
+    (* a machine-check on a poisoned PM line under one of U-Split's own
+       mmap loads — a real deployment takes SIGBUS; the library surfaces
+       it as EIO instead of dying *)
+    Fsapi.Errno.(
+      error EIO
+        (Printf.sprintf "u-split: poisoned PM line @0x%x (SIGBUS)" a))
 
 (** Bounce buffer of at least [len] bytes, reused across relink copies so
     the staging->target path allocates nothing per call. *)
@@ -316,8 +325,42 @@ let write_inplace t st ~at buf ~boff ~len =
   done
 
 
+(** Injected-bug switch for the fault oracle's self-test: when cleared,
+    the degraded write path drops the data instead of routing it through
+    the kernel — faultcheck must flag the resulting corruption. Always
+    [true] outside that regression test. *)
+let honest_degraded_writes = ref true
+
+(** Staging pre-allocation failed (no space for a fresh staging file):
+    degrade to the plain kernel write path at its honest cost instead of
+    surfacing ENOSPC for a write the file system could still serve. The
+    epoch advance lets transient allocator faults heal before the
+    fallback's own allocations. *)
+let degraded_write t st ~at buf ~boff ~len =
+  uspan t "u:degraded-write" @@ fun () ->
+  let faults = t.env.Env.faults in
+  Faults.new_epoch faults;
+  Faults.note_degraded_write faults;
+  if !honest_degraded_writes then begin
+    let n = Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff ~len ~at in
+    assert (n = len);
+    (* the kernel copy supersedes any staged bytes in the range *)
+    ignore (Kernelfs.Extent_tree.remove_range st.shadow ~logical:at ~len);
+    st.ksize <- max st.ksize (at + len);
+    st.usize <- max st.usize (at + len);
+    refresh_mappings t st;
+    fence t
+  end
+
 let rec stage_write t st ~at buf ~boff ~len =
-  let h = ensure_staging t st in
+  let h =
+    match ensure_staging t st with
+    | h -> Some h
+    | exception Fsapi.Errno.Error (Fsapi.Errno.ENOSPC, _) -> None
+  in
+  match h with
+  | None -> degraded_write t st ~at buf ~boff ~len
+  | Some h ->
   let staged_off =
     let coalesced =
       match staged_end_at st ~at with
@@ -329,6 +372,11 @@ let rec stage_write t st ~at buf ~boff ~len =
     | None -> Staging.reserve h ~align_rem:(at mod block_size) len
   in
   match staged_off with
+  | None when len >= t.staging_pool.Staging.file_size ->
+      (* larger than any staging file could ever hold (degraded
+         configurations with a shrunken pool): route straight through
+         the kernel instead of relinking forever *)
+      degraded_write t st ~at buf ~boff ~len
   | None ->
       (* staging file exhausted: relink now to free it, then retry on a
          fresh handle *)
@@ -409,10 +457,45 @@ and relink_extent t st h (e : Kernelfs.Extent_tree.extent) ~dst_size =
         Staging.write t.staging_pool h ~off:slack_off zeros ~boff:0 ~len:slack
       end
     end;
-    if relink_blocks > 0 then
-      Kernelfs.Syscall.relink t.sys ~src_fd:(Staging.sfd h)
-        ~src_blk:(s2 / block_size) ~dst_fd:st.f_kfd ~dst_blk:(t2 / block_size)
-        ~nblks:relink_blocks ~dst_size;
+    if relink_blocks > 0 then begin
+      (* Transient relink EIO is retried with capped exponential backoff;
+         a fault still firing after [max_relink_attempts] is sticky and
+         degrades to copying the staged bytes through the kernel — the
+         fault is masked, only performance suffers. *)
+      let faults = t.env.Env.faults in
+      let max_relink_attempts = 6 in
+      let copy_fallback () =
+        Faults.note_masked faults;
+        let clen = if tail_reaches_eof then rem else nfull * block_size in
+        Env.with_cat t.env Obs.Relink_copy @@ fun () ->
+        let buf = scratch_buf t clen in
+        Staging.read t.staging_pool h ~off:s2 buf ~boff:0 ~len:clen;
+        let n =
+          Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff:0 ~len:clen ~at:t2
+        in
+        assert (n = clen);
+        stats.Stats.relink_copied_bytes <-
+          stats.Stats.relink_copied_bytes + clen
+      in
+      let rec attempt n =
+        match
+          Kernelfs.Syscall.relink t.sys ~src_fd:(Staging.sfd h)
+            ~src_blk:(s2 / block_size) ~dst_fd:st.f_kfd
+            ~dst_blk:(t2 / block_size) ~nblks:relink_blocks ~dst_size
+        with
+        | () -> if n > 1 then Faults.note_retried faults
+        | exception Fsapi.Errno.Error (Fsapi.Errno.EIO, _)
+          when n < max_relink_attempts ->
+            Env.with_span t.env ~cat:Obs.Usplit ~name:"u:relink-retry"
+              (fun () ->
+                Env.cpu_cat t.env Obs.Usplit (Faults.backoff_ns ~attempt:n));
+            Faults.new_epoch faults;
+            Faults.note_relink_retry faults;
+            attempt (n + 1)
+        | exception Fsapi.Errno.Error (Fsapi.Errno.EIO, _) -> copy_fallback ()
+      in
+      attempt 1
+    end;
     if (not tail_reaches_eof) && tail > 0 then
       copy
         ~t_off:(t2 + (nfull * block_size))
@@ -434,22 +517,31 @@ and relink_file t st =
         (fun i e ->
           (* the size update rides inside the last relink transaction *)
           let dst_size = if i = last then Some st.usize else None in
-          relink_extent t st h e ~dst_size)
-        extents;
-      Kernelfs.Extent_tree.clear st.shadow;
-      (* if the last extent had no full blocks (boundary copies only), the
-         size still needs one metadata update *)
-      let inode = Kernelfs.Syscall.inode_of_fd t.sys st.f_kfd in
-      if inode.Kernelfs.Ext4.size <> st.usize then
-        Kernelfs.Syscall.set_size t.sys st.f_kfd st.usize;
-      st.ksize <- st.usize;
-      (* retain mappings over the relinked ranges: reads after fsync hit
-         them without page faults *)
-      List.iter
-        (fun e ->
+          relink_extent t st h e ~dst_size;
+          (* this extent is now in the file: drop its shadow entry and
+             retain a mapping over it immediately, so a fault while a
+             LATER extent relinks never hides data that already moved —
+             the shadow must only ever cover bytes still in staging *)
+          ignore
+            (Kernelfs.Extent_tree.remove_range st.shadow
+               ~logical:e.Kernelfs.Extent_tree.logical
+               ~len:e.Kernelfs.Extent_tree.len);
           retain_mapping t st ~off:e.Kernelfs.Extent_tree.logical
             ~len:e.Kernelfs.Extent_tree.len)
         extents;
+      (* if the last extent had no full blocks (boundary copies only), the
+         size still needs one metadata update *)
+      let inode = Kernelfs.Syscall.inode_of_fd t.sys st.f_kfd in
+      if inode.Kernelfs.Ext4.size <> st.usize then begin
+        try Kernelfs.Syscall.set_size t.sys st.f_kfd st.usize
+        with Fsapi.Errno.Error (Fsapi.Errno.EIO, _) as exn ->
+          (* the in-DRAM inode size advanced before the journal commit
+             failed; adopt whatever the kernel now reports so reads keep
+             seeing every relinked byte, and surface the EIO honestly *)
+          st.ksize <- inode.Kernelfs.Ext4.size;
+          raise exn
+      end;
+      st.ksize <- st.usize;
       st.staging <- None;
       Staging.release t.staging_pool h;
       refresh_mappings t st;
@@ -897,6 +989,12 @@ let mount ?(cfg = Config.default) ~sys ~env ~instance () =
   in
   t.checkpoint <- (fun () -> relink_all t);
   t
+
+(** Background scrubber patrol: ask the kernel to migrate file data off
+    worn or poisoned blocks and retire them (runs off the critical path,
+    like staging replenishment). Returns the number of blocks migrated. *)
+let scrub t ~wear_limit =
+  Env.in_background t.env (fun () -> Kernelfs.Ext4.scrub (kfs t) ~wear_limit)
 
 (** Approximate DRAM footprint of U-Split metadata, for the §5.10
     resource-consumption experiment. *)

@@ -44,6 +44,19 @@ val relink_all : t -> unit
     resource-consumption measurement. *)
 val memory_usage : t -> int
 
+(** Injected-bug switch for the fault oracle's self-test: when cleared,
+    the degraded write path (staging pre-allocation ENOSPC → kernel
+    write) silently drops the data — faultcheck must flag the resulting
+    corruption. Always [true] outside that regression test. *)
+val honest_degraded_writes : bool ref
+
+(** [scrub t ~wear_limit] runs one background scrubber patrol: file data
+    sitting on blocks worn to [wear_limit] writes (or holding poisoned
+    lines) is migrated to fresh blocks and the bad blocks are retired.
+    Runs on the background thread, off the critical path. Returns the
+    number of blocks migrated. *)
+val scrub : t -> wear_limit:int -> int
+
 (** [fork t ~instance] models fork() (§3.5): the child inherits every open
     descriptor (kernel fds dup'ed, offsets copied, dup-sharing preserved)
     and gets its own staging pool and log. Staged data is settled first.

@@ -63,11 +63,14 @@ module Workload = struct
   (** Random interleaving of appends, overwrites (possibly crossing EOF),
       fsyncs and checkpoints. Sizes stay small so each trial stays cheap
       and the staging files never run out (a mid-op checkpoint would not
-      be wrong, merely noisy). *)
-  let generate ~mode ~seed ~nops () =
+      be wrong, merely noisy). [scale] multiplies every length drawn —
+      the default 1 keeps crash-state spaces small, while faultcheck
+      passes a larger factor so writes cross block boundaries and the
+      full-block relink path is exercised under injected faults. *)
+  let generate ~mode ~seed ?(scale = 1) ~nops () =
     let rng = Workloads.Rng.create seed in
     let nfiles = 3 in
-    let initial = Array.init nfiles (fun i -> 256 + (128 * i)) in
+    let initial = Array.init nfiles (fun i -> scale * (256 + (128 * i))) in
     let sizes = Array.copy initial in
     let ops =
       List.init nops (fun k ->
@@ -79,12 +82,12 @@ module Workload = struct
           | 3 | 4 | 5 ->
               (* overwrite starting inside the file, may cross EOF *)
               let at = Workloads.Rng.int rng (max 1 sizes.(file)) in
-              let len = 1 + Workloads.Rng.int rng 200 in
+              let len = scale * (1 + Workloads.Rng.int rng 200) in
               if at + len > sizes.(file) then sizes.(file) <- at + len;
               Write { file; at; len; seed = (seed * 7919) + k }
           | _ ->
               (* append *)
-              let len = 1 + Workloads.Rng.int rng 700 in
+              let len = scale * (1 + Workloads.Rng.int rng 700) in
               let at = sizes.(file) in
               sizes.(file) <- at + len;
               Write { file; at; len; seed = (seed * 7919) + k })

@@ -1,0 +1,620 @@
+(** Faultcheck: deterministic fault-injection campaigns with a
+    differential fault oracle (PR 5, DESIGN.md §5g).
+
+    For every (stack × fault point) pair, a trial builds a fresh stack,
+    establishes durable initial file content, injects exactly the faults
+    of the trial's fault set — resource faults into the {!Faults} plane,
+    media poison straight into the device — and runs a seeded workload to
+    completion while a host-side model tracks the legal final contents.
+    Every fault must land in one of the allowed outcomes:
+
+    - {b masked}: the operation succeeded with correct data (fallbacks,
+      scrubber migration, dirty-cache hits over poisoned lines);
+    - {b retried}: the operation succeeded after backoff-retry loops
+      (transient journal/relink faults);
+    - {b errno}: the operation failed with an honest [EIO]/[ENOSPC]
+      whose context names the originating layer.
+
+    Anything else — wrong bytes, wrong size, an unexpected errno, a raw
+    exception escaping the stack — is a violation. The model forks an
+    alternative content view at each failed write (the write may have
+    partially applied before the fault), applies successful writes to
+    every view, and at the end checks the recovered size against the view
+    sizes and every byte against the union of views, additionally
+    allowing zeros on quarantined device lines (surfaced media loss).
+    Violating fault sets are shrunk greedily to a minimal violating
+    subset before reporting. *)
+
+module W = Crashcheck.Workload
+
+type stack_kind = Ext4_dax | Splitfs of Splitfs.Config.mode
+
+let stack_name = function
+  | Ext4_dax -> "ext4-dax"
+  | Splitfs m -> "splitfs-" ^ Splitfs.Config.mode_to_string m
+
+let all_stacks =
+  [
+    Ext4_dax;
+    Splitfs Splitfs.Config.Posix;
+    Splitfs Splitfs.Config.Sync;
+    Splitfs Splitfs.Config.Strict;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type fault_point =
+  | Resource of Faults.rfault
+  | Poison of int
+      (** poison the cache line at this device address once the initial
+          content is durable *)
+  | Scrub_wear of int
+      (** run a scrubber patrol with this wear limit halfway through the
+          workload *)
+
+let pp_fault_point ppf = function
+  | Resource rf -> Faults.pp_rfault ppf rf
+  | Poison addr -> Fmt.pf ppf "poison @0x%x" addr
+  | Scrub_wear limit -> Fmt.pf ppf "scrub patrol (wear limit %d)" limit
+
+(* ------------------------------------------------------------------ *)
+(* Legal-content model                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Model = struct
+  (** Candidate final contents of one file. The head view has every
+      acknowledged operation applied; each failed write forks one
+      as-if-applied alternative (the fault may have struck after the data
+      reached the file but before the errno surfaced). A failed write's
+      range is additionally recorded: the fault may equally have struck
+      mid-operation — size extended but data not yet copied — so inside
+      that range the failed payload, a zero hole, or the pre-image are
+      all legal. *)
+  type file = {
+    mutable views : Bytes.t list;
+    mutable failed : (int * Bytes.t) list;  (** (at, payload) of failed writes *)
+  }
+
+  let max_views = 5
+
+  let apply_view v ~at data =
+    let len = Bytes.length data in
+    let n = max (Bytes.length v) (at + len) in
+    let nv = Bytes.make n '\000' in
+    Bytes.blit v 0 nv 0 (Bytes.length v);
+    Bytes.blit data 0 nv at len;
+    nv
+
+  (** An acknowledged write is non-negotiable: every legal final content
+      has it applied. This is what catches silently dropped writes. *)
+  let write_ok f ~at data =
+    f.views <- List.map (fun v -> apply_view v ~at data) f.views
+
+  let write_failed f ~at data =
+    if List.length f.views < max_views then
+      f.views <- f.views @ [ apply_view (List.hd f.views) ~at data ];
+    f.failed <- (at, data) :: f.failed
+
+  (** Is byte [b] at [off] explained by the partial application of a
+      failed write? Inside a failed range, the payload byte or a zero
+      hole is legal (pre-image bytes are covered by the views). *)
+  let failed_explains f ~off b =
+    List.exists
+      (fun (at, data) ->
+        off >= at
+        && off < at + Bytes.length data
+        && (b = '\000' || b = Bytes.get data (off - at)))
+      f.failed
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trial runner                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Runner = struct
+  type stack = {
+    env : Pmem.Env.t;
+    sys : Kernelfs.Syscall.t;
+    u : Splitfs.Usplit.t option;
+    fs : Fsapi.Fs.t;
+  }
+
+  let file_path i = Printf.sprintf "/f%d" i
+
+  (** [tiny_staging] shrinks the staging pool to one nearly-useless file
+      so staging pre-allocation runs during the workload — the only way
+      an origin-scoped [Staging_prealloc] fault can fire. *)
+  let build ?(tiny_staging = false) kind =
+    let env = Pmem.Env.create ~capacity:(8 * 1024 * 1024) () in
+    let kfs = Kernelfs.Ext4.mkfs ~journal_len:(1024 * 1024) env in
+    let sys = Kernelfs.Syscall.make kfs in
+    match kind with
+    | Ext4_dax -> { env; sys; u = None; fs = Kernelfs.Syscall.as_fsapi sys }
+    | Splitfs mode ->
+        let cfg =
+          {
+            (Splitfs.Config.with_mode mode) with
+            Splitfs.Config.staging_files = (if tiny_staging then 1 else 2);
+            staging_size = (if tiny_staging then 4096 else 256 * 1024);
+            oplog_size = 16 * 1024;
+          }
+        in
+        let u = Splitfs.Usplit.mount ~cfg ~sys ~env ~instance:0 () in
+        { env; sys; u = Some u; fs = Splitfs.Usplit.as_fsapi u }
+
+  let setup (w : W.t) st =
+    Array.init w.W.nfiles (fun i ->
+        let fd = st.fs.Fsapi.Fs.open_ (file_path i) Fsapi.Flags.create_rw in
+        let len = w.W.initial.(i) in
+        let buf = W.payload ~seed:(1000 + i) len in
+        ignore (st.fs.Fsapi.Fs.pwrite fd ~buf ~boff:0 ~len ~at:0);
+        st.fs.Fsapi.Fs.fsync fd;
+        fd)
+
+  let checkpoint st =
+    match st.u with Some u -> Splitfs.Usplit.relink_all u | None -> ()
+
+  (** Fault-free application of one op — used by the profiling pass. *)
+  let apply st fds (op : W.op) =
+    match op with
+    | W.Write { file; at; len; seed } ->
+        let buf = W.payload ~seed len in
+        ignore (st.fs.Fsapi.Fs.pwrite fds.(file) ~buf ~boff:0 ~len ~at)
+    | W.Fsync { file } -> st.fs.Fsapi.Fs.fsync fds.(file)
+    | W.Checkpoint -> checkpoint st
+
+  let allowed_errno = function
+    | Fsapi.Errno.EIO | Fsapi.Errno.ENOSPC -> true
+    | _ -> false
+
+  type outcome = Untriggered | Masked | Retried | Errno_surfaced
+
+  let outcome_name = function
+    | Untriggered -> "untriggered"
+    | Masked -> "masked"
+    | Retried -> "retried"
+    | Errno_surfaced -> "errno"
+
+  type trial = {
+    outcome : outcome;
+    violations : (int * string) list;  (** (file, reason); file -1 = global *)
+    errno : (Fsapi.Errno.t * string) option;  (** last allowed errno seen *)
+    tcounts : Faults.counts;  (** snapshot of the plane's counters *)
+  }
+
+  let snapshot_counts (c : Faults.counts) = { c with Faults.injected = c.injected }
+
+  let run_trial ?tiny_staging kind (w : W.t) ~(points : fault_point list) =
+    let st = build ?tiny_staging kind in
+    let dev = st.env.Pmem.Env.dev in
+    let plane = st.env.Pmem.Env.faults in
+    let kfs = Kernelfs.Syscall.kernel st.sys in
+    let fds = setup w st in
+    let model =
+      Array.init w.W.nfiles (fun i ->
+          {
+            Model.views = [ W.payload ~seed:(1000 + i) w.W.initial.(i) ];
+            failed = [];
+          })
+    in
+    (* the initial content is durable; now inject *)
+    Faults.arm plane;
+    let scrub_limit = ref None in
+    List.iter
+      (function
+        | Resource rf -> Faults.inject plane rf
+        | Poison addr -> Pmem.Device.poison_line dev ~addr
+        | Scrub_wear l -> scrub_limit := Some l)
+      points;
+    let errno = ref None in
+    let unexpected = ref [] in
+    let record_fail k e ctx =
+      if allowed_errno e then errno := Some (e, ctx)
+      else
+        unexpected :=
+          Fmt.str "op %d: unexpected errno %a" k Fsapi.Errno.pp (e, ctx)
+          :: !unexpected
+    in
+    let run_scrub () =
+      match (!scrub_limit, st.u) with
+      | None, _ -> ()
+      | Some l, Some u -> ignore (Splitfs.Usplit.scrub u ~wear_limit:l)
+      | Some l, None -> ignore (Kernelfs.Ext4.scrub kfs ~wear_limit:l)
+    in
+    let nops = List.length w.W.ops in
+    List.iteri
+      (fun k op ->
+        if k = nops / 2 then run_scrub ();
+        match op with
+        | W.Write { file; at; len; seed } -> (
+            let buf = W.payload ~seed len in
+            match st.fs.Fsapi.Fs.pwrite fds.(file) ~buf ~boff:0 ~len ~at with
+            | n ->
+                if n = len then Model.write_ok model.(file) ~at buf
+                else
+                  unexpected :=
+                    Fmt.str "op %d: short write %d/%d" k n len :: !unexpected
+            | exception Fsapi.Errno.Error (e, ctx) ->
+                record_fail k e ctx;
+                if allowed_errno e then Model.write_failed model.(file) ~at buf
+            | exception e ->
+                unexpected :=
+                  Fmt.str "op %d: escaped exception %s" k (Printexc.to_string e)
+                  :: !unexpected)
+        | W.Fsync { file } -> (
+            match st.fs.Fsapi.Fs.fsync fds.(file) with
+            | () -> ()
+            | exception Fsapi.Errno.Error (e, ctx) -> record_fail k e ctx
+            | exception e ->
+                unexpected :=
+                  Fmt.str "op %d: escaped exception %s" k (Printexc.to_string e)
+                  :: !unexpected)
+        | W.Checkpoint -> (
+            match checkpoint st with
+            | () -> ()
+            | exception Fsapi.Errno.Error (e, ctx) -> record_fail k e ctx
+            | exception e ->
+                unexpected :=
+                  Fmt.str "op %d: escaped exception %s" k (Printexc.to_string e)
+                  :: !unexpected))
+      w.W.ops;
+    (* settle: a final fsync per file, failures allowed like any op *)
+    Array.iteri
+      (fun i fd ->
+        match st.fs.Fsapi.Fs.fsync fd with
+        | () -> ()
+        | exception Fsapi.Errno.Error (e, ctx) -> record_fail (nops + i) e ctx
+        | exception e ->
+            unexpected :=
+              Fmt.str "settle f%d: escaped exception %s" i
+                (Printexc.to_string e)
+              :: !unexpected)
+      fds;
+    (* read-back; EIO from a poisoned line retires (quarantines) the line
+       and retries, like an application's MCE handler would *)
+    let read_back i =
+      let fd = fds.(i) in
+      let size = (st.fs.Fsapi.Fs.fstat fd).Fsapi.Fs.st_size in
+      let buf = Bytes.create size in
+      let rec go attempt =
+        match st.fs.Fsapi.Fs.pread fd ~buf ~boff:0 ~len:size ~at:0 with
+        | n -> Ok (Bytes.sub buf 0 n)
+        | exception Fsapi.Errno.Error (Fsapi.Errno.EIO, _)
+          when attempt < 64 && Pmem.Device.last_poison dev >= 0 ->
+            Pmem.Device.quarantine dev ~addr:(Pmem.Device.last_poison dev)
+              ~len:1;
+            go (attempt + 1)
+        | exception Fsapi.Errno.Error (e, ctx) ->
+            Error (Fmt.str "read-back: %a" Fsapi.Errno.pp (e, ctx))
+        | exception e ->
+            Error (Fmt.str "read-back: escaped exception %s" (Printexc.to_string e))
+      in
+      go 0
+    in
+    (* a zero byte is additionally legal when its backing line was
+       quarantined: media loss surfaced honestly as zeros *)
+    let quarantined_zero path off =
+      match Kernelfs.Ext4.namei kfs path with
+      | inode -> (
+          match Kernelfs.Ext4.device_addr kfs inode ~off with
+          | Some a -> Pmem.Device.is_quarantined dev ~addr:a
+          | None -> false)
+      | exception Fsapi.Errno.Error _ -> false
+    in
+    let check_file i =
+      match read_back i with
+      | Error reason -> Some reason
+      | Ok got ->
+          let views = model.(i).Model.views in
+          let sizes = List.sort_uniq compare (List.map Bytes.length views) in
+          if not (List.mem (Bytes.length got) sizes) then
+            Some
+              (Fmt.str "size %d not in {%a}" (Bytes.length got)
+                 Fmt.(list ~sep:comma int)
+                 sizes)
+          else begin
+            let bad = ref None in
+            (try
+               for off = 0 to Bytes.length got - 1 do
+                 let b = Bytes.get got off in
+                 let ok =
+                   List.exists
+                     (fun v -> off < Bytes.length v && Bytes.get v off = b)
+                     views
+                   || Model.failed_explains model.(i) ~off b
+                   || (b = '\000' && quarantined_zero (file_path i) off)
+                 in
+                 if not ok then begin
+                   bad :=
+                     Some
+                       (Fmt.str "byte %d (%#x) matches no legal view" off
+                          (Char.code b));
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            !bad
+          end
+    in
+    let violations = ref [] in
+    for i = w.W.nfiles - 1 downto 0 do
+      match check_file i with
+      | Some r -> violations := (i, r) :: !violations
+      | None -> ()
+    done;
+    List.iter (fun r -> violations := (-1, r) :: !violations) !unexpected;
+    let c = Faults.counts plane in
+    let outcome =
+      if c.Faults.injected = 0 && c.Faults.media = 0 && c.Faults.scrub_migrations = 0
+      then Untriggered
+      else if !errno <> None then Errno_surfaced
+      else if c.Faults.retried > 0 then Retried
+      else Masked
+    in
+    {
+      outcome;
+      violations = !violations;
+      errno = !errno;
+      tcounts = snapshot_counts c;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Greedily drop fault points from a violating set while the violation
+    persists; what remains is a minimal culprit set. Bounded by [budget]
+    trial re-runs. *)
+let shrink ?(budget = 32) ?tiny_staging kind w ~points =
+  let budget = ref budget in
+  let violates ps =
+    decr budget;
+    (Runner.run_trial ?tiny_staging kind w ~points:ps).Runner.violations <> []
+  in
+  let current = ref points in
+  let progress = ref true in
+  while !progress && !budget > 0 && List.length !current > 1 do
+    progress := false;
+    List.iter
+      (fun p ->
+        if List.length !current > 1 && !budget > 0 then begin
+          let cand = List.filter (fun q -> q != p) !current in
+          if violates cand then begin
+            current := cand;
+            progress := true
+          end
+        end)
+      !current
+  done;
+  !current
+
+(* ------------------------------------------------------------------ *)
+(* Campaign driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type violation = {
+  v_stack : string;
+  v_points : fault_point list;
+  v_file : int;  (** -1 when not file-specific *)
+  v_reason : string;
+  v_errno : (Fsapi.Errno.t * string) option;
+  v_shrunk : fault_point list;
+}
+
+type stack_report = {
+  s_stack : string;
+  s_trials : int;
+  s_untriggered : int;
+  s_masked : int;
+  s_retried : int;
+  s_errno : int;
+  s_counts : Faults.counts;  (** summed over every trial of the stack *)
+  s_violations : violation list;
+}
+
+let add_counts (acc : Faults.counts) (c : Faults.counts) =
+  acc.Faults.injected <- acc.Faults.injected + c.Faults.injected;
+  acc.Faults.media <- acc.Faults.media + c.Faults.media;
+  acc.Faults.masked <- acc.Faults.masked + c.Faults.masked;
+  acc.Faults.retried <- acc.Faults.retried + c.Faults.retried;
+  acc.Faults.errno <- acc.Faults.errno + c.Faults.errno;
+  acc.Faults.degraded_writes <- acc.Faults.degraded_writes + c.Faults.degraded_writes;
+  acc.Faults.relink_retries <- acc.Faults.relink_retries + c.Faults.relink_retries;
+  acc.Faults.journal_retries <- acc.Faults.journal_retries + c.Faults.journal_retries;
+  acc.Faults.quarantined_lines <- acc.Faults.quarantined_lines + c.Faults.quarantined_lines;
+  acc.Faults.scrub_migrations <- acc.Faults.scrub_migrations + c.Faults.scrub_migrations;
+  acc.Faults.replay_skipped <- acc.Faults.replay_skipped + c.Faults.replay_skipped
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v2>%s %a: %s%a@,faults: @[%a@]@,shrunk to: @[%a@]@]" v.v_stack
+    (fun ppf i -> if i < 0 then Fmt.string ppf "-" else Fmt.pf ppf "f%d" i)
+    v.v_file v.v_reason
+    (fun ppf -> function
+      | Some ec -> Fmt.pf ppf " (last errno %a)" Fsapi.Errno.pp ec
+      | None -> ())
+    v.v_errno
+    Fmt.(list ~sep:semi pp_fault_point)
+    v.v_points
+    Fmt.(list ~sep:semi pp_fault_point)
+    v.v_shrunk
+
+let pp_stack_report ppf r =
+  Fmt.pf ppf
+    "@[<v2>%-14s %3d trials: %3d untriggered %3d masked %3d retried %3d \
+     errno  %d violation(s)@,%a%a@]"
+    r.s_stack r.s_trials r.s_untriggered r.s_masked r.s_retried r.s_errno
+    (List.length r.s_violations)
+    Faults.pp_counts r.s_counts
+    Fmt.(list ~sep:nop (fun ppf v -> Fmt.pf ppf "@,%a" pp_violation v))
+    r.s_violations
+
+let durations = [ Faults.Transient 1; Faults.Transient 3; Faults.Sticky ]
+
+(** [check_stack kind] — enumerate fault points for one stack and run one
+    trial per point (plus one multi-fault trial for the shrinker). The
+    fault points come from a profiling pass: an armed-but-empty plane
+    counts the calls each injection site sees, and call indices are
+    sampled across that range; poison candidates are the device lines
+    backing the initial durable file content. *)
+let check_stack ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3) kind =
+  let mode =
+    match kind with Ext4_dax -> Splitfs.Config.Posix | Splitfs m -> m
+  in
+  (* scale 16 pushes writes across block boundaries so full-block relink
+     (and therefore the swap_extents fault site) is part of the campaign *)
+  let w = W.generate ~mode ~seed ~scale:16 ~nops () in
+  (* profiling pass: no faults, count site calls + collect poison lines *)
+  let calls, poison_candidates =
+    let st = Runner.build kind in
+    let plane = st.env.Pmem.Env.faults in
+    let kfs = Kernelfs.Syscall.kernel st.sys in
+    let fds = Runner.setup w st in
+    let poison =
+      List.concat
+        (List.init w.W.nfiles (fun i ->
+             match Kernelfs.Ext4.namei kfs (Runner.file_path i) with
+             | inode ->
+                 let lines = (w.W.initial.(i) + 63) / 64 in
+                 List.filter_map
+                   (fun off ->
+                     match Kernelfs.Ext4.device_addr kfs inode ~off with
+                     | Some a -> Some (a / 64 * 64)
+                     | None -> None)
+                   [ 0; lines / 2 * 64 ]
+             | exception Fsapi.Errno.Error _ -> []))
+      |> List.sort_uniq compare
+    in
+    Faults.arm plane;
+    List.iter (Runner.apply st fds) w.W.ops;
+    ((fun site -> Faults.calls plane site), poison)
+  in
+  let site_points =
+    List.concat_map
+      (fun site ->
+        let n = calls site in
+        if n = 0 then []
+        else
+          let idxs =
+            List.sort_uniq compare [ 0; n / 2; max 0 (n - 1) ]
+            |> List.filteri (fun i _ -> i < max_per_site)
+          in
+          List.concat_map
+            (fun from ->
+              List.map
+                (fun d -> [ Resource (Faults.rfault site ~from d) ])
+                durations)
+            idxs)
+      Faults.all_sites
+  in
+  let poison_points = List.map (fun a -> [ Poison a ]) poison_candidates in
+  let scrub_points =
+    [ [ Scrub_wear 1 ] ]
+    @
+    match poison_candidates with
+    | a :: _ -> [ [ Poison a; Scrub_wear max_int ] ]
+    | [] -> []
+  in
+  let combo =
+    (* one multi-fault trial keeps the shrinker honest *)
+    let rs =
+      List.filter_map
+        (fun site ->
+          if calls site > 0 then
+            Some (Resource (Faults.rfault site ~from:0 (Faults.Transient 1)))
+          else None)
+        Faults.all_sites
+    in
+    let ps = match poison_candidates with a :: _ -> [ Poison a ] | [] -> [] in
+    match rs @ ps with [] -> [] | l -> [ l ]
+  in
+  let degraded_points =
+    match kind with
+    | Splitfs _ ->
+        [
+          [
+            Resource
+              (Faults.rfault ~origin:Faults.Staging_prealloc Faults.Alloc
+                 ~from:0 Faults.Sticky);
+          ];
+        ]
+    | Ext4_dax -> []
+  in
+  let trials =
+    List.map (fun p -> (p, false)) (site_points @ poison_points @ scrub_points @ combo)
+    @ List.map (fun p -> (p, true)) degraded_points
+  in
+  let totals = Faults.counts (Faults.create ()) in
+  let tallies = [| 0; 0; 0; 0 |] in
+  let violations = ref [] in
+  List.iter
+    (fun (points, tiny_staging) ->
+      let t = Runner.run_trial ~tiny_staging kind w ~points in
+      add_counts totals t.Runner.tcounts;
+      (match t.Runner.outcome with
+      | Runner.Untriggered -> tallies.(0) <- tallies.(0) + 1
+      | Runner.Masked -> tallies.(1) <- tallies.(1) + 1
+      | Runner.Retried -> tallies.(2) <- tallies.(2) + 1
+      | Runner.Errno_surfaced -> tallies.(3) <- tallies.(3) + 1);
+      List.iter
+        (fun (file, reason) ->
+          let shrunk =
+            if !violations = [] then shrink ~tiny_staging kind w ~points
+            else points
+          in
+          violations :=
+            {
+              v_stack = stack_name kind;
+              v_points = points;
+              v_file = file;
+              v_reason = reason;
+              v_errno = t.Runner.errno;
+              v_shrunk = shrunk;
+            }
+            :: !violations)
+        t.Runner.violations)
+    trials;
+  {
+    s_stack = stack_name kind;
+    s_trials = List.length trials;
+    s_untriggered = tallies.(0);
+    s_masked = tallies.(1);
+    s_retried = tallies.(2);
+    s_errno = tallies.(3);
+    s_counts = totals;
+    s_violations = List.rev !violations;
+  }
+
+(** The full campaign: every stack with the same budget. *)
+let run ?seed ?nops ?max_per_site () =
+  List.map (fun kind -> check_stack ?seed ?nops ?max_per_site kind) all_stacks
+
+let clean reports = List.for_all (fun r -> r.s_violations = []) reports
+
+(* ------------------------------------------------------------------ *)
+(* Oracle self-test                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Regression test for the oracle itself: break the degraded-write path
+    (writes silently dropped instead of routed through the kernel) and
+    check that the campaign's degraded-write trial flags it. Returns
+    [true] when the oracle caught the injected bug. The switch is
+    restored on exit. *)
+let oracle_catches_dropped_writes ?(seed = 0xFA17) ?(nops = 24) () =
+  Splitfs.Usplit.honest_degraded_writes := false;
+  Fun.protect
+    ~finally:(fun () -> Splitfs.Usplit.honest_degraded_writes := true)
+    (fun () ->
+      let w = W.generate ~mode:Splitfs.Config.Sync ~seed ~scale:16 ~nops () in
+      let t =
+        Runner.run_trial ~tiny_staging:true (Splitfs Splitfs.Config.Sync) w
+          ~points:
+            [
+              Resource
+                (Faults.rfault ~origin:Faults.Staging_prealloc Faults.Alloc
+                   ~from:0 Faults.Sticky);
+            ]
+      in
+      t.Runner.violations <> [])

@@ -12,6 +12,7 @@ type t =
   | EACCES
   | EFBIG
   | EROFS
+  | EIO
 
 let to_string = function
   | ENOENT -> "ENOENT"
@@ -25,10 +26,18 @@ let to_string = function
   | EACCES -> "EACCES"
   | EFBIG -> "EFBIG"
   | EROFS -> "EROFS"
+  | EIO -> "EIO"
 
 exception Error of t * string
 
 let error e ctx = raise (Error (e, ctx))
+
+(* Report rendering for an (errno, context) pair, strace-style:
+   [EIO "k-split: swap_extents injected EIO"]. By convention the context
+   string names the layer the error originated in ("k-split: ...",
+   "u-split: ...", "jbd2: ..."), so fault-campaign violation reports show
+   where an errno came from, not just which one it was. *)
+let pp ppf (e, ctx) = Format.fprintf ppf "%s %S" (to_string e) ctx
 
 (* Printed the way strace renders an errno — [ENOENT "/path"] — so a
    scheduler or test failure names the code and offending path directly. *)

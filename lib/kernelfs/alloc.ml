@@ -1,13 +1,24 @@
 type t = {
   nblocks : int;
-  bitmap : Bytes.t;  (** one byte per block: '\000' free, '\001' used *)
+  bitmap : Bytes.t;
+      (** one byte per block: '\000' free, '\001' used, '\002' retired
+          (worn/poisoned block taken out of service — never free again) *)
   mutable free : int;
   mutable next_fit : int;
+  mutable retired : int;
+  faults : Faults.t option;  (** injected-ENOSPC fault point *)
 }
 
-let create ~nblocks =
+let create ?faults ~nblocks () =
   assert (nblocks > 0);
-  { nblocks; bitmap = Bytes.make nblocks '\000'; free = nblocks; next_fit = 0 }
+  {
+    nblocks;
+    bitmap = Bytes.make nblocks '\000';
+    free = nblocks;
+    next_fit = 0;
+    retired = 0;
+    faults;
+  }
 
 let nblocks t = t.nblocks
 let free_blocks t = t.free
@@ -36,6 +47,10 @@ let find_free_from t start =
 
 let alloc_extent t ~goal ~len =
   if len <= 0 then invalid_arg "Alloc.alloc_extent";
+  (match t.faults with
+  | Some f when Faults.check f Faults.Alloc ->
+      Fsapi.Errno.(error ENOSPC "k-split alloc: injected fault")
+  | _ -> ());
   if t.free = 0 then Fsapi.Errno.(error ENOSPC "alloc_extent");
   let goal = if goal >= 0 && goal < t.nblocks then goal else t.next_fit in
   let try_at start =
@@ -92,9 +107,29 @@ let free_extent t ~start ~len =
   if start < 0 || len < 0 || start + len > t.nblocks then
     invalid_arg "Alloc.free_extent";
   for b = start to start + len - 1 do
-    if is_free t b then invalid_arg "Alloc.free_extent: double free"
+    if is_free t b then invalid_arg "Alloc.free_extent: double free";
+    if Bytes.get t.bitmap b = '\002' then
+      invalid_arg "Alloc.free_extent: block is retired"
   done;
   mark t ~start ~len '\000'
+
+(** Take [start, start+len) out of service permanently (scrubber: the
+    blocks are worn out or hold unrecoverable lines). Works on used
+    blocks (after their data has been migrated) and on free ones;
+    retired blocks are never handed out or freed again. *)
+let retire t ~start ~len =
+  if start < 0 || len < 0 || start + len > t.nblocks then
+    invalid_arg "Alloc.retire";
+  for b = start to start + len - 1 do
+    (match Bytes.get t.bitmap b with
+    | '\000' -> t.free <- t.free - 1
+    | '\002' -> invalid_arg "Alloc.retire: already retired"
+    | _ -> ());
+    Bytes.set t.bitmap b '\002';
+    t.retired <- t.retired + 1
+  done
+
+let retired_blocks t = t.retired
 
 let fragmentation t ~run =
   if t.free = 0 then 0.

@@ -8,8 +8,11 @@
 
 type t
 
-(** [create ~nblocks] makes an allocator over [nblocks] free blocks. *)
-val create : nblocks:int -> t
+(** [create ~nblocks ()] makes an allocator over [nblocks] free blocks.
+    [faults] wires in the injected-ENOSPC fault point: when the plane
+    fires at the [Alloc] site, [alloc_extent] raises ENOSPC as if the
+    device were full. *)
+val create : ?faults:Faults.t -> nblocks:int -> unit -> t
 
 val nblocks : t -> int
 val free_blocks : t -> int
@@ -32,6 +35,13 @@ val alloc_many : t -> goal:int -> len:int -> (int * int) list
 
 val free_extent : t -> start:int -> len:int -> unit
 val is_allocated : t -> int -> bool
+
+(** Take blocks out of service permanently (worn out or holding
+    unrecoverable lines): retired blocks are never allocated or freed
+    again. Used blocks may be retired after their data is migrated. *)
+val retire : t -> start:int -> len:int -> unit
+
+val retired_blocks : t -> int
 
 (** Fraction of free space that is in runs shorter than [run] blocks; a
     fragmentation measure used by the huge-page experiments. *)

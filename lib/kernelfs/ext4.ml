@@ -29,6 +29,14 @@ type inode = {
           inert outside multi-actor runs *)
 }
 
+type mapping = {
+  m_ino : int;
+  m_off : int;  (** file offset of the first mapped byte (block aligned) *)
+  m_len : int;
+  pages : int array;  (** per 4K page: physical block, or -1 for a hole *)
+  m_huge : bool;
+}
+
 type t = {
   env : Env.t;
   alloc : Alloc.t;
@@ -42,6 +50,11 @@ type t = {
       (** metadata blocks dirtied by data-path operations and not yet
           committed; jbd2 batches these into one transaction that commits on
           fsync or, off the critical path, when it grows large *)
+  mutable live_maps : mapping list;
+      (** every mapping handed out by [mmap]/[mmap_retained]: the scrubber
+          re-derives their page arrays after migrating blocks, the way the
+          kernel would fix up page tables, so cached user-space mappings
+          never point at retired blocks *)
 }
 
 (** jbd2 commits a large running transaction from its own thread. *)
@@ -79,7 +92,7 @@ let mkfs ?(journal_len = 8 * 1024 * 1024) (env : Env.t) =
   let t =
     {
       env;
-      alloc = Alloc.create ~nblocks:(data_len / block_size);
+      alloc = Alloc.create ~faults:env.Env.faults ~nblocks:(data_len / block_size) ();
       journal;
       data_start = journal_len;
       inodes = Hashtbl.create 1024;
@@ -87,6 +100,7 @@ let mkfs ?(journal_len = 8 * 1024 * 1024) (env : Env.t) =
       root;
       zero_block = Bytes.make block_size '\000';
       running_meta = 0;
+      live_maps = [];
     }
   in
   Hashtbl.replace t.inodes root.ino root;
@@ -514,6 +528,8 @@ let fsync t inode =
     blocks remain valid; U-Split re-points its collection of mmaps. *)
 let swap_extents t ~src ~src_blk ~dst ~dst_blk ~nblks =
   if nblks <= 0 then Fsapi.Errno.(error EINVAL "swap_extents");
+  if Faults.check t.env.Env.faults Faults.Swap then
+    Fsapi.Errno.(error EIO "k-split: swap_extents injected EIO");
   Env.with_lock t.env src.ilock @@ fun () ->
   Env.with_lock t.env dst.ilock @@ fun () ->
   let ex_src = Extent_tree.remove_range src.extents ~logical:src_blk ~len:nblks in
@@ -538,6 +554,8 @@ let swap_extents t ~src ~src_blk ~dst ~dst_blk ~nblks =
     extent manipulation as {!swap_extents}. *)
 let relink t ~src ~src_blk ~dst ~dst_blk ~nblks ~dst_size =
   if nblks <= 0 then Fsapi.Errno.(error EINVAL "relink");
+  if Faults.check t.env.Env.faults Faults.Swap then
+    Fsapi.Errno.(error EIO "k-split: relink (swap_extents) injected EIO");
   Env.with_lock t.env src.ilock @@ fun () ->
   Env.with_lock t.env dst.ilock @@ fun () ->
   let replaced = Extent_tree.remove_range dst.extents ~logical:dst_blk ~len:nblks in
@@ -583,16 +601,23 @@ let set_size t inode size =
   Journal.commit t.journal ~meta_blocks:1
 
 (* ------------------------------------------------------------------ *)
-(* DAX mmap                                                             *)
+(* Media-fault support: address translation and the scrubber (PR 5)     *)
 (* ------------------------------------------------------------------ *)
 
-type mapping = {
-  m_ino : int;
-  m_off : int;  (** file offset of the first mapped byte (block aligned) *)
-  m_len : int;
-  pages : int array;  (** per 4K page: physical block, or -1 for a hole *)
-  m_huge : bool;
-}
+(** Device address backing byte [off] of [inode], if mapped. Pure
+    metadata walk, no charges — the fault oracle uses it to map file
+    offsets to quarantined device lines. *)
+let device_addr t inode ~off =
+  match Extent_tree.find inode.extents (off / block_size) with
+  | Some (phys, _) -> Some (block_addr t phys + (off mod block_size))
+  | None -> None
+
+(* the scrubber patrol lives at the end of the file: after migrating an
+   inode's blocks it must re-derive live mappings via [remap_quietly] *)
+
+(* ------------------------------------------------------------------ *)
+(* DAX mmap                                                             *)
+(* ------------------------------------------------------------------ *)
 
 (** [mmap t inode ~off ~len] maps the byte range with MAP_POPULATE
     semantics: all page faults are taken now, 2 MB faults when the backing
@@ -643,7 +668,9 @@ let mmap t inode ~off ~len =
     cpu t (float_of_int faults *. tm.Timing.page_fault)
   end;
   stats.Stats.mmap_setups <- stats.Stats.mmap_setups + 1;
-  { m_ino = inode.ino; m_off = off; m_len = len; pages; m_huge = huge }
+  let m = { m_ino = inode.ino; m_off = off; m_len = len; pages; m_huge = huge } in
+  t.live_maps <- m :: t.live_maps;
+  m
 
 (** [translate m ~file_off] gives the device address backing [file_off] and
     the number of contiguously mapped bytes from there; [None] on a hole or
@@ -681,7 +708,7 @@ let translate t m ~max ~file_off =
 (** Build a mapping over an already-faulted range without charging traps or
     faults — used by U-Split to retain mappings across relink (the modified
     ioctl keeps existing mappings valid, §3.5). *)
-let mmap_retained (_t : t) inode ~off ~len =
+let mmap_retained (t : t) inode ~off ~len =
   if off mod block_size <> 0 || len <= 0 then
     Fsapi.Errno.(error EINVAL "mmap_retained");
   let npages = (len + block_size - 1) / block_size in
@@ -693,7 +720,9 @@ let mmap_retained (_t : t) inode ~off ~len =
       | Some (phys, _) -> phys
       | None -> -1)
   done;
-  { m_ino = inode.ino; m_off = off; m_len = len; pages; m_huge = false }
+  let m = { m_ino = inode.ino; m_off = off; m_len = len; pages; m_huge = false } in
+  t.live_maps <- m :: t.live_maps;
+  m
 
 (** Re-derive the page array of an existing mapping after [swap_extents]
     re-pointed the file's extents; charges nothing (the paper's modified
@@ -708,3 +737,76 @@ let remap_quietly t inode m =
       | None -> -1)
   done;
   ignore t
+
+(* ------------------------------------------------------------------ *)
+(* Scrubber patrol (PR 5)                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Scrubber patrol: walk every regular file and migrate its data off
+    blocks that are worn to [wear_limit] writes or hold poisoned lines,
+    then retire the bad blocks so the allocator never hands them out
+    again. Unreadable (poisoned) lines are zeroed at the destination and
+    marked quarantined by the device — data loss is surfaced, never
+    silent. Live mappings of a migrated inode are re-derived, the way the
+    kernel would fix up page tables. When the device has no spare blocks
+    the bad data stays in place (reads keep faulting and their caller
+    quarantines). Returns the number of blocks migrated. *)
+let scrub t ~wear_limit =
+  Env.with_span t.env ~cat:Obs.Kernel ~name:"k:scrub" @@ fun () ->
+  let dev = t.env.Env.dev in
+  let faults = t.env.Env.faults in
+  let migrated = ref 0 in
+  let scrub_inode inode =
+    if inode.kind = Fsapi.Fs.Regular then begin
+      (* collect first: migration rewrites the extent tree under us *)
+      let bad = ref [] in
+      Extent_tree.iter
+        (fun e ->
+          for i = 0 to e.Extent_tree.len - 1 do
+            let phys = e.Extent_tree.physical + i in
+            if
+              Device.block_needs_scrub dev ~addr:(block_addr t phys)
+                ~limit:wear_limit
+            then bad := (e.Extent_tree.logical + i, phys) :: !bad
+          done)
+        inode.extents;
+      let before = !migrated in
+      List.iter
+        (fun (lblk, phys) ->
+          cpu_cat t Obs.Alloc (timing t).Timing.ext4_alloc_cpu;
+          match Alloc.alloc_extent t.alloc ~goal:(-1) ~len:1 with
+          | exception Fsapi.Errno.Error (Fsapi.Errno.ENOSPC, _) -> ()
+          | fresh, _ ->
+              ignore
+                (Device.migrate_block dev ~src:(block_addr t phys)
+                   ~dst:(block_addr t fresh));
+              ignore
+                (Extent_tree.remove_range inode.extents ~logical:lblk ~len:1);
+              Extent_tree.insert inode.extents ~logical:lblk ~physical:fresh
+                ~len:1;
+              cpu t (timing t).Timing.ext4_extent_cpu;
+              Alloc.retire t.alloc ~start:phys ~len:1;
+              Faults.note_scrub_migration faults;
+              incr migrated)
+        (List.rev !bad);
+      if !migrated > before then
+        List.iter
+          (fun m -> if m.m_ino = inode.ino then remap_quietly t inode m)
+          t.live_maps
+    end
+  in
+  (* visit inodes in ino order: the patrol's charges must not depend on
+     hash-table iteration order *)
+  let inos =
+    Hashtbl.fold (fun ino _ acc -> ino :: acc) t.inodes []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ino ->
+      match Hashtbl.find_opt t.inodes ino with
+      | Some inode -> scrub_inode inode
+      | None -> ())
+    inos;
+  if !migrated > 0 then
+    Journal.commit t.journal ~meta_blocks:(min 8 (1 + !migrated));
+  !migrated

@@ -51,12 +51,33 @@ let write_journal_block t =
   stats.Pmem.Stats.journal_bytes <-
     stats.Pmem.Stats.journal_bytes + t.block_size
 
+(* Injected journal-EIO faults are retried here, inside the commit path,
+   so every caller (fsync, metadata ops, background commits) inherits the
+   same degradation: transient write failures back off with a capped
+   exponential simulated-ns delay and retry; a fault still firing after
+   this many attempts is sticky and surfaces as EIO. *)
+let max_commit_attempts = 6
+
 (** [commit t ~meta_blocks] charges one transaction that dirtied
     [meta_blocks] metadata blocks. *)
 let commit t ~meta_blocks =
   if meta_blocks > 0 then
     Pmem.Env.with_span t.env ~cat:Obs.Journal ~name:"jbd2:commit" @@ fun () ->
     Pmem.Env.with_lock t.env t.jlock (fun () ->
+        let faults = t.env.Pmem.Env.faults in
+        let attempt = ref 1 in
+        while Faults.check faults Faults.Journal do
+          if !attempt >= max_commit_attempts then begin
+            Faults.note_errno faults;
+            Fsapi.Errno.(error EIO "jbd2: journal commit failed (sticky)")
+          end;
+          Pmem.Env.cpu_cat t.env Obs.Journal
+            (Faults.backoff_ns ~attempt:!attempt);
+          Faults.new_epoch faults;
+          Faults.note_journal_retry faults;
+          incr attempt
+        done;
+        if !attempt > 1 then Faults.note_retried faults;
         let dev = t.env.Pmem.Env.dev in
         (* descriptor block + journalled copies of the metadata blocks *)
         for _ = 0 to meta_blocks do

@@ -53,6 +53,17 @@ let kcall t name fargs fres f =
             (Printf.sprintf "%s(%s) = %s %S" name (fargs ())
                (Fsapi.Errno.to_string err) ctx);
       raise exn
+  | exception Faults.Poisoned addr ->
+      (* a machine-check on a poisoned PM line inside the kernel surfaces
+         to the application as EIO, never as a raw exception *)
+      let ctx =
+        Printf.sprintf "%s: poisoned PM line @0x%x (media)" name addr
+      in
+      if Obs.tracing obs then
+        Obs.emit obs ~name:("sys:" ^ name) ~cat:Obs.Syscall
+          ~actor:a.Simclock.aid ~t0 ~t1:a.Simclock.a_now
+          ~arg:(Printf.sprintf "%s(%s) = EIO %S" name (fargs ()) ctx);
+      Fsapi.Errno.(error EIO ctx)
 
 let ri = string_of_int
 let r0 () = "0"

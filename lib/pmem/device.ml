@@ -95,9 +95,24 @@ type t = {
       (** virtual time the media finishes its last accepted transfer; the
           shared-bandwidth contention model (multi-actor only) queues a new
           transfer behind it, M/D/1-style in dispatch order *)
+  (* --- media faults (PR 5) --- *)
+  faults : Faults.t option;
+      (** outcome counters for the fault plane; the media-fault state
+          itself lives in the tables below *)
+  poison : (int, unit) Hashtbl.t;
+      (** poisoned cache lines (by line index): a load served from media
+          raises {!Faults.Poisoned}; a full-line write clears the poison,
+          like a real PM DIMM's full-line-write clear *)
+  quarantined : (int, unit) Hashtbl.t;
+      (** lines whose content was lost and zeroed by a quarantine — the
+          oracle's license for a zeroed range *)
+  mutable last_poison : int;
+      (** device address of the line behind the most recent
+          {!Faults.Poisoned}; lets layers that only see the translated
+          EIO find the line to quarantine. -1 = none *)
 }
 
-let create ?(capacity = 64 * 1024 * 1024) ~clock ~timing ~stats () =
+let create ?(capacity = 64 * 1024 * 1024) ?faults ~clock ~timing ~stats () =
   assert (capacity mod block_size = 0);
   {
     capacity;
@@ -114,6 +129,10 @@ let create ?(capacity = 64 * 1024 * 1024) ~clock ~timing ~stats () =
     journal = None;
     halted = false;
     media_free_at = 0.;
+    faults;
+    poison = Hashtbl.create 16;
+    quarantined = Hashtbl.create 16;
+    last_poison = -1;
   }
 
 let capacity t = t.capacity
@@ -506,6 +525,16 @@ let store_nt t ~addr src ~off ~len =
       writeback_dirty_range t (addr / line_size) ((addr + len - 1) / line_size)
     end;
     Bytes.blit src off t.persistent addr len;
+    (* a fully-overwritten poisoned line is healed: the write replaces the
+       bad ECC word wholesale (partially-covered boundary lines keep their
+       poison — the device would have to read-modify-write them) *)
+    if Hashtbl.length t.poison > 0 then begin
+      let first_full = (addr + line_size - 1) / line_size
+      and last_full = ((addr + len) / line_size) - 1 in
+      for line = first_full to last_full do
+        Hashtbl.remove t.poison line
+      done
+    end;
     j_store_nt_post t ~addr ~len;
     charge_media t (Timing.nt_write_cost t.timing len);
     t.stats.Stats.nt_stores <- t.stats.Stats.nt_stores + 1;
@@ -545,6 +574,8 @@ let flush t ~addr ~len =
               let line = (w lsl 5) + b in
               let off = line * line_size in
               Bytes.blit t.shadow off t.persistent off line_size;
+              (* full-line writeback heals a poisoned line, as in store_nt *)
+              if Hashtbl.length t.poison > 0 then Hashtbl.remove t.poison line;
               Simclock.advance t.clock t.timing.Timing.clwb;
               charge_media t (Timing.nt_write_cost t.timing line_size);
               t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
@@ -591,6 +622,22 @@ let fence t =
 let load t ~addr dst ~off ~len =
   assert (check_range t addr len);
   if len > 0 && not t.halted then begin
+    (* machine-check analogue: a load touching a poisoned line that would
+       be served from media (not from a dirty cached copy) faults before
+       any time is charged or read-adjacency state is touched *)
+    if Hashtbl.length t.poison > 0 then begin
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        if
+          Hashtbl.mem t.poison line
+          && not (t.dirty_count > 0 && line_dirty t line)
+        then begin
+          t.last_poison <- line * line_size;
+          (match t.faults with Some f -> Faults.note_media f | None -> ());
+          raise (Faults.Poisoned (line * line_size))
+        end
+      done
+    end;
     let obs = Simclock.obs t.clock in
     let a = Simclock.current t.clock in
     let t0 = a.Simclock.a_now in
@@ -666,7 +713,10 @@ let zero_nt t ~addr ~len =
   done
 
 (** Crash: all cache lines not yet flushed (and not written with NT stores)
-    are lost. The durable image is untouched. *)
+    are lost. The durable image is untouched — and so are the wear counters
+    and any poisoned/quarantined lines: media damage is physical and
+    survives a power cycle (only {!reset_faults} clears it, for tests that
+    reuse a device as if it were new). *)
 let crash t =
   crash_common t;
   match t.journal with Some j -> Hashtbl.reset j.jlines | None -> ()
@@ -681,6 +731,114 @@ let total_wear t = Array.fold_left ( + ) 0 t.wear
 
 (** Peek at the durable image without charging time (test/debug only). *)
 let peek_persistent t ~addr ~len = Bytes.sub t.persistent addr len
+
+(** Overwrite the durable image directly, bypassing the cache model and
+    all cost accounting — the bit-rot hook tests use to flip single bits
+    in durable structures (test/debug only). *)
+let poke_persistent t ~addr b ~off ~len =
+  assert (check_range t addr len);
+  Bytes.blit b off t.persistent addr len
+
+(* ------------------------------------------------------------------ *)
+(* Media faults: poisoned lines, worn blocks, quarantine (PR 5)         *)
+(* ------------------------------------------------------------------ *)
+
+let poison_line t ~addr =
+  assert (check_range t addr 1);
+  Hashtbl.replace t.poison (addr / line_size) ()
+
+let is_poisoned t ~addr = Hashtbl.mem t.poison (addr / line_size)
+let poisoned_count t = Hashtbl.length t.poison
+let is_quarantined t ~addr = Hashtbl.mem t.quarantined (addr / line_size)
+let quarantined_count t = Hashtbl.length t.quarantined
+let last_poison t = t.last_poison
+
+(** Any poisoned line inside [addr, addr+len)? (Host-side; no charges.) *)
+let range_has_poison t ~addr ~len =
+  Hashtbl.length t.poison > 0
+  && begin
+       let first = addr / line_size and last = (addr + len - 1) / line_size in
+       let found = ref false in
+       for line = first to last do
+         if Hashtbl.mem t.poison line then found := true
+       done;
+       !found
+     end
+
+(** Give up on [addr, addr+len): zero it with NT stores (the patrol pays
+    the honest media cost of the repair write) and mark every covered
+    line quarantined — the differential oracle's license for reading
+    zeros where data was lost. Clears the poison as a side effect of the
+    full-line writes. *)
+let quarantine t ~addr ~len =
+  assert (check_range t addr len);
+  let first = addr / line_size and last = (addr + len - 1) / line_size in
+  zero_nt t ~addr:(first * line_size) ~len:((last - first + 1) * line_size);
+  for line = first to last do
+    Hashtbl.remove t.poison line;
+    Hashtbl.replace t.quarantined line ()
+  done;
+  match t.faults with
+  | Some f -> Faults.note_quarantined f (last - first + 1)
+  | None -> ()
+
+(** Blocks (4 KB indices) whose wear has reached [limit], ascending. *)
+let worn_blocks t ~limit =
+  let acc = ref [] in
+  for b = Array.length t.wear - 1 downto 0 do
+    if t.wear.(b) >= limit then acc := b :: !acc
+  done;
+  !acc
+
+(** Does the block at device address [addr] need scrubbing — worn to
+    [limit] or holding a poisoned line? *)
+let block_needs_scrub t ~addr ~limit =
+  t.wear.(addr / block_size) >= limit
+  || range_has_poison t ~addr ~len:block_size
+
+(** Scrubber migration: copy one 4 KB block from [src] to [dst] (device
+    addresses, block-aligned), charging honest load/NT-store costs.
+    Poisoned source lines cannot be read; they are zeroed at the
+    destination and the destination line is marked quarantined (an
+    existing quarantine marker travels with its line). Returns the
+    number of lines whose data was lost. *)
+let migrate_block t ~src ~dst =
+  assert (src mod block_size = 0 && dst mod block_size = 0);
+  let buf = Bytes.create line_size in
+  let lost = ref 0 in
+  for i = 0 to (block_size / line_size) - 1 do
+    let s = src + (i * line_size) and d = dst + (i * line_size) in
+    let sline = s / line_size in
+    if
+      Hashtbl.mem t.poison sline
+      && not (t.dirty_count > 0 && line_dirty t sline)
+    then begin
+      store_nt t ~addr:d zeros ~off:0 ~len:line_size;
+      Hashtbl.remove t.poison sline;
+      Hashtbl.replace t.quarantined (d / line_size) ();
+      incr lost
+    end
+    else begin
+      load t ~addr:s buf ~off:0 ~len:line_size;
+      store_nt t ~addr:d buf ~off:0 ~len:line_size;
+      if Hashtbl.mem t.quarantined sline then
+        Hashtbl.replace t.quarantined (d / line_size) ()
+    end
+  done;
+  (match t.faults with
+  | Some f when !lost > 0 -> Faults.note_quarantined f !lost
+  | _ -> ());
+  !lost
+
+(** Clear all media-fault state — wear counters, poison, quarantine
+    markers — as if the DIMM were factory-fresh. [crash] deliberately
+    keeps all of it (media damage survives power cycles); this is the
+    explicit reset for tests. *)
+let reset_faults t =
+  Array.fill t.wear 0 (Array.length t.wear) 0;
+  Hashtbl.reset t.poison;
+  Hashtbl.reset t.quarantined;
+  t.last_poison <- -1
 
 (* ------------------------------------------------------------------ *)
 (* Persist-order journal API                                            *)

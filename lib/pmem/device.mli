@@ -15,8 +15,10 @@ val block_size : int
 type t
 
 val create :
-  ?capacity:int -> clock:Simclock.t -> timing:Timing.t -> stats:Stats.t ->
-  unit -> t
+  ?capacity:int -> ?faults:Faults.t -> clock:Simclock.t -> timing:Timing.t ->
+  stats:Stats.t -> unit -> t
+(** [faults] supplies the outcome counters the media-fault paths report
+    into; the poison/wear/quarantine state itself lives in the device. *)
 
 val capacity : t -> int
 
@@ -37,7 +39,11 @@ val fence : t -> unit
 (** Load into [dst]; dirty lines are served from the cache at cache speed,
     the rest is charged PM media cost with sequential/random latency
     picked by read adjacency (continuing where the last load ended, or
-    exactly repeating it, counts as sequential). *)
+    exactly repeating it, counts as sequential).
+
+    Raises {!Faults.Poisoned} — before charging any simulated time —
+    when the range covers a poisoned line that would be served from
+    media (a dirty cached copy masks the poison until writeback). *)
 val load : t -> addr:int -> Bytes.t -> off:int -> len:int -> unit
 
 val load_bytes : t -> addr:int -> len:int -> Bytes.t
@@ -48,7 +54,9 @@ val store_bytes : t -> addr:int -> Bytes.t -> unit
 val zero_nt : t -> addr:int -> len:int -> unit
 
 (** Crash: all cache lines not yet flushed (and not written with NT
-    stores) are lost; the durable image is untouched. *)
+    stores) are lost; the durable image is untouched. Wear counters and
+    poison/quarantine state survive (media damage is physical) — use
+    {!reset_faults} to clear them. *)
 val crash : t -> unit
 
 (** Number of dirty (would-be-lost) cache lines; exposed for tests. *)
@@ -62,6 +70,56 @@ val total_wear : t -> int
 
 (** Peek at the durable image without charging time (test/debug only). *)
 val peek_persistent : t -> addr:int -> len:int -> Bytes.t
+
+(** Overwrite the durable image directly, bypassing the cache model and
+    all cost accounting (bit-rot test hook; test/debug only). *)
+val poke_persistent : t -> addr:int -> Bytes.t -> off:int -> len:int -> unit
+
+(** {1 Media faults (fault injection, PR 5)}
+
+    Poisoned cache lines model uncorrectable PM media errors: a load
+    that would be served from media raises {!Faults.Poisoned} (the
+    machine-check analogue) before charging any time; a full-line write
+    (NT store covering the line, or a flush writeback) heals the line.
+    Worn blocks model endurance exhaustion via the per-block wear
+    counters; they never fault — the scrubber migrates data off them.
+    Quarantined lines mark data lost to a poisoned-line repair (zeroed);
+    the differential oracle accepts zeros exactly there. *)
+
+val poison_line : t -> addr:int -> unit
+(** Poison the cache line containing [addr]. *)
+
+val is_poisoned : t -> addr:int -> bool
+val poisoned_count : t -> int
+
+val range_has_poison : t -> addr:int -> len:int -> bool
+
+val last_poison : t -> int
+(** Device address of the line behind the most recent
+    {!Faults.Poisoned} raise; -1 if none. Lets layers that only see a
+    translated EIO find the line to quarantine. *)
+
+val quarantine : t -> addr:int -> len:int -> unit
+(** Zero [addr, addr+len) with NT stores (honest media cost) and mark
+    every covered line quarantined; clears their poison. *)
+
+val is_quarantined : t -> addr:int -> bool
+val quarantined_count : t -> int
+
+val worn_blocks : t -> limit:int -> int list
+(** Blocks (4 KB indices) whose wear has reached [limit], ascending. *)
+
+val block_needs_scrub : t -> addr:int -> limit:int -> bool
+(** Block at device address [addr] is worn to [limit] or holds poison. *)
+
+val migrate_block : t -> src:int -> dst:int -> int
+(** Scrubber migration: copy one block-aligned 4 KB block, charging
+    honest load/NT-store costs; poisoned source lines are zeroed at the
+    destination and marked quarantined there. Returns lines lost. *)
+
+val reset_faults : t -> unit
+(** Clear wear counters, poison and quarantine markers (factory-fresh
+    DIMM). [crash] deliberately keeps all of them. *)
 
 (** {1 Persist-order journal (crash-state exploration)}
 

@@ -7,14 +7,18 @@ type t = {
   stats : Stats.t;
   dev : Device.t;
   obs : Obs.t;  (** same object [Simclock.advance] attributes into *)
+  faults : Faults.t;
+      (** fault-injection plane shared by every layer; disarmed (and
+          charge-free) unless a faultcheck campaign arms it *)
 }
 
 let create ?(capacity = 64 * 1024 * 1024) ?(timing = Timing.default) ?obs () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let clock = Simclock.create ~obs () in
   let stats = Stats.create () in
-  let dev = Device.create ~capacity ~clock ~timing ~stats () in
-  { clock; timing; stats; dev; obs }
+  let faults = Faults.create () in
+  let dev = Device.create ~capacity ~faults ~clock ~timing ~stats () in
+  { clock; timing; stats; dev; obs; faults }
 
 let now t = Simclock.now t.clock
 let advance t ns = Simclock.advance t.clock ns

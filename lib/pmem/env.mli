@@ -7,6 +7,9 @@ type t = {
   stats : Stats.t;
   dev : Device.t;
   obs : Obs.t;  (** attribution/tracing sink; host time only *)
+  faults : Faults.t;
+      (** fault-injection plane shared by every layer; disarmed (and
+          charge-free) unless a faultcheck campaign arms it *)
 }
 
 (** Fresh device (default 64 MB) with zeroed stats and clock. *)

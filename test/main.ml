@@ -15,6 +15,7 @@ let () =
       ("apps", Test_apps.suite);
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);
+      ("faultplane", Test_faultplane.suite);
       ("process", Test_process.suite);
       ("experiments", Test_experiments.suite);
       ("sched", Test_sched.suite);

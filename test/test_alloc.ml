@@ -5,7 +5,7 @@ open Kernelfs
 let tc = Alcotest.test_case
 
 let test_basic_alloc_free () =
-  let a = Alloc.create ~nblocks:100 in
+  let a = Alloc.create ~nblocks:100 () in
   let start, n = Alloc.alloc_extent a ~goal:(-1) ~len:10 in
   Util.check_int "got 10 contiguous" 10 n;
   Util.check_int "free count" 90 (Alloc.free_blocks a);
@@ -13,28 +13,28 @@ let test_basic_alloc_free () =
   Util.check_int "freed" 100 (Alloc.free_blocks a)
 
 let test_goal_preference () =
-  let a = Alloc.create ~nblocks:100 in
+  let a = Alloc.create ~nblocks:100 () in
   let s1, _ = Alloc.alloc_extent a ~goal:(-1) ~len:5 in
   (* goal right after the previous extent should be honoured *)
   let s2, _ = Alloc.alloc_extent a ~goal:(s1 + 5) ~len:5 in
   Util.check_int "contiguous with goal" (s1 + 5) s2
 
 let test_enospc () =
-  let a = Alloc.create ~nblocks:8 in
+  let a = Alloc.create ~nblocks:8 () in
   let _ = Alloc.alloc_extent a ~goal:(-1) ~len:8 in
   Alcotest.check_raises "full device"
     (Fsapi.Errno.Error (Fsapi.Errno.ENOSPC, "alloc_extent"))
     (fun () -> ignore (Alloc.alloc_extent a ~goal:(-1) ~len:1))
 
 let test_partial_extent () =
-  let a = Alloc.create ~nblocks:16 in
+  let a = Alloc.create ~nblocks:16 () in
   let _ = Alloc.alloc_extent a ~goal:0 ~len:8 in
   (* only 8 contiguous remain; asking for 12 yields a shorter run *)
   let _, n = Alloc.alloc_extent a ~goal:(-1) ~len:12 in
   Util.check_int "short run" 8 n
 
 let test_alloc_many () =
-  let a = Alloc.create ~nblocks:64 in
+  let a = Alloc.create ~nblocks:64 () in
   (* fragment: allocate alternating blocks *)
   let held = ref [] in
   for i = 0 to 15 do
@@ -46,7 +46,7 @@ let test_alloc_many () =
     (List.fold_left (fun acc (_, n) -> acc + n) 0 extents)
 
 let test_aligned () =
-  let a = Alloc.create ~nblocks:2048 in
+  let a = Alloc.create ~nblocks:2048 () in
   let _ = Alloc.alloc_extent a ~goal:(-1) ~len:3 in
   match Alloc.alloc_aligned a ~align:512 ~len:512 with
   | Some start ->
@@ -55,7 +55,7 @@ let test_aligned () =
   | None -> Alcotest.fail "expected an aligned region"
 
 let test_aligned_fragmentation () =
-  let a = Alloc.create ~nblocks:1024 in
+  let a = Alloc.create ~nblocks:1024 () in
   (* poison every 512-aligned block so no aligned 512-run exists *)
   let s0, _ = Alloc.alloc_extent a ~goal:0 ~len:1 in
   let s1, _ = Alloc.alloc_extent a ~goal:512 ~len:1 in
@@ -65,7 +65,7 @@ let test_aligned_fragmentation () =
     (Alloc.alloc_aligned a ~align:512 ~len:512)
 
 let test_double_free_detected () =
-  let a = Alloc.create ~nblocks:16 in
+  let a = Alloc.create ~nblocks:16 () in
   let s, n = Alloc.alloc_extent a ~goal:(-1) ~len:4 in
   Alloc.free_extent a ~start:s ~len:n;
   Alcotest.check_raises "double free"
@@ -73,7 +73,7 @@ let test_double_free_detected () =
       Alloc.free_extent a ~start:s ~len:n)
 
 let test_fragmentation_metric () =
-  let a = Alloc.create ~nblocks:64 in
+  let a = Alloc.create ~nblocks:64 () in
   Alcotest.(check (float 0.001)) "fresh device unfragmented" 0.
     (Alloc.fragmentation a ~run:16);
   (* carve holes of size 1 *)
@@ -87,7 +87,7 @@ let prop_no_double_allocation =
   QCheck.Test.make ~name:"allocator never hands out a block twice" ~count:100
     QCheck.(make Gen.(list_size (int_range 1 60) (int_range 1 12)))
     (fun sizes ->
-      let a = Alloc.create ~nblocks:256 in
+      let a = Alloc.create ~nblocks:256 () in
       let owned = Hashtbl.create 64 in
       let ok = ref true in
       let enospc = ref false in
@@ -114,7 +114,7 @@ let prop_free_then_alloc_reuses =
   QCheck.Test.make ~name:"freed blocks are reusable" ~count:50
     QCheck.(int_range 1 64)
     (fun len ->
-      let a = Alloc.create ~nblocks:64 in
+      let a = Alloc.create ~nblocks:64 () in
       let extents = Alloc.alloc_many a ~goal:(-1) ~len in
       List.iter (fun (s, n) -> Alloc.free_extent a ~start:s ~len:n) extents;
       Alloc.free_blocks a = 64)
