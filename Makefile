@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json crashcheck faultcheck profile check
+.PHONY: all build test bench bench-json crashcheck faultcheck profile scale check
 
 all: build
 
@@ -15,7 +15,15 @@ bench:
 # (bechamel) plus simulated ns/op per scaling configuration. Diffable
 # against the BENCH_PR*.json of earlier PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR5.json
+	dune exec bench/main.exe -- --json BENCH_PR6.json
+
+# Scale-out serving tier smoke: the multi-tenant sweep up to N=1000
+# actors across all six stacks, plus the scheduler dispatch-overhead
+# microbenchmark (exits non-zero if the event heap is not >= 10x faster
+# per dispatch than the reference min-scan). The full N=10000 sweep runs
+# under bench-json. (~30s)
+scale:
+	dune exec bin/splitfs_cli.exe -- scale --fast
 
 # Observability: the software-overhead attribution table (where every
 # simulated ns goes, per stack), latency percentiles per (stack x op),
@@ -48,4 +56,5 @@ check:
 	dune runtest
 	dune exec bin/splitfs_cli.exe -- crashcheck
 	dune exec bin/splitfs_cli.exe -- faultcheck
+	dune exec bin/splitfs_cli.exe -- scale --fast
 	dune exec bench/main.exe -- --fast

@@ -249,6 +249,37 @@ let scaling_estimates results =
         rs)
     results
 
+(* The 10k-actor serving-tier sweep: simulated ns/op, tail latency and
+   SLO attainment per (stack, actor count), plus the host-side dispatch
+   overhead of the event-heap scheduler against the retained min-scan —
+   the one host-clock number here, since the heap's win *is* host
+   overhead. *)
+let scale_estimates results (d : Harness.Experiments.dispatch_result) =
+  List.concat_map
+    (fun (spec, rs) ->
+      List.concat_map
+        (fun (r : Harness.Multiclient.scale_result) ->
+          let base =
+            Printf.sprintf "scale10k/%s-%da" (Harness.Fs_config.name spec)
+              r.Harness.Multiclient.sr_nactors
+          in
+          [
+            ( base,
+              r.Harness.Multiclient.sr_makespan_ns
+              /. float_of_int (max 1 r.Harness.Multiclient.sr_total_ops) );
+            (base ^ "/p999", r.Harness.Multiclient.sr_p999_ns);
+            (base ^ "/slo", r.Harness.Multiclient.sr_slo_attainment);
+          ])
+        rs)
+    results
+  @ [
+      ( "scale10k/dispatch/heap_host_ns",
+        d.Harness.Experiments.db_heap_ns_per_dispatch );
+      ( "scale10k/dispatch/scan_host_ns",
+        d.Harness.Experiments.db_scan_ns_per_dispatch );
+      ("scale10k/dispatch/speedup", d.Harness.Experiments.db_speedup);
+    ]
+
 (* Latency percentiles and the overhead attribution likewise carry
    simulated ns — stable across machines, so the trajectory can watch the
    cost model rather than the host. *)
@@ -346,13 +377,16 @@ let () =
   let faultcheck = Harness.Experiments.faultcheck () in
   let degraded = Harness.Experiments.degraded_latency () in
   if not fast then begin
+    let scale = Harness.Experiments.scale () in
+    let dispatch = Harness.Experiments.dispatch_bench () in
     let estimates = run_bechamel () in
     Option.iter
       (fun path ->
         write_trajectory path
           (estimates @ scaling_estimates scaling @ profile_estimates profile
          @ latency_estimates latency @ fault_estimates faultcheck
-         @ degraded_estimates degraded))
+         @ degraded_estimates degraded
+          @ scale_estimates scale dispatch))
       json_path
   end;
   print_endline "\nAll experiments completed."

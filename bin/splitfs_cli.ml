@@ -37,6 +37,18 @@ let run_faultcheck seed nops =
 let run_ablations total_mb = ignore (Harness.Experiments.ablations ~total_mb ())
 let run_resources () = ignore (Harness.Experiments.resources ())
 let run_scaling () = ignore (Harness.Experiments.scaling ())
+
+let run_scale fast dispatch_n =
+  let counts =
+    if fast then [ 16; 100; 1000 ] else Harness.Experiments.scale_counts
+  in
+  ignore (Harness.Experiments.scale ~counts ());
+  let d = Harness.Experiments.dispatch_bench ~nactors:dispatch_n () in
+  if d.Harness.Experiments.db_speedup < 10. then begin
+    Printf.eprintf "dispatch speedup %.1fx below the 10x floor\n"
+      d.Harness.Experiments.db_speedup;
+    exit 1
+  end
 let run_profile () = ignore (Harness.Experiments.profile ())
 let run_latency () = ignore (Harness.Experiments.latency ())
 
@@ -143,6 +155,18 @@ let trace_syscalls =
     value & flag
     & info [ "syscalls" ] ~doc:"Stream strace-style per-syscall lines to stdout.")
 
+let scale_fast =
+  Arg.(
+    value & flag
+    & info [ "fast" ]
+        ~doc:"Smoke mode: stop the actor sweep at N=1000 (CI-friendly).")
+
+let scale_dispatch_n =
+  Arg.(
+    value & opt int 10_000
+    & info [ "dispatch-actors" ]
+        ~doc:"Actor count for the dispatch-overhead microbenchmark.")
+
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let smoke =
@@ -222,6 +246,10 @@ let () =
             cmd "scaling"
               "Aggregate throughput vs concurrent clients (deterministic)."
               Term.(const run_scaling $ const ());
+            cmd "scale"
+              "Multi-tenant serving tier at up to 10k actors, plus the \
+               dispatch-overhead microbenchmark."
+              Term.(const run_scale $ scale_fast $ scale_dispatch_n);
             cmd "profile"
               "Software-overhead attribution: where every simulated ns goes."
               Term.(const run_profile $ const ());

@@ -1174,3 +1174,150 @@ let latency ?(print = true) () =
            ])
          rows);
   rows
+
+(* ------------------------------------------------------------------ *)
+(* Scale-out serving tier: 10k actors, sharded namespace (§5h)          *)
+(* ------------------------------------------------------------------ *)
+
+let scale_specs = scaling_specs
+let scale_counts = [ 16; 100; 1000; 10000 ]
+
+(** Total fleet work held roughly constant as N grows, so a 10k-actor run
+    stays tractable while each actor still runs a full open/serve/close
+    lifecycle. *)
+let scale_ops_for nactors = max 6 (60_000 / nactors)
+
+let scale_run spec ~nactors =
+  let cfg =
+    {
+      Workloads.Multitenant.default_cfg with
+      Workloads.Multitenant.ops_per_actor = scale_ops_for nactors;
+    }
+  in
+  Multiclient.run_scale ~cfg spec ~nactors
+
+(** Multi-tenant serving tier at N in {16, 100, 1k, 10k} actors across the
+    six stacks: Zipf-skewed YCSB-style reads/updates against per-tenant
+    shared data files plus TPC-C-style per-actor WAL appends
+    ([Workloads.Multitenant]). Reports aggregate throughput and tail
+    latency / SLO attainment per stack — the scale-out half of the
+    software-overhead argument: U-Split keeps the data path in userspace
+    while the sharded K-Split allocator and per-stream journal keep the
+    kernel residue from serializing 10k actors. *)
+let scale ?(counts = scale_counts) ?(print = true) () =
+  let results =
+    List.map
+      (fun spec ->
+        (spec, List.map (fun n -> scale_run spec ~nactors:n) counts))
+      scale_specs
+  in
+  if print then begin
+    Runner.print_table
+      ~title:"Scale-out: aggregate serving throughput (kops/s) vs actors"
+      ("file system" :: List.map (fun n -> Printf.sprintf "%d" n) counts)
+      (List.map
+         (fun (spec, rs) ->
+           name spec
+           :: List.map
+                (fun (r : Multiclient.scale_result) ->
+                  Runner.f1 r.Multiclient.sr_kops_per_s)
+                rs)
+         results);
+    let nmax = List.fold_left max 0 counts in
+    Runner.print_table
+      ~title:
+        (Printf.sprintf
+           "Scale-out: tail latency and SLO attainment at %d actors" nmax)
+      [ "file system"; "tenants"; "p50 ns"; "p999 ns"; "SLO<100us"; "steals" ]
+      (List.map
+         (fun (spec, rs) ->
+           let r =
+             List.find
+               (fun (r : Multiclient.scale_result) ->
+                 r.Multiclient.sr_nactors = nmax)
+               rs
+           in
+           [
+             name spec;
+             string_of_int r.Multiclient.sr_tenants;
+             Runner.f0 r.Multiclient.sr_p50_ns;
+             Runner.f0 r.Multiclient.sr_p999_ns;
+             Runner.f2 r.Multiclient.sr_slo_attainment;
+             string_of_int r.Multiclient.sr_alloc_steals;
+           ])
+         results)
+  end;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch overhead: event-heap vs reference min-scan (§5h)            *)
+(* ------------------------------------------------------------------ *)
+
+type dispatch_result = {
+  db_nactors : int;
+  db_dispatches : int;
+  db_heap_ns_per_dispatch : float;
+  db_scan_ns_per_dispatch : float;
+  db_speedup : float;
+}
+
+(** Host-side scheduler overhead: time [Sched.run] (binary event heap)
+    against [Sched.run_reference] (the retained O(N) min-scan) driving the
+    same N-actor pure-CPU fleet, and check the dispatch traces are
+    bit-identical while at it. This is host wall time per dispatch — the
+    simulator's own software overhead, the quantity the event heap exists
+    to shrink. *)
+let dispatch_bench ?(nactors = 10_000) ?(ops = 4) ?(print = true) () =
+  let run_with runner =
+    let env = Pmem.Env.create ~capacity:mb () in
+    let s = Sched.create env in
+    for i = 0 to nactors - 1 do
+      ignore
+        (Sched.spawn s
+           ~name:(Printf.sprintf "d%d" i)
+           ~step:(fun _ j ->
+             if j >= ops then false
+             else begin
+               Pmem.Env.cpu env 100.;
+               true
+             end))
+    done;
+    let t0 = Sys.time () in
+    runner s;
+    let host = Sys.time () -. t0 in
+    (host *. 1e9 /. float_of_int (Sched.dispatches s), s)
+  in
+  let heap_ns, s_heap = run_with Sched.run in
+  let scan_ns, s_scan = run_with Sched.run_reference in
+  if Sched.trace_hash s_heap <> Sched.trace_hash s_scan then
+    failwith "dispatch_bench: heap and min-scan dispatch traces diverge";
+  let r =
+    {
+      db_nactors = nactors;
+      db_dispatches = Sched.dispatches s_heap;
+      db_heap_ns_per_dispatch = heap_ns;
+      db_scan_ns_per_dispatch = scan_ns;
+      db_speedup = (if heap_ns > 0. then scan_ns /. heap_ns else infinity);
+    }
+  in
+  if print then
+    Runner.print_table
+      ~title:
+        (Printf.sprintf "Scheduler dispatch overhead, host ns/op (N=%d)"
+           nactors)
+      [ "dispatcher"; "dispatches"; "ns/dispatch"; "speedup" ]
+      [
+        [
+          "event heap";
+          string_of_int r.db_dispatches;
+          Runner.f0 r.db_heap_ns_per_dispatch;
+          Runner.f1 r.db_speedup;
+        ];
+        [
+          "min-scan (ref)";
+          string_of_int r.db_dispatches;
+          Runner.f0 r.db_scan_ns_per_dispatch;
+          Runner.f1 1.0;
+        ];
+      ];
+  r

@@ -24,9 +24,6 @@ type inode = {
   mutable refcount : int;  (** open file descriptors *)
   extents : Extent_tree.t;
   dir : (string, int) Hashtbl.t option;  (** [Some _] for directories *)
-  ilock : Pmem.Lock.t;
-      (** inode rwsem: writers to the same inode serialize (VFS write path);
-          inert outside multi-actor runs *)
 }
 
 type mapping = {
@@ -46,10 +43,18 @@ type t = {
   mutable next_ino : int;
   root : inode;
   zero_block : Bytes.t;
-  mutable running_meta : int;
+  ilocks : Pmem.Lock.t array;
+      (** striped inode rwsems: writers to the same inode serialize (VFS
+          write path) on stripe [ino land (stripes - 1)]; a fixed-size
+          power-of-two table instead of a lock per inode, sized so that
+          10k-actor namespaces don't allocate 10k lock records while
+          distinct inodes in the N<=stripes experiments never share a
+          stripe. Inert outside multi-actor runs *)
+  running_meta : int array;
       (** metadata blocks dirtied by data-path operations and not yet
-          committed; jbd2 batches these into one transaction that commits on
-          fsync or, off the critical path, when it grows large *)
+          committed, one cell per journal stream; jbd2 batches these into
+          one transaction per stream that commits on fsync or, off the
+          critical path, when it grows large *)
   mutable live_maps : mapping list;
       (** every mapping handed out by [mmap]/[mmap_retained]: the scrubber
           re-derives their page arrays after migrating blocks, the way the
@@ -68,14 +73,18 @@ let timing t = t.env.Env.timing
 (* mkfs                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let mkfs ?(journal_len = 8 * 1024 * 1024) (env : Env.t) =
+let mkfs ?(journal_len = 8 * 1024 * 1024) ?(alloc_shards = 1)
+    ?(journal_streams = 1) ?(lock_stripes = 4096) (env : Env.t) =
+  if lock_stripes land (lock_stripes - 1) <> 0 || lock_stripes <= 0 then
+    invalid_arg "Ext4.mkfs: lock_stripes must be a power of two";
   let capacity = Device.capacity env.Env.dev in
   let huge = blocks_per_huge * block_size in
   let journal_len = (journal_len + huge - 1) / huge * huge in
   if journal_len >= capacity then invalid_arg "Ext4.mkfs: journal too large";
   let data_len = (capacity - journal_len) / block_size * block_size in
   let journal =
-    Journal.create ~env ~region_start:0 ~region_len:journal_len ~block_size
+    Journal.create ~streams:journal_streams ~env ~region_start:0
+      ~region_len:journal_len ~block_size ()
   in
   let root =
     {
@@ -86,25 +95,36 @@ let mkfs ?(journal_len = 8 * 1024 * 1024) (env : Env.t) =
       refcount = 0;
       extents = Extent_tree.create ();
       dir = Some (Hashtbl.create 64);
-      ilock = Pmem.Lock.create "inode:2";
     }
   in
   let t =
     {
       env;
-      alloc = Alloc.create ~faults:env.Env.faults ~nblocks:(data_len / block_size) ();
+      alloc =
+        Alloc.create ~faults:env.Env.faults ~env ~shards:alloc_shards
+          ~nblocks:(data_len / block_size) ();
       journal;
       data_start = journal_len;
       inodes = Hashtbl.create 1024;
       next_ino = 3;
       root;
       zero_block = Bytes.make block_size '\000';
-      running_meta = 0;
+      ilocks =
+        Array.init lock_stripes (fun i ->
+            Pmem.Lock.create (Printf.sprintf "inode-stripe:%d" i));
+      running_meta = Array.make (Journal.nstreams journal) 0;
       live_maps = [];
     }
   in
   Hashtbl.replace t.inodes root.ino root;
   t
+
+(** The inode's lock stripe. Distinct inodes share a stripe only when
+    their inos collide mod the table size — never in the small-N
+    experiments, by construction. *)
+let ilock t inode = t.ilocks.(inode.ino land (Array.length t.ilocks - 1))
+
+let with_ilock t inode f = Env.with_lock t.env (ilock t inode) f
 
 let block_addr t phys = t.data_start + (phys * block_size)
 let env t = t.env
@@ -184,20 +204,29 @@ let make_inode t kind =
         (match kind with
         | Fsapi.Fs.Directory -> Some (Hashtbl.create 16)
         | Fsapi.Fs.Regular -> None);
-      ilock = Pmem.Lock.create (Printf.sprintf "inode:%d" t.next_ino);
     }
   in
   t.next_ino <- t.next_ino + 1;
   Hashtbl.replace t.inodes inode.ino inode;
   inode
 
-(** Fold data-path metadata dirtying into the running transaction; a large
-    transaction is committed by the journal thread off the critical path. *)
+(** Index of the current actor's journal stream — the cell its data-path
+    metadata batches into. One stream (the default) keeps the single
+    global running transaction of stock jbd2. *)
+let stream_idx t =
+  let n = Array.length t.running_meta in
+  if n = 1 then 0
+  else (Pmem.Simclock.current t.env.Env.clock).Pmem.Simclock.aid mod n
+
+(** Fold data-path metadata dirtying into the current actor's stream of
+    the running transaction; a large transaction is committed by the
+    journal thread off the critical path. *)
 let stage_meta t blocks =
-  t.running_meta <- t.running_meta + blocks;
-  if t.running_meta >= running_meta_limit then begin
-    let blocks = t.running_meta in
-    t.running_meta <- 0;
+  let k = stream_idx t in
+  t.running_meta.(k) <- t.running_meta.(k) + blocks;
+  if t.running_meta.(k) >= running_meta_limit then begin
+    let blocks = t.running_meta.(k) in
+    t.running_meta.(k) <- 0;
     Env.in_background t.env (fun () ->
         Journal.commit t.journal ~meta_blocks:blocks)
   end
@@ -322,7 +351,7 @@ let get_or_alloc_block t inode lblk =
     huge pages. Does not change [size] (KEEP_SIZE semantics). *)
 let fallocate t inode ~off ~len =
   if off mod block_size <> 0 then Fsapi.Errno.(error EINVAL "fallocate");
-  Env.with_lock t.env inode.ilock @@ fun () ->
+  with_ilock t inode @@ fun () ->
   let first = off / block_size in
   let nblocks = (len + block_size - 1) / block_size in
   let allocated = ref 0 in
@@ -403,7 +432,7 @@ let write_data t inode ~off buf ~boff ~len =
     dirtied by allocation or size change joins the running transaction. *)
 let pwrite t inode ~off buf ~boff ~len =
   if len < 0 || off < 0 then Fsapi.Errno.(error EINVAL "pwrite");
-  Env.with_lock t.env inode.ilock (fun () ->
+  with_ilock t inode (fun () ->
       let allocating = off + len > inode.size in
       cpu t
         (if allocating then (timing t).Timing.ext4_append_cpu
@@ -456,7 +485,7 @@ let range_mapped (_t : t) inode ~off ~len =
 
 let truncate t inode size =
   if size < 0 then Fsapi.Errno.(error EINVAL "truncate");
-  Env.with_lock t.env inode.ilock @@ fun () ->
+  with_ilock t inode @@ fun () ->
   cpu t (timing t).Timing.ext4_inode_cpu;
   let old_blocks = (inode.size + block_size - 1) / block_size in
   let new_blocks = (size + block_size - 1) / block_size in
@@ -504,11 +533,12 @@ let truncate t inode size =
     makes ext4 DAX fsync expensive after a burst of appends (paper
     Table 6). *)
 let fsync t inode =
-  Env.with_lock t.env inode.ilock @@ fun () ->
+  with_ilock t inode @@ fun () ->
   cpu t (timing t).Timing.ext4_inode_cpu;
-  if t.running_meta > 0 then begin
-    let blocks = t.running_meta in
-    t.running_meta <- 0;
+  let k = stream_idx t in
+  if t.running_meta.(k) > 0 then begin
+    let blocks = t.running_meta.(k) in
+    t.running_meta.(k) <- 0;
     Journal.commit t.journal ~meta_blocks:blocks;
     (* wake jbd2, wait for the commit to land *)
     cpu_cat t Obs.Journal (timing t).Timing.jbd2_fsync_wait
@@ -530,8 +560,8 @@ let swap_extents t ~src ~src_blk ~dst ~dst_blk ~nblks =
   if nblks <= 0 then Fsapi.Errno.(error EINVAL "swap_extents");
   if Faults.check t.env.Env.faults Faults.Swap then
     Fsapi.Errno.(error EIO "k-split: swap_extents injected EIO");
-  Env.with_lock t.env src.ilock @@ fun () ->
-  Env.with_lock t.env dst.ilock @@ fun () ->
+  with_ilock t src @@ fun () ->
+  with_ilock t dst @@ fun () ->
   let ex_src = Extent_tree.remove_range src.extents ~logical:src_blk ~len:nblks in
   let ex_dst = Extent_tree.remove_range dst.extents ~logical:dst_blk ~len:nblks in
   let shift into delta e =
@@ -556,8 +586,8 @@ let relink t ~src ~src_blk ~dst ~dst_blk ~nblks ~dst_size =
   if nblks <= 0 then Fsapi.Errno.(error EINVAL "relink");
   if Faults.check t.env.Env.faults Faults.Swap then
     Fsapi.Errno.(error EIO "k-split: relink (swap_extents) injected EIO");
-  Env.with_lock t.env src.ilock @@ fun () ->
-  Env.with_lock t.env dst.ilock @@ fun () ->
+  with_ilock t src @@ fun () ->
+  with_ilock t dst @@ fun () ->
   let replaced = Extent_tree.remove_range dst.extents ~logical:dst_blk ~len:nblks in
   List.iter
     (fun e ->
@@ -584,7 +614,7 @@ let relink t ~src ~src_blk ~dst ~dst_blk ~nblks ~dst_size =
 (** Free a block range of [inode] (relink uses this to drop the staging
     file's temporarily allocated blocks). Metadata-only. *)
 let dealloc_range t inode ~blk ~nblks =
-  Env.with_lock t.env inode.ilock @@ fun () ->
+  with_ilock t inode @@ fun () ->
   let removed = Extent_tree.remove_range inode.extents ~logical:blk ~len:nblks in
   List.iter
     (fun e ->
@@ -595,7 +625,7 @@ let dealloc_range t inode ~blk ~nblks =
   Journal.commit t.journal ~meta_blocks:2
 
 let set_size t inode size =
-  Env.with_lock t.env inode.ilock @@ fun () ->
+  with_ilock t inode @@ fun () ->
   cpu t (timing t).Timing.ext4_inode_cpu;
   inode.size <- size;
   Journal.commit t.journal ~meta_blocks:1

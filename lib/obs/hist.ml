@@ -66,6 +66,22 @@ let percentile t p =
     if v < t.vmin then t.vmin else if v > t.vmax then t.vmax else v
   end
 
+(** [frac_below t ns]: fraction of recorded values at or below [ns] — the
+    SLO-attainment number for a latency objective of [ns]. Bucketed like
+    [percentile] (whole buckets count as below when their upper edge is),
+    so it inherits the same ~19% worst-case bucket error. 1 when empty:
+    no recorded op violated the objective. *)
+let frac_below t ns =
+  if t.n = 0 then 1.
+  else begin
+    let cut = bucket_of ns in
+    let c = ref 0 in
+    for i = 0 to cut do
+      c := !c + t.buckets.(i)
+    done;
+    float_of_int !c /. float_of_int t.n
+  end
+
 let merge ~into src =
   Array.iteri (fun i c -> into.buckets.(i) <- into.buckets.(i) + c) src.buckets;
   into.n <- into.n + src.n;

@@ -26,7 +26,9 @@ type actor = {
 
 type t = {
   mutable current : actor;
-  mutable actors : actor list;  (** in creation order; head is actor 0 *)
+  mutable actors_rev : actor list;
+      (** newest first — O(1) registration even for 10k-actor fleets;
+          {!actors} reverses back to creation order *)
   mutable nactors : int;
   obs : Obs.t;
       (** attribution/tracing sink shared by the whole environment; sees
@@ -47,7 +49,7 @@ let make_actor ~aid ~name ~at =
 let create ?obs () =
   let a0 = make_actor ~aid:0 ~name:"main" ~at:0. in
   let obs = match obs with Some o -> o | None -> Obs.create () in
-  { current = a0; actors = [ a0 ]; nactors = 1; obs }
+  { current = a0; actors_rev = [ a0 ]; nactors = 1; obs }
 
 let now t = t.current.a_now
 let obs t = t.obs
@@ -63,7 +65,7 @@ let advance t ns =
 (** Rewind/set the current actor's clock (background-work accounting). *)
 let set_now t ns = t.current.a_now <- ns
 
-let reset t = List.iter (fun a -> a.a_now <- a.a_start) t.actors
+let reset t = List.iter (fun a -> a.a_now <- a.a_start) t.actors_rev
 
 (** [timed t f] runs [f ()] and returns its result together with the
     simulated time it consumed (on the current actor's clock). *)
@@ -79,7 +81,10 @@ let multi t = t.nactors > 1
 
 let current t = t.current
 let set_current t a = t.current <- a
-let actors t = t.actors
+(* In creation order (head is actor 0) — float accumulations over this
+   list, like [Env.accountable_ns], depend on that order for bit-exact
+   reproducibility. *)
+let actors t = List.rev t.actors_rev
 
 (** [new_actor t ~name] registers a fresh actor whose clock starts at the
     current actor's time ([?at] overrides), modelling a thread spawned
@@ -87,6 +92,6 @@ let actors t = t.actors
 let new_actor ?at t ~name =
   let at = match at with Some v -> v | None -> t.current.a_now in
   let a = make_actor ~aid:t.nactors ~name ~at in
-  t.actors <- t.actors @ [ a ];
+  t.actors_rev <- a :: t.actors_rev;
   t.nactors <- t.nactors + 1;
   a

@@ -83,6 +83,102 @@ let test_fragmentation_metric () =
   Alcotest.(check bool) "fully fragmented for runs of 2" true
     (Alloc.fragmentation a ~run:2 = 1.0)
 
+(* --- Sharded allocation groups -------------------------------------- *)
+
+let test_default_is_single_shard () =
+  let a = Alloc.create ~nblocks:100 () in
+  Util.check_int "one shard by default" 1 (Alloc.nshards a);
+  Util.check_int "no steals" 0 (Alloc.steals a)
+
+let test_cross_shard_steal () =
+  (* 4 shards of 16 blocks; without an env every allocation homes at
+     shard 0, so filling it forces the ring to steal from shard 1 *)
+  let a = Alloc.create ~shards:4 ~nblocks:64 () in
+  Util.check_int "four shards" 4 (Alloc.nshards a);
+  let s0, n0 = Alloc.alloc_extent a ~goal:(-1) ~len:16 in
+  Util.check_int "home shard fills from its base" 0 s0;
+  Util.check_int "whole group" 16 n0;
+  let s1, _ = Alloc.alloc_extent a ~goal:(-1) ~len:4 in
+  Alcotest.(check bool) "stolen from the next group" true (s1 >= 16 && s1 < 32);
+  Util.check_int "steal counted" 1 (Alloc.steals a)
+
+let test_goal_overrides_affinity () =
+  let a = Alloc.create ~shards:4 ~nblocks:64 () in
+  (* a goal inside shard 2 routes there directly: contiguity with the
+     file's previous extent beats group affinity, and is not a steal *)
+  let s, _ = Alloc.alloc_extent a ~goal:40 ~len:4 in
+  Util.check_int "placed at the goal" 40 s;
+  Util.check_int "not a steal" 0 (Alloc.steals a)
+
+let test_extents_never_cross_shards () =
+  let a = Alloc.create ~shards:4 ~nblocks:64 () in
+  let _ = Alloc.alloc_extent a ~goal:12 ~len:4 in
+  (* 12 contiguous free blocks remain below the boundary at 16; a larger
+     request must be clipped there rather than spill into shard 1 *)
+  let s, n = Alloc.alloc_extent a ~goal:0 ~len:16 in
+  Util.check_int "starts at base" 0 s;
+  Util.check_int "clipped at the group boundary" 12 n
+
+let test_free_and_retire_route_to_owning_shard () =
+  let a = Alloc.create ~shards:4 ~nblocks:64 () in
+  let s, n = Alloc.alloc_extent a ~goal:20 ~len:4 in
+  Alloc.free_extent a ~start:s ~len:n;
+  Util.check_int "all free again" 64 (Alloc.free_blocks a);
+  (* the shard's first-free hint must roll back so the block is findable *)
+  let s2, _ = Alloc.alloc_extent a ~goal:20 ~len:4 in
+  Util.check_int "freed block reallocated" s s2;
+  Alloc.retire a ~start:48 ~len:8;
+  Util.check_int "retired blocks leave the free pool" (64 - 4 - 8)
+    (Alloc.free_blocks a);
+  (* shard 3 has 8 free blocks left; a full-group request gets the rest *)
+  let s3, n3 = Alloc.alloc_extent a ~goal:56 ~len:16 in
+  Util.check_int "skips the retired run" 56 s3;
+  Util.check_int "only the surviving blocks" 8 n3
+
+let test_no_double_alloc_across_shards_1k_actors () =
+  (* 1000 concurrent actors with per-actor group affinity hammering one
+     16-shard allocator: every handed-out block must be unique, and the
+     books must balance at the end *)
+  let env = Util.make_env ~capacity:(64 * 1024 * 1024) () in
+  let a = Alloc.create ~env ~shards:16 ~nblocks:8192 () in
+  let s = Sched.create env in
+  let owned = Hashtbl.create 4096 in
+  let ok = ref true in
+  for i = 0 to 999 do
+    ignore
+      (Sched.spawn s
+         ~name:(Printf.sprintf "alloc%d" i)
+         ~step:(fun _ j ->
+           if j >= 2 then false
+           else begin
+             Pmem.Env.cpu env (float_of_int (1 + (i mod 7)) *. 10.);
+             let st, n = Alloc.alloc_extent a ~goal:(-1) ~len:3 in
+             for b = st to st + n - 1 do
+               if Hashtbl.mem owned b then ok := false;
+               Hashtbl.replace owned b ()
+             done;
+             true
+           end))
+  done;
+  Sched.run s;
+  Alcotest.(check bool) "no block handed out twice" true !ok;
+  Util.check_int "books balance" (Hashtbl.length owned) (Alloc.used_blocks a)
+
+let prop_sharded_matches_single_shard_counts =
+  QCheck.Test.make
+    ~name:"sharded allocator conserves blocks like the single shard" ~count:60
+    QCheck.(make Gen.(list_size (int_range 1 40) (int_range 1 10)))
+    (fun sizes ->
+      let run shards =
+        let a = Alloc.create ~shards ~nblocks:256 () in
+        (try
+           List.iter (fun len -> ignore (Alloc.alloc_many a ~goal:(-1) ~len)) sizes
+         with Fsapi.Errno.Error (Fsapi.Errno.ENOSPC, _) -> ());
+        Alloc.used_blocks a
+      in
+      (* placement differs across groups, but the total account must not *)
+      run 1 = run 4)
+
 let prop_no_double_allocation =
   QCheck.Test.make ~name:"allocator never hands out a block twice" ~count:100
     QCheck.(make Gen.(list_size (int_range 1 60) (int_range 1 12)))
@@ -130,6 +226,15 @@ let suite =
     tc "aligned allocation fails when fragmented" `Quick test_aligned_fragmentation;
     tc "double free detected" `Quick test_double_free_detected;
     tc "fragmentation metric" `Quick test_fragmentation_metric;
+    tc "default is a single shard" `Quick test_default_is_single_shard;
+    tc "cross-shard steal on group ENOSPC" `Quick test_cross_shard_steal;
+    tc "goal overrides group affinity" `Quick test_goal_overrides_affinity;
+    tc "extents never cross shard boundaries" `Quick test_extents_never_cross_shards;
+    tc "free and retire route to the owning shard" `Quick
+      test_free_and_retire_route_to_owning_shard;
+    tc "no double allocation under 1k actors" `Quick
+      test_no_double_alloc_across_shards_1k_actors;
+    QCheck_alcotest.to_alcotest prop_sharded_matches_single_shard_counts;
     QCheck_alcotest.to_alcotest prop_no_double_allocation;
     QCheck_alcotest.to_alcotest prop_free_then_alloc_reuses;
   ]

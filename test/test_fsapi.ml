@@ -63,7 +63,7 @@ let test_journal_accounting () =
   let env = Util.make_env () in
   let j =
     Kernelfs.Journal.create ~env ~region_start:0 ~region_len:(1024 * 1024)
-      ~block_size:4096
+      ~block_size:4096 ()
   in
   let s = env.Pmem.Env.stats in
   Kernelfs.Journal.commit j ~meta_blocks:3;

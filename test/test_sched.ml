@@ -76,6 +76,87 @@ let test_min_clock_dispatch () =
   Alcotest.(check int) "total ops" 5 (Sched.total_ops s);
   Alcotest.(check (float 0.)) "makespan = slowest client" 50. (Sched.makespan s)
 
+(* The event heap must be a pure drop-in for the reference min-scan: same
+   dispatch trace, same makespan, same per-client op counts. Two workload
+   shapes — heterogeneous costs, and tie-heavy bursts that stress the
+   client-id tiebreak — across seeds and fleet sizes. *)
+let test_heap_matches_reference () =
+  let build_staircase seed env s n =
+    for i = 0 to n - 1 do
+      let rng = Workloads.Rng.create (seed + (i * 7919)) in
+      let nops = 3 + (i mod 5) in
+      ignore
+        (Sched.spawn s
+           ~name:(Printf.sprintf "c%d" i)
+           ~step:(fun _ j ->
+             if j >= nops then false
+             else begin
+               Pmem.Env.cpu env (50. +. float_of_int (Workloads.Rng.int rng 200));
+               true
+             end))
+    done
+  in
+  let build_bursty seed env s n =
+    for i = 0 to n - 1 do
+      let rng = Workloads.Rng.create (seed + (i * 104729)) in
+      ignore
+        (Sched.spawn s
+           ~name:(Printf.sprintf "c%d" i)
+           ~step:(fun _ j ->
+             if j >= 6 then false
+             else begin
+               (* zero-cost steps leave many clients tied on one clock *)
+               if Workloads.Rng.bool rng then Pmem.Env.cpu env 1000.;
+               true
+             end))
+    done
+  in
+  let fingerprint runner build seed n =
+    let env = Util.make_env ~capacity:(1024 * 1024) () in
+    let s = Sched.create env in
+    build seed env s n;
+    runner s;
+    ( Sched.trace_hash s,
+      Sched.makespan s,
+      List.map (fun c -> c.Sched.ops_done) (Sched.clients s) )
+  in
+  List.iter
+    (fun (wname, build) ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun n ->
+              let h1, m1, o1 = fingerprint Sched.run build seed n in
+              let h2, m2, o2 = fingerprint Sched.run_reference build seed n in
+              let label fmt =
+                Printf.sprintf "%s seed=%d n=%d %s" wname seed n fmt
+              in
+              Alcotest.(check int) (label "trace hash") h2 h1;
+              Alcotest.(check (float 0.)) (label "makespan") m2 m1;
+              Alcotest.(check (list int)) (label "per-client ops") o2 o1)
+            [ 1; 2; 4; 8; 16 ])
+        [ 1; 0xBEEF ])
+    [ ("staircase", build_staircase); ("bursty", build_bursty) ]
+
+let test_spawn_many_clients () =
+  let env = Util.make_env ~capacity:(1024 * 1024) () in
+  let s = Sched.create env in
+  let n = 2048 in
+  for i = 0 to n - 1 do
+    ignore
+      (Sched.spawn s
+         ~name:(Printf.sprintf "c%d" i)
+         ~step:(fun _ j ->
+           if j >= 1 then false
+           else begin
+             Pmem.Env.cpu env 10.;
+             true
+           end))
+  done;
+  Sched.run s;
+  Alcotest.(check int) "all clients dispatched" n (Sched.total_ops s);
+  Alcotest.(check int) "client list intact" n (List.length (Sched.clients s))
+
 let test_scheduler_deterministic () =
   let go () =
     let r =
@@ -129,6 +210,30 @@ let test_scaling_improves_with_clients () =
     Alcotest.failf "aggregate throughput barely scales: 1 client %.1f, 8 clients %.1f"
       t1 t8
 
+(* --- Multi-tenant scale runs ---------------------------------------- *)
+
+let test_scale_run_deterministic () =
+  let go () =
+    let r =
+      Harness.Multiclient.run_scale
+        ~cfg:
+          {
+            Workloads.Multitenant.default_cfg with
+            Workloads.Multitenant.ops_per_actor = 12;
+          }
+        Harness.Fs_config.Splitfs_posix ~nactors:64
+    in
+    ( r.Harness.Multiclient.sr_trace_hash,
+      r.Harness.Multiclient.sr_makespan_ns,
+      r.Harness.Multiclient.sr_total_ops )
+  in
+  let h1, m1, o1 = go () in
+  let h2, m2, o2 = go () in
+  Alcotest.(check int) "identical interleaving" h1 h2;
+  Alcotest.(check (float 0.)) "identical makespan" m1 m2;
+  Alcotest.(check int) "identical op count" o1 o2;
+  Alcotest.(check bool) "fleet did work" true (o1 > 64 * 12)
+
 (* --- Crashcheck under concurrency ----------------------------------- *)
 
 let test_concurrent_crashcheck () =
@@ -151,7 +256,10 @@ let suite =
     tc "lock charges deterministic wait" `Quick test_lock_charges_wait;
     tc "lock inert without second actor" `Quick test_lock_inert_single_actor;
     tc "scheduler dispatches min clock first" `Quick test_min_clock_dispatch;
+    tc "event heap matches reference min-scan" `Quick test_heap_matches_reference;
+    tc "spawn scales to thousands of clients" `Quick test_spawn_many_clients;
     tc "multi-client run is deterministic" `Quick test_scheduler_deterministic;
+    tc "multi-tenant scale run is deterministic" `Quick test_scale_run_deterministic;
     tc "single client sees no contention" `Quick test_single_client_no_contention;
     tc "contention appears at 8 clients" `Quick test_contention_appears;
     tc "splitfs >= 2x ext4 at 8 clients" `Quick test_splitfs_scales_over_ext4;
