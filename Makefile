@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json crashcheck faultcheck profile scale check
+.PHONY: all build test bench bench-json crashcheck faultcheck litmus profile scale check
 
 all: build
 
@@ -15,7 +15,7 @@ bench:
 # (bechamel) plus simulated ns/op per scaling configuration. Diffable
 # against the BENCH_PR*.json of earlier PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR6.json
+	dune exec bench/main.exe -- --json BENCH_PR7.json
 
 # Scale-out serving tier smoke: the multi-tenant sweep up to N=1000
 # actors across all six stacks, plus the scheduler dispatch-overhead
@@ -48,6 +48,16 @@ crashcheck:
 faultcheck:
 	dune exec bin/splitfs_cli.exe -- faultcheck
 
+# Litmus corpus: named crash patterns (Ferrite's create-rename,
+# two-appends, chrome, replace-via-truncate, plus SplitFS-specific
+# WAL-commit and relink-publish) explored EXHAUSTIVELY on every stack x
+# mode, then the fence minimizer: every registered fence site elided in
+# turn and the corpus re-explored to prove it REQUIRED (shrunk
+# counterexample) or REDUNDANT. Exits non-zero on any contract
+# violation with all fences in place. (~10s)
+litmus:
+	dune exec bin/splitfs_cli.exe -- litmus
+
 # Full verification: build, unit + property + differential tests, crash
 # state exploration, and the paper tables as a smoke test of every
 # experiment stack.
@@ -56,5 +66,6 @@ check:
 	dune runtest
 	dune exec bin/splitfs_cli.exe -- crashcheck
 	dune exec bin/splitfs_cli.exe -- faultcheck
+	dune exec bin/splitfs_cli.exe -- litmus
 	dune exec bin/splitfs_cli.exe -- scale --fast
 	dune exec bench/main.exe -- --fast

@@ -350,6 +350,62 @@ let profile_estimates rows =
         r.Harness.Experiments.pr_breakdown)
     rows
 
+(* Litmus trajectory entries carry the *exhaustive crash-state count*
+   per (pattern, stack) — not ns — so a change that silently grows or
+   shrinks the enumerated space shows up in the BENCH_PR*.json diff.
+   table1/sim carries the simulated append cost per stack: the fences
+   physically removed after the minimizer's REDUNDANT proofs (PR 7)
+   show there as a drop against earlier PRs. *)
+let litmus_estimates runs =
+  List.map
+    (fun (r : Crashcheck.Litmus.run) ->
+      ( Printf.sprintf "litmus/%s/%s" r.Crashcheck.Litmus.r_pattern
+          r.Crashcheck.Litmus.r_config,
+        float_of_int r.Crashcheck.Litmus.r_states ))
+    runs
+
+let table1_sim_estimates rows =
+  List.map
+    (fun (r : Harness.Experiments.table1_row) ->
+      ( "table1/sim/" ^ r.Harness.Experiments.t1_fs,
+        r.Harness.Experiments.t1_append_ns ))
+    rows
+
+(* fig4/sim and table6/sim carry simulated ns/op per cell. The Table-1 /
+   Fig-4 hot loops contain none of the removed fences (their fences were
+   proven REQUIRED and stayed), so those entries double as a
+   bit-identity pin; the removal delta lands on the metadata/fsync paths
+   that table6/sim records (varmail open/fsync). *)
+let fig4_sim_estimates results =
+  List.concat_map
+    (fun (_, base, challengers) ->
+      List.concat_map
+        (fun (spec, runs) ->
+          List.map
+            (fun (p, m) ->
+              ( Printf.sprintf "fig4/sim/%s/%s"
+                  (Harness.Fs_config.name spec)
+                  (Workloads.Iopattern.pattern_name p),
+                Harness.Runner.ns_per_op m ))
+            runs)
+        (base :: challengers))
+    results
+
+let table6_sim_estimates rows =
+  List.concat_map
+    (fun (fs, (l : Workloads.Varmail.latencies)) ->
+      List.map
+        (fun (op, ns) -> (Printf.sprintf "table6/sim/%s/%s" fs op, ns))
+        [
+          ("open", l.Workloads.Varmail.open_ns);
+          ("close", l.Workloads.Varmail.close_ns);
+          ("append", l.Workloads.Varmail.append_ns);
+          ("fsync", l.Workloads.Varmail.fsync_ns);
+          ("read", l.Workloads.Varmail.read_ns);
+          ("unlink", l.Workloads.Varmail.unlink_ns);
+        ])
+    rows
+
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
   let json_path =
@@ -360,11 +416,11 @@ let () =
     in
     find (Array.to_list Sys.argv)
   in
-  ignore (Harness.Experiments.table1 ());
+  let table1 = Harness.Experiments.table1 () in
   ignore (Harness.Experiments.table2 ());
-  ignore (Harness.Experiments.table6 ());
+  let table6 = Harness.Experiments.table6 () in
   ignore (Harness.Experiments.fig3 ());
-  ignore (Harness.Experiments.fig4 ());
+  let fig4 = Harness.Experiments.fig4 () in
   ignore (Harness.Experiments.fig5 ());
   ignore (Harness.Experiments.fig6 ());
   ignore (Harness.Experiments.table7 ());
@@ -376,6 +432,10 @@ let () =
   let latency = Harness.Experiments.latency () in
   let faultcheck = Harness.Experiments.faultcheck () in
   let degraded = Harness.Experiments.degraded_latency () in
+  (* the minimizer re-explores the corpus once per fence site; skip it
+     in --fast smoke runs, keep the corpus itself (it is the crash
+     regression gate) *)
+  let litmus, _verdicts = Harness.Experiments.litmus ~minimize:(not fast) () in
   if not fast then begin
     let scale = Harness.Experiments.scale () in
     let dispatch = Harness.Experiments.dispatch_bench () in
@@ -383,9 +443,11 @@ let () =
     Option.iter
       (fun path ->
         write_trajectory path
-          (estimates @ scaling_estimates scaling @ profile_estimates profile
-         @ latency_estimates latency @ fault_estimates faultcheck
-         @ degraded_estimates degraded
+          (estimates @ table1_sim_estimates table1
+          @ fig4_sim_estimates fig4 @ table6_sim_estimates table6
+          @ scaling_estimates scaling @ profile_estimates profile
+          @ latency_estimates latency @ fault_estimates faultcheck
+          @ degraded_estimates degraded @ litmus_estimates litmus
           @ scale_estimates scale dispatch))
       json_path
   end;

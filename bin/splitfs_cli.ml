@@ -34,6 +34,20 @@ let run_faultcheck seed nops =
   let reports = Harness.Experiments.faultcheck ~seed ~nops () in
   if not (Faultcheck.clean reports) then exit 1
 
+let run_litmus no_minimize =
+  let runs, _verdicts =
+    Harness.Experiments.litmus ~minimize:(not no_minimize) ()
+  in
+  (* REQUIRED verdicts are findings, not failures: they are the proof a
+     fence is load-bearing. Only a contract violation with every fence
+     in place fails the run. *)
+  if
+    List.exists
+      (fun (r : Crashcheck.Litmus.run) ->
+        r.Crashcheck.Litmus.r_violations <> [])
+      runs
+  then exit 1
+
 let run_ablations total_mb = ignore (Harness.Experiments.ablations ~total_mb ())
 let run_resources () = ignore (Harness.Experiments.resources ())
 let run_scaling () = ignore (Harness.Experiments.scaling ())
@@ -127,6 +141,12 @@ let fc_ops =
   Arg.(
     value & opt int 24
     & info [ "ops" ] ~doc:"Operations per faultcheck workload.")
+
+let lm_no_minimize =
+  Arg.(
+    value & flag
+    & info [ "no-minimize" ]
+        ~doc:"Skip the fence-minimization pass (corpus exploration only).")
 
 let trace_fs =
   Arg.(
@@ -239,6 +259,10 @@ let () =
             cmd "faultcheck"
               "Fault-injection campaign: media errors, resource exhaustion, oracle."
               Term.(const run_faultcheck $ fc_seed $ fc_ops);
+            cmd "litmus"
+              "Exhaustive litmus corpus (Ferrite patterns and more) plus \
+               fence minimization."
+              Term.(const run_litmus $ lm_no_minimize);
             cmd "ablations" "Design-choice ablations (DRAM staging, huge pages, mmap size)."
               Term.(const run_ablations $ total_mb);
             cmd "resources" "U-Split resource consumption."

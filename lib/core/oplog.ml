@@ -17,6 +17,11 @@ open Pmem
 
 let entry_size = 64
 
+(* Registered fence sites (fence minimization, crashcheck litmus). *)
+let site_init = Device.register_fence_site "oplog:init"
+let site_clear_head = Device.register_fence_site "oplog:clear-head"
+let site_clear_rest = Device.register_fence_site "oplog:clear-rest"
+
 type data_op = {
   target_ino : int;
   file_off : int;
@@ -168,7 +173,7 @@ let create ~sys ~env ~path ~size =
   (* Zero-initialise so recovery can treat non-zero slots as potentially
      valid; only needed for freshly allocated blocks. *)
   if allocated > 0 then zero_range t ~off:0 ~len:size;
-  Device.fence env.Env.dev;
+  Device.fence ~site:site_init env.Env.dev;
   t
 
 let entries_written t = Atomic.get t.tail
@@ -188,10 +193,10 @@ let clear t =
   let used = Atomic.get t.tail in
   if used > 0 then begin
     zero_range t ~off:0 ~len:entry_size;
-    Device.fence t.env.Env.dev;
+    Device.fence ~site:site_clear_head t.env.Env.dev;
     if used > 1 then begin
       zero_range t ~off:entry_size ~len:((used - 1) * entry_size);
-      Device.fence t.env.Env.dev
+      Device.fence ~site:site_clear_rest t.env.Env.dev
     end;
     Atomic.set t.tail 0
   end

@@ -73,7 +73,19 @@ type t = {
 let bookkeeping t =
   Env.cpu_cat t.env Obs.Usplit t.env.Env.timing.Timing.usplit_bookkeeping
 
-let fence t = Device.fence t.env.Env.dev
+let fence ?site t = Device.fence ?site t.env.Env.dev
+
+(* Registered fence sites (fence minimization, crashcheck litmus): every
+   ordering point U-Split issues, by name. Eliding a site models deleting
+   that sfence; Crashcheck.Minimize classifies each one. *)
+let site_degraded_write = Device.register_fence_site "usplit:degraded-write"
+let site_relink_pre = Device.register_fence_site "usplit:relink-pre"
+let site_relink_publish = Device.register_fence_site "usplit:relink-publish"
+let site_no_staging_write = Device.register_fence_site "usplit:no-staging-write"
+let site_strict_write = Device.register_fence_site "usplit:strict-write"
+let site_sync_write = Device.register_fence_site "usplit:sync-write"
+let site_strict_truncate = Device.register_fence_site "usplit:strict-truncate"
+let site_strict_unlink = Device.register_fence_site "usplit:strict-unlink"
 
 (** Run a write-side operation under the §3.5 per-file lock. The take /
     release CPU cost only exists in multi-client runs; the single-client
@@ -349,7 +361,7 @@ let degraded_write t st ~at buf ~boff ~len =
     st.ksize <- max st.ksize (at + len);
     st.usize <- max st.usize (at + len);
     refresh_mappings t st;
-    fence t
+    fence ~site:site_degraded_write t
   end
 
 let rec stage_write t st ~at buf ~boff ~len =
@@ -550,9 +562,9 @@ and relink_file t st =
            the entry cancels replay of this file's logged data ops, so if
            it persisted while a copy was still in flight (and tore),
            recovery would have nothing left to heal the file with *)
-        fence t;
+        fence ~site:site_relink_pre t;
         log_entry t (Oplog.Relinked { target_ino = st.f_ino });
-        fence t
+        fence ~site:site_relink_publish t
       end)
 
 (** Checkpoint: relink every file with staged data, then clear the log
@@ -604,14 +616,14 @@ let do_pwrite t od ~buf ~boff ~len ~at =
          st.usize <- max st.usize st.ksize;
          refresh_mappings t st
        end;
-       fence t
+       fence ~site:site_no_staging_write t
      end
      else
        match t.cfg.Config.mode with
        | Config.Strict ->
            (* atomic data ops: everything is staged and logged *)
            stage_write t st ~at buf ~boff ~len;
-           fence t
+           fence ~site:site_strict_write t
        | Config.Posix | Config.Sync ->
            let overwrite_len = max 0 (min len (st.ksize - at)) in
            (* in-place part, below the kernel size and not shadowed *)
@@ -624,7 +636,7 @@ let do_pwrite t od ~buf ~boff ~len ~at =
            let synchronous =
              t.cfg.Config.mode = Config.Sync || overwrite_len > 0
            in
-           if synchronous then fence t);
+           if synchronous then fence ~site:site_sync_write t);
     len
 
 (* ------------------------------------------------------------------ *)
@@ -771,10 +783,12 @@ let open_ t path (flags : Fsapi.Flags.t) =
         let st = make_state t path kfd in
         (st, kfd, not existed)
   in
-  if created && logs_ops t then begin
+  if created && logs_ops t then
+    (* no fence, even in strict mode: replay of a Create entry is a
+       no-op in recovery (the kernel create was journalled by K-Split),
+       so the entry needs no durability of its own — proven redundant by
+       exhaustive crash-state enumeration (EXPERIMENTS.md, PR 7) *)
     log_entry t (Oplog.Create { ino = st.f_ino });
-    if t.cfg.Config.mode = Config.Strict then fence t
-  end;
   st.open_count <- st.open_count + 1;
   install_fd t { st; fpos = ref 0; oflags = flags; od_kfd }
 
@@ -844,7 +858,7 @@ let ftruncate t fd size =
   end;
   if logs_ops t then begin
     log_entry t (Oplog.Truncate { ino = st.f_ino; size });
-    if t.cfg.Config.mode = Config.Strict then fence t
+    if t.cfg.Config.mode = Config.Strict then fence ~site:site_strict_truncate t
   end
 
 let stat_of_state st =
@@ -877,7 +891,7 @@ let unlink t path =
       Kernelfs.Syscall.unlink t.sys path;
       if logs_ops t then begin
         log_entry t (Oplog.Unlink { ino = st.f_ino });
-        if t.cfg.Config.mode = Config.Strict then fence t
+        if t.cfg.Config.mode = Config.Strict then fence ~site:site_strict_unlink t
       end;
       if st.open_count = 0 then cleanup_state t st
   | _ -> Kernelfs.Syscall.unlink t.sys path)
@@ -898,10 +912,12 @@ let rename t src dst =
       Hashtbl.remove t.files_by_path src;
       st.f_path <- dst;
       Hashtbl.replace t.files_by_path dst st;
-      if logs_ops t then begin
-        log_entry t (Oplog.Rename { ino = st.f_ino });
-        if t.cfg.Config.mode = Config.Strict then fence t
-      end
+      if logs_ops t then
+        (* no fence, even in strict mode: like Create, a Rename entry
+           replays to nothing (the namespace change is K-Split's,
+           journalled there), so its durability is irrelevant — proven
+           redundant by exhaustive enumeration (EXPERIMENTS.md, PR 7) *)
+        log_entry t (Oplog.Rename { ino = st.f_ino })
   | None -> ())
 
 let mkdir t path =

@@ -1,0 +1,81 @@
+(** Per-mode differential check of a recovered file against the oracle's
+    pre-/post-op views (DESIGN.md §5d). *)
+
+let check_size recovered allowed =
+  if List.mem (Bytes.length recovered) allowed then None
+  else
+    Some
+      (Fmt.str "recovered size %d not in {%a}" (Bytes.length recovered)
+         Fmt.(list ~sep:comma int)
+         allowed)
+
+(** Every recovered byte (up to [upto]) covered by at least one view
+    must be explained by a covering view. *)
+let check_bytes ?(upto = max_int) recovered views =
+  let limit = min (Bytes.length recovered) upto in
+  let bad = ref None in
+  (try
+     for i = 0 to limit - 1 do
+       let b = Bytes.get recovered i in
+       let covered = List.exists (fun v -> i < Bytes.length v) views in
+       let ok =
+         List.exists
+           (fun v -> i < Bytes.length v && Bytes.get v i = b)
+           views
+       in
+       if covered && not ok then begin
+         bad :=
+           Some
+             (Fmt.str "byte %d (%#02x) matches no legal view" i
+                (Char.code b));
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !bad
+
+(** [check mode ~pre ~post recovered] — [pre]/[post] are the oracle
+    views immediately before and after the operation in flight at the
+    crash (equal when the crash fell between operations). *)
+let check mode ~(pre : View.t) ~(post : View.t) recovered =
+  match mode with
+  | Splitfs.Config.Strict ->
+      (* atomic data ops: exactly the old or the new state, no mixing *)
+      if Bytes.equal recovered pre.View.cur
+         || Bytes.equal recovered post.View.cur
+      then None
+      else
+        Some
+          (Fmt.str
+             "content is neither the pre- nor the post-op state (pre=%dB \
+              post=%dB got=%dB)"
+             (Bytes.length pre.View.cur)
+             (Bytes.length post.View.cur)
+             (Bytes.length recovered))
+  | Splitfs.Config.Sync -> (
+      match
+        check_size recovered
+          [ Bytes.length pre.View.cur; Bytes.length post.View.cur ]
+      with
+      | Some e -> Some e
+      | None -> check_bytes recovered [ pre.View.cur; post.View.cur ])
+  | Splitfs.Config.Posix -> (
+      match
+        check_size recovered
+          [ Bytes.length pre.View.stable; Bytes.length post.View.stable ]
+      with
+      | Some e -> Some e
+      | None ->
+          let views =
+            [
+              pre.View.stable;
+              pre.View.stable_ow;
+              post.View.stable;
+              post.View.stable_ow;
+            ]
+          in
+          (* beyond the smallest stable size nothing is promised *)
+          let upto =
+            List.fold_left (fun a v -> min a (Bytes.length v)) max_int views
+          in
+          check_bytes ~upto recovered views)

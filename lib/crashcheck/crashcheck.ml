@@ -99,168 +99,26 @@ end
 (* Crash-state space                                                    *)
 (* ------------------------------------------------------------------ *)
 
-module Explore = struct
-  (** A crash point: trip at fence [fence] (0-based, counted from
-      [journal_begin]); [fence = fence_count] means "end of trace".
-      [pending] is the device's summary of lines with uncommitted
-      versions at that point. *)
-  type point = { fence : int; pending : Pmem.Device.pending_line array }
-
-  (** Number of distinct legal crash states at one point: each pending
-      line independently keeps its base or any of its pending versions
-      (tear refinements not counted — they are a sampling-only
-      refinement of the line-granular space). Saturates at 2^50: a
-      trace with dozens of pending lines overflows 63-bit ints long
-      before it becomes enumerable. *)
-  let count_cap = 1 lsl 50
-
-  let state_count (pending : Pmem.Device.pending_line array) =
-    Array.fold_left
-      (fun acc (p : Pmem.Device.pending_line) ->
-        if acc >= count_cap then count_cap else acc * (p.p_versions + 1))
-      1 pending
-
-  (** All survivor vectors for one point, in odometer order. *)
-  let enumerate (pending : Pmem.Device.pending_line array) =
-    let n = Array.length pending in
-    let rec go i =
-      if i = n then [ [] ]
-      else
-        let tails = go (i + 1) in
-        List.concat_map
-          (fun keep ->
-            List.map
-              (fun tail ->
-                {
-                  Pmem.Device.s_line = pending.(i).Pmem.Device.p_line;
-                  s_keep = keep;
-                  s_tear = 0;
-                }
-                :: tail)
-              tails)
-          (List.init (pending.(i).Pmem.Device.p_versions + 1) Fun.id)
-    in
-    go 0
-
-  (** One random survivor vector. Non-temporal frontier versions get a
-      random 8-byte tear mask one time in four: x86 only guarantees
-      8-byte atomicity for the stores themselves, so an NT line caught
-      mid-persist may be half old, half new. *)
-  let sample rng (pending : Pmem.Device.pending_line array) =
-    Array.to_list pending
-    |> List.map (fun (p : Pmem.Device.pending_line) ->
-           let keep = Workloads.Rng.int rng (p.p_versions + 1) in
-           let tear =
-             if
-               keep > 0
-               && p.p_nt_mask land (1 lsl (keep - 1)) <> 0
-               && Workloads.Rng.int rng 4 = 0
-             then 1 + Workloads.Rng.int rng 255
-             else 0
-           in
-           { Pmem.Device.s_line = p.p_line; s_keep = keep; s_tear = tear })
-end
+module Explore = Explore
 
 (* ------------------------------------------------------------------ *)
 (* Oracle views                                                         *)
 (* ------------------------------------------------------------------ *)
 
-module View = struct
-  (** What the oracle knows about one file at one instant. *)
-  type t = {
-    cur : Bytes.t;  (** current (volatile) content *)
-    stable : Bytes.t;  (** content as of the last fsync *)
-    stable_ow : Bytes.t;
-        (** [stable] with post-fsync in-place overwrites applied *)
-  }
-
-  let empty = { cur = Bytes.empty; stable = Bytes.empty; stable_ow = Bytes.empty }
-end
+module View = View
 
 (* ------------------------------------------------------------------ *)
 (* Per-mode differential check                                          *)
 (* ------------------------------------------------------------------ *)
 
-module Check = struct
-  let check_size recovered allowed =
-    if List.mem (Bytes.length recovered) allowed then None
-    else
-      Some
-        (Fmt.str "recovered size %d not in {%a}" (Bytes.length recovered)
-           Fmt.(list ~sep:comma int)
-           allowed)
+module Check = Check
 
-  (** Every recovered byte (up to [upto]) covered by at least one view
-      must be explained by a covering view. *)
-  let check_bytes ?(upto = max_int) recovered views =
-    let limit = min (Bytes.length recovered) upto in
-    let bad = ref None in
-    (try
-       for i = 0 to limit - 1 do
-         let b = Bytes.get recovered i in
-         let covered = List.exists (fun v -> i < Bytes.length v) views in
-         let ok =
-           List.exists
-             (fun v -> i < Bytes.length v && Bytes.get v i = b)
-             views
-         in
-         if covered && not ok then begin
-           bad :=
-             Some
-               (Fmt.str "byte %d (%#02x) matches no legal view" i
-                  (Char.code b));
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    !bad
+(* ------------------------------------------------------------------ *)
+(* Litmus corpus and fence minimization (DESIGN.md §5i)                 *)
+(* ------------------------------------------------------------------ *)
 
-  (** [check mode ~pre ~post recovered] — [pre]/[post] are the oracle
-      views immediately before and after the operation in flight at the
-      crash (equal when the crash fell between operations). *)
-  let check mode ~(pre : View.t) ~(post : View.t) recovered =
-    match mode with
-    | Splitfs.Config.Strict ->
-        (* atomic data ops: exactly the old or the new state, no mixing *)
-        if Bytes.equal recovered pre.View.cur
-           || Bytes.equal recovered post.View.cur
-        then None
-        else
-          Some
-            (Fmt.str
-               "content is neither the pre- nor the post-op state (pre=%dB \
-                post=%dB got=%dB)"
-               (Bytes.length pre.View.cur)
-               (Bytes.length post.View.cur)
-               (Bytes.length recovered))
-    | Splitfs.Config.Sync -> (
-        match
-          check_size recovered
-            [ Bytes.length pre.View.cur; Bytes.length post.View.cur ]
-        with
-        | Some e -> Some e
-        | None -> check_bytes recovered [ pre.View.cur; post.View.cur ])
-    | Splitfs.Config.Posix -> (
-        match
-          check_size recovered
-            [ Bytes.length pre.View.stable; Bytes.length post.View.stable ]
-        with
-        | Some e -> Some e
-        | None ->
-            let views =
-              [
-                pre.View.stable;
-                pre.View.stable_ow;
-                post.View.stable;
-                post.View.stable_ow;
-              ]
-            in
-            (* beyond the smallest stable size nothing is promised *)
-            let upto =
-              List.fold_left (fun a v -> min a (Bytes.length v)) max_int views
-            in
-            check_bytes ~upto recovered views)
-end
+module Litmus = Litmus
+module Minimize = Minimize
 
 (* ------------------------------------------------------------------ *)
 (* Trial runner                                                         *)

@@ -1,0 +1,754 @@
+(** Litmus corpus: small named crash-consistency workloads explored in
+    exhaustive reordering mode across six persistent-memory stacks
+    (DESIGN.md §5i).
+
+    Where {!Crashcheck} samples the crash-state space of long random
+    workloads, each litmus pattern is a handful of operations chosen so
+    that the persist-order journal's state space stays exhaustively
+    enumerable — every legal combination of lost cache lines at every
+    fence is replayed, recovered and checked. The patterns are the
+    classic application idioms from the Ferrite line of work
+    (create-then-rename, unfenced double append, the Chrome
+    append-and-rename profile, replace-via-truncate) plus two shapes
+    specific to this code base: a WAL commit with log rotation and the
+    staged-append/relink-publish sequence that SplitFS strict mode lives
+    on.
+
+    Enumerability depends on [Pmem.Device.journal_begin ~dedup:true]:
+    jbd2 journal blocks and fresh-block zeroing write all-zero content
+    over all-zero lines, and deduplicating those stores is what keeps a
+    pattern's crash space in the thousands instead of 2^60.
+
+    Each stack is checked against the strongest contract it claims
+    (paper Table 3): SplitFS strict is atomic, SplitFS sync and the
+    kernel file systems are synchronous-but-tearable, SplitFS POSIX
+    promises only fsync'd data. On top of the per-file differential
+    check every pattern carries a claim — a cross-file safety property
+    ("the destination of the rename always exists") evaluated on every
+    recovered crash state. *)
+
+(* ------------------------------------------------------------------ *)
+(* Stacks and contracts                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type stack_id =
+  | Ext4_dax
+  | Pmfs
+  | Nova_relaxed
+  | Splitfs_posix
+  | Splitfs_sync
+  | Splitfs_strict
+
+let all_stacks =
+  [ Ext4_dax; Pmfs; Nova_relaxed; Splitfs_posix; Splitfs_sync; Splitfs_strict ]
+
+let stack_name = function
+  | Ext4_dax -> "ext4-dax"
+  | Pmfs -> "pmfs"
+  | Nova_relaxed -> "nova-relaxed"
+  | Splitfs_posix -> "splitfs-posix"
+  | Splitfs_sync -> "splitfs-sync"
+  | Splitfs_strict -> "splitfs-strict"
+
+(** What a recovered file may legally look like.
+
+    [Sync_dax] is the kernel-file-system contract: sizes are pre- or
+    post-op (metadata ops are journalled and the simulator's DRAM
+    metadata survives the crash), bytes the pre-op state already covered
+    must be explained by the pre- or post-op content, and bytes beyond
+    the pre-op size are unconstrained — a freshly allocated block whose
+    data stores were lost reads back as zeros (or stale freed content),
+    which is exactly the non-atomic ext4-DAX behaviour the paper's
+    strict mode exists to fix. *)
+type contract = Atomic | Syncd | Posixd | Sync_dax
+
+let contract_of = function
+  | Splitfs_strict -> Atomic
+  | Splitfs_sync -> Syncd
+  | Splitfs_posix -> Posixd
+  | Ext4_dax | Pmfs | Nova_relaxed -> Sync_dax
+
+let contract_name = function
+  | Atomic -> "atomic"
+  | Syncd -> "sync"
+  | Posixd -> "posix"
+  | Sync_dax -> "sync-dax"
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Create of { slot : int; path : string }
+  | Write of { slot : int; at : int; len : int; seed : int }
+  | Fsync of { slot : int }
+  | Truncate of { slot : int; size : int }
+  | Rename of { src : string; dst : string }
+  | Unlink of { path : string }
+  | Checkpoint  (** relink_all on SplitFS, no-op on the kernel stacks *)
+
+(** Same deterministic content formula as {!Crashcheck.Workload} (the
+    modules are siblings inside the wrapped library, so the definition
+    is repeated rather than imported). *)
+let payload ~seed len =
+  Bytes.init len (fun i ->
+      Char.chr ((seed * 131 + (i * 7) + (i * i mod 251)) land 0xFF))
+
+type pattern = {
+  p_name : string;
+  p_doc : string;
+  p_initial : (string * int * int) list;
+      (** (path, length, payload seed); created and fsync'd before the
+          crash window opens, bound to slots 0..n-1 *)
+  p_paths : string list;  (** every path checked after recovery *)
+  p_ops : op list;
+  p_claim : contract -> (string -> Bytes.t option) -> string option;
+      (** safety property over the recovered state, [None] = holds *)
+}
+
+let no_claim _ _ = None
+
+let must_exist path what lookup =
+  match lookup path with
+  | Some _ -> None
+  | None -> Some (Printf.sprintf "%s: %s" path what)
+
+(** create + write + fsync + rename: the textbook atomic-replace idiom.
+    The destination must exist in every crash state, and under the
+    atomic contract its content is exactly the old or the new file. *)
+let create_rename =
+  {
+    p_name = "create-rename";
+    p_doc = "create tmp, write, fsync, rename over the destination";
+    p_initial = [ ("/f", 96, 1) ];
+    p_paths = [ "/f"; "/f.tmp" ];
+    p_ops =
+      [
+        Create { slot = 1; path = "/f.tmp" };
+        Write { slot = 1; at = 0; len = 96; seed = 2 };
+        Fsync { slot = 1 };
+        Rename { src = "/f.tmp"; dst = "/f" };
+      ];
+    p_claim =
+      (fun contract lookup ->
+        match lookup "/f" with
+        | None -> Some "/f lost: no crash state may drop the rename target"
+        | Some b when contract = Atomic ->
+            if
+              Bytes.equal b (payload ~seed:1 96)
+              || Bytes.equal b (payload ~seed:2 96)
+            then None
+            else Some "/f is neither the old nor the new content"
+        | Some _ -> None);
+  }
+
+(** Two appends with no fsync between them. Under the atomic contract
+    the second append must never be durable without the first — the
+    Ferrite prefix-append litmus. *)
+let two_appends =
+  {
+    p_name = "two-appends";
+    p_doc = "append A then B, no fsync: B must never survive without A";
+    p_initial = [ ("/log", 64, 3) ];
+    p_paths = [ "/log" ];
+    p_ops =
+      [
+        Write { slot = 0; at = 64; len = 64; seed = 4 };
+        Write { slot = 0; at = 128; len = 64; seed = 5 };
+      ];
+    p_claim =
+      (fun contract lookup ->
+        match (contract, lookup "/log") with
+        | _, None -> Some "/log lost"
+        | Atomic, Some b ->
+            let init = payload ~seed:3 64 in
+            let a = Bytes.cat init (payload ~seed:4 64) in
+            let ab = Bytes.cat a (payload ~seed:5 64) in
+            if List.exists (Bytes.equal b) [ init; a; ab ] then None
+            else Some "/log holds append B without append A (or a tear)"
+        | _ -> None);
+  }
+
+(** The Chrome profile-save bug shape: append into a temp file and
+    rename it over the live one with no fsync. The destination must
+    still exist in every crash state; its content is only constrained
+    by each stack's own contract (on POSIX-grade stacks it may well be
+    empty — that is the documented bug, not a violation). *)
+let chrome =
+  {
+    p_name = "chrome";
+    p_doc = "append to tmp, rename over live file, no fsync";
+    p_initial = [ ("/prefs", 64, 6) ];
+    p_paths = [ "/prefs"; "/prefs.tmp" ];
+    p_ops =
+      [
+        Create { slot = 1; path = "/prefs.tmp" };
+        Write { slot = 1; at = 0; len = 128; seed = 7 };
+        Rename { src = "/prefs.tmp"; dst = "/prefs" };
+      ];
+    p_claim = (fun _ lookup -> must_exist "/prefs" "rename target lost" lookup);
+  }
+
+(** Replace a file's content in place: truncate to zero, rewrite,
+    fsync twice (the second fsync has no new data and exercises the
+    kernel fsync fast path). *)
+let replace_truncate =
+  {
+    p_name = "replace-truncate";
+    p_doc = "truncate to 0, rewrite, fsync (twice)";
+    p_initial = [ ("/cfg", 128, 8) ];
+    p_paths = [ "/cfg" ];
+    p_ops =
+      [
+        Truncate { slot = 0; size = 0 };
+        Write { slot = 0; at = 0; len = 128; seed = 9 };
+        Fsync { slot = 0 };
+        Fsync { slot = 0 };
+      ];
+    p_claim =
+      (fun contract lookup ->
+        match (contract, lookup "/cfg") with
+        | _, None -> Some "/cfg lost"
+        | Atomic, Some b ->
+            if
+              Bytes.length b = 0
+              || Bytes.equal b (payload ~seed:8 128)
+              || Bytes.equal b (payload ~seed:9 128)
+            then None
+            else Some "/cfg is neither old, empty, nor the new content"
+        | _ -> None);
+  }
+
+(** Write-ahead-log commit with rotation: append a record, fsync it,
+    drop the previous log generation, checkpoint. Exercises the oplog
+    clear path and strict unlink logging. *)
+let wal_commit =
+  {
+    p_name = "wal-commit";
+    p_doc = "append record, fsync, unlink old log, checkpoint";
+    p_initial = [ ("/wal", 64, 10); ("/wal.old", 64, 11) ];
+    p_paths = [ "/wal"; "/wal.old" ];
+    p_ops =
+      [
+        Write { slot = 0; at = 64; len = 64; seed = 12 };
+        Fsync { slot = 0 };
+        Unlink { path = "/wal.old" };
+        Checkpoint;
+      ];
+    p_claim = (fun _ lookup -> must_exist "/wal" "live log lost" lookup);
+  }
+
+(** The SplitFS bread-and-butter sequence: staged appends, a relink at
+    fsync (boundary copies, publish entry), more staged appends, then a
+    checkpoint clearing the operation log. *)
+let relink_publish =
+  {
+    p_name = "relink-publish";
+    p_doc = "staged appends, relink at fsync, more appends, checkpoint";
+    p_initial = [ ("/data", 64, 13) ];
+    p_paths = [ "/data" ];
+    p_ops =
+      [
+        Write { slot = 0; at = 64; len = 64; seed = 14 };
+        Write { slot = 0; at = 128; len = 64; seed = 15 };
+        Fsync { slot = 0 };
+        Write { slot = 0; at = 192; len = 64; seed = 16 };
+        Checkpoint;
+      ];
+    p_claim = (fun _ lookup -> must_exist "/data" "file lost" lookup);
+  }
+
+(** The four Ferrite-style application patterns. *)
+let ferrite = [ create_rename; two_appends; chrome; replace_truncate ]
+
+let corpus = ferrite @ [ wal_commit; relink_publish ]
+
+let find_pattern name = List.find_opt (fun p -> p.p_name = name) corpus
+
+(* ------------------------------------------------------------------ *)
+(* Stack builders                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** One mounted stack under test. [b_read] is consulted only after
+    [b_recover]; on SplitFS it bypasses U-Split (whose DRAM caches died
+    with the process) and reads through the kernel. *)
+type built = {
+  b_env : Pmem.Env.t;
+  b_fs : Fsapi.Fs.t;
+  b_checkpoint : unit -> unit;
+  b_recover : unit -> unit;
+  b_read : unit -> Fsapi.Fs.t;
+}
+
+type builder = unit -> built
+
+(** Small and fast: every enumerated crash state rebuilds one of these. *)
+let env_capacity = 4 * 1024 * 1024
+
+let build_splitfs ?(tweak = fun c -> c) mode () =
+  let env = Pmem.Env.create ~capacity:env_capacity () in
+  let kfs = Kernelfs.Ext4.mkfs ~journal_len:(256 * 1024) env in
+  let sys = Kernelfs.Syscall.make kfs in
+  let cfg =
+    tweak
+      {
+        (Splitfs.Config.with_mode mode) with
+        Splitfs.Config.staging_files = 2;
+        staging_size = 64 * 1024;
+        oplog_size = 8 * 1024;
+      }
+  in
+  let u = Splitfs.Usplit.mount ~cfg ~sys ~env ~instance:0 () in
+  {
+    b_env = env;
+    b_fs = Splitfs.Usplit.as_fsapi u;
+    b_checkpoint = (fun () -> Splitfs.Usplit.relink_all u);
+    b_recover =
+      (fun () -> ignore (Splitfs.Recovery.recover ~sys ~env ~instance:0));
+    b_read = (fun () -> Kernelfs.Syscall.as_fsapi sys);
+  }
+
+let build_ext4 () =
+  let env = Pmem.Env.create ~capacity:env_capacity () in
+  let kfs = Kernelfs.Ext4.mkfs ~journal_len:(256 * 1024) env in
+  let sys = Kernelfs.Syscall.make kfs in
+  let fs = Kernelfs.Syscall.as_fsapi sys in
+  {
+    b_env = env;
+    b_fs = fs;
+    b_checkpoint = ignore;
+    b_recover = ignore;
+    b_read = (fun () -> fs);
+  }
+
+let build_pmfs () =
+  let env = Pmem.Env.create ~capacity:env_capacity () in
+  let p = Baselines.Pmfs.mkfs env in
+  let fs = Baselines.Pmfs.as_fsapi p in
+  {
+    b_env = env;
+    b_fs = fs;
+    b_checkpoint = ignore;
+    b_recover = ignore;
+    b_read = (fun () -> fs);
+  }
+
+let build_nova () =
+  (* NOVA reserves 4 MiB of per-inode log space up front *)
+  let env = Pmem.Env.create ~capacity:(2 * env_capacity) () in
+  let n = Baselines.Nova.mkfs env ~mode:Baselines.Nova.Relaxed in
+  let fs = Baselines.Nova.as_fsapi n in
+  {
+    b_env = env;
+    b_fs = fs;
+    b_checkpoint = ignore;
+    b_recover = ignore;
+    b_read = (fun () -> fs);
+  }
+
+let builder_of : stack_id -> builder = function
+  | Ext4_dax -> build_ext4
+  | Pmfs -> build_pmfs
+  | Nova_relaxed -> build_nova
+  | Splitfs_posix -> build_splitfs Splitfs.Config.Posix
+  | Splitfs_sync -> build_splitfs Splitfs.Config.Sync
+  | Splitfs_strict -> build_splitfs Splitfs.Config.Strict
+
+(* ------------------------------------------------------------------ *)
+(* Auxiliary configurations (fence-site coverage)                       *)
+(* ------------------------------------------------------------------ *)
+
+(** A degraded SplitFS: a sticky staging-preallocation fault forces
+    every staged write down the honest kernel-passthrough path, hitting
+    the [usplit:degraded-write] fence. The fault is cleared before
+    recovery — it models a full device at run time, not a broken one at
+    recovery time. *)
+let build_degraded mode () =
+  (* an empty pool forces every acquire through foreground
+     pre-allocation, where the sticky fault fires *)
+  let b =
+    build_splitfs ~tweak:(fun c -> { c with Splitfs.Config.staging_files = 0 })
+      mode ()
+  in
+  Faults.inject b.b_env.Pmem.Env.faults
+    (Faults.rfault ~origin:Faults.Staging_prealloc Faults.Alloc ~from:0
+       Faults.Sticky);
+  let recover = b.b_recover in
+  {
+    b with
+    b_recover =
+      (fun () ->
+        Faults.reset b.b_env.Pmem.Env.faults;
+        recover ());
+  }
+
+type aux = {
+  x_name : string;
+  x_stack : stack_id;
+  x_contract : contract;
+      (** both aux configurations route appends through the kernel, so
+          they are held to the kernel contract, not SplitFS sync *)
+  x_builder : builder;
+  x_pattern : pattern;
+}
+
+(** Configurations exercising fence sites the six main stacks never
+    reach: the degraded kernel-passthrough write and the Figure-3
+    split-without-staging ablation. *)
+let aux_combos =
+  [
+    {
+      x_name = "splitfs-sync-degraded";
+      x_stack = Splitfs_sync;
+      x_contract = Sync_dax;
+      x_builder = build_degraded Splitfs.Config.Sync;
+      x_pattern = two_appends;
+    };
+    {
+      x_name = "splitfs-sync-nostaging";
+      x_stack = Splitfs_sync;
+      x_contract = Sync_dax;
+      x_builder =
+        build_splitfs
+          ~tweak:(fun c -> { c with Splitfs.Config.use_staging = false })
+          Splitfs.Config.Sync;
+      x_pattern = two_appends;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep trial runner                                                *)
+(* ------------------------------------------------------------------ *)
+
+let slot_count p =
+  let m =
+    List.fold_left
+      (fun a op ->
+        match op with
+        | Create { slot; _ }
+        | Write { slot; _ }
+        | Fsync { slot }
+        | Truncate { slot; _ } ->
+            max a slot
+        | Rename _ | Unlink _ | Checkpoint -> a)
+      (List.length p.p_initial - 1)
+      p.p_ops
+  in
+  m + 1
+
+(** Create and fsync the initial files: the crash window opens on a
+    fully durable state. *)
+let setup p (fs : Fsapi.Fs.t) =
+  let slots = Array.make (slot_count p) None in
+  List.iteri
+    (fun i (path, len, seed) ->
+      let fd = fs.Fsapi.Fs.open_ path Fsapi.Flags.create_rw in
+      if len > 0 then
+        ignore (fs.Fsapi.Fs.pwrite fd ~buf:(payload ~seed len) ~boff:0 ~len ~at:0);
+      fs.Fsapi.Fs.fsync fd;
+      slots.(i) <- Some fd)
+    p.p_initial;
+  slots
+
+let fdx slots i =
+  match slots.(i) with
+  | Some fd -> fd
+  | None -> invalid_arg "litmus: op on a slot no Create filled"
+
+let apply (fs : Fsapi.Fs.t) ~checkpoint slots op =
+  match op with
+  | Create { slot; path } ->
+      slots.(slot) <- Some (fs.Fsapi.Fs.open_ path Fsapi.Flags.create_rw)
+  | Write { slot; at; len; seed } ->
+      ignore
+        (fs.Fsapi.Fs.pwrite (fdx slots slot) ~buf:(payload ~seed len) ~boff:0
+           ~len ~at)
+  | Fsync { slot } -> fs.Fsapi.Fs.fsync (fdx slots slot)
+  | Truncate { slot; size } -> fs.Fsapi.Fs.ftruncate (fdx slots slot) size
+  | Rename { src; dst } -> fs.Fsapi.Fs.rename src dst
+  | Unlink { path } -> fs.Fsapi.Fs.unlink path
+  | Checkpoint -> checkpoint ()
+
+(** The oracle has no relink: checkpoint makes everything durable. *)
+let oracle_checkpoint (ofs : Fsapi.Fs.t) oslots () =
+  Array.iter
+    (function Some fd -> ofs.Fsapi.Fs.fsync fd | None -> ())
+    oslots
+
+(** Run the pattern once to completion with the persist-order journal
+    on (store dedup enabled). Returns every crash point — one per fence
+    plus the end of the trace — and the per-site fence hits inside the
+    window (the evidence the coverage test and the minimizer work from). *)
+let profile (builder : builder) p =
+  let b = builder () in
+  let slots = setup p b.b_fs in
+  let dev = b.b_env.Pmem.Env.dev in
+  let before =
+    List.map
+      (fun (i, _) -> (i, Pmem.Device.fence_site_hits i))
+      (Pmem.Device.fence_sites ())
+  in
+  Pmem.Device.journal_begin ~dedup:true dev;
+  List.iter (apply b.b_fs ~checkpoint:b.b_checkpoint slots) p.p_ops;
+  let nf = Pmem.Device.fence_count dev in
+  let points =
+    List.init nf (fun i ->
+        { Explore.fence = i; pending = Pmem.Device.fence_pending dev i })
+    @ [ { Explore.fence = nf; pending = Pmem.Device.pending_now dev } ]
+  in
+  Pmem.Device.journal_stop dev;
+  let hits =
+    List.filter_map
+      (fun (i, h0) ->
+        let d = Pmem.Device.fence_site_hits i - h0 in
+        if d > 0 then Some (i, d) else None)
+      before
+  in
+  (points, hits)
+
+let snap (oracle : Fsapi.Ref_fs.oracle) paths =
+  List.map
+    (fun path ->
+      ( path,
+        match
+          (oracle.Fsapi.Ref_fs.dump path, oracle.Fsapi.Ref_fs.dump_stable path)
+        with
+        | Some cur, Some (stable, stable_ow) -> Some { View.cur; stable; stable_ow }
+        | _ -> None ))
+    paths
+
+(** Post-recovery file content as the surviving stack serves it;
+    [None] = the path no longer exists. *)
+let read_back (fs : Fsapi.Fs.t) path =
+  match fs.Fsapi.Fs.stat path with
+  | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> None
+  | st ->
+      let size = st.Fsapi.Fs.st_size in
+      let fd = fs.Fsapi.Fs.open_ path Fsapi.Flags.rdonly in
+      Fun.protect
+        ~finally:(fun () -> fs.Fsapi.Fs.close fd)
+        (fun () ->
+          let buf = Bytes.create size in
+          let got =
+            if size = 0 then 0
+            else fs.Fsapi.Fs.pread fd ~buf ~boff:0 ~len:size ~at:0
+          in
+          Some (Bytes.sub buf 0 got))
+
+let check_content contract ~pre ~post recovered =
+  match contract with
+  | Atomic -> Check.check Splitfs.Config.Strict ~pre ~post recovered
+  | Syncd -> Check.check Splitfs.Config.Sync ~pre ~post recovered
+  | Posixd -> Check.check Splitfs.Config.Posix ~pre ~post recovered
+  | Sync_dax -> (
+      match
+        Check.check_size recovered
+          [ Bytes.length pre.View.cur; Bytes.length post.View.cur ]
+      with
+      | Some e -> Some e
+      | None ->
+          (* bytes the pre state covered must be explained; bytes the
+             in-flight op newly exposed are unconstrained (fresh-block
+             zeros or stale freed content — non-atomic kernel FS) *)
+          Check.check_bytes
+            ~upto:(Bytes.length pre.View.cur)
+            recovered
+            [ pre.View.cur; post.View.cur ])
+
+(** Existence plus content: a path may only appear or disappear if the
+    operation in flight could have done it. *)
+let check_file contract ~pre ~post recovered =
+  match recovered with
+  | None ->
+      if Option.is_none pre || Option.is_none post then None
+      else Some "file lost: present in both the pre- and post-op state"
+  | Some b ->
+      if Option.is_none pre && Option.is_none post then
+        Some "file resurrected: absent in both oracle states"
+      else
+        check_content contract
+          ~pre:(Option.value pre ~default:View.empty)
+          ~post:(Option.value post ~default:View.empty)
+          b
+
+type trial = {
+  t_crashed_at : int option;
+      (** index of the op in flight, [None] = end of trace *)
+  t_recovered : (string * Bytes.t option) list;
+  t_violations : (string option * string) list;
+      (** (path, reason); path [None] = the pattern claim failed *)
+}
+
+(** One crash state end to end: fresh stack, lockstep replay against
+    the {!Fsapi.Ref_fs} oracle, crash injection, recovery, read-back,
+    per-file contract check plus the pattern claim. *)
+let run_trial (builder : builder) p contract ~(point : Explore.point)
+    ~survivors =
+  let b = builder () in
+  let slots = setup p b.b_fs in
+  let ofs, oracle = Fsapi.Ref_fs.make_oracle () in
+  let oslots = setup p ofs in
+  let dev = b.b_env.Pmem.Env.dev in
+  Pmem.Device.journal_begin ~dedup:true dev;
+  Pmem.Device.arm_crash dev ~fence:point.Explore.fence ~survivors;
+  let ocp = oracle_checkpoint ofs oslots in
+  let pre = ref [] and post = ref [] and crashed_at = ref None in
+  let rec go k = function
+    | [] ->
+        (* armed fence past the last one: crash at the end of the trace *)
+        pre := snap oracle p.p_paths;
+        post := !pre;
+        Pmem.Device.crash_partial dev ~survivors
+    | op :: rest -> (
+        match apply b.b_fs ~checkpoint:b.b_checkpoint slots op with
+        | () ->
+            apply ofs ~checkpoint:ocp oslots op;
+            go (k + 1) rest
+        | exception Pmem.Device.Crashed ->
+            crashed_at := Some k;
+            pre := snap oracle p.p_paths;
+            apply ofs ~checkpoint:ocp oslots op;
+            post := snap oracle p.p_paths)
+  in
+  go 0 p.p_ops;
+  Pmem.Device.resume dev;
+  Pmem.Device.journal_stop dev;
+  b.b_recover ();
+  let rfs = b.b_read () in
+  let recovered = List.map (fun path -> (path, read_back rfs path)) p.p_paths in
+  let violations = ref [] in
+  List.iter
+    (fun path ->
+      match
+        check_file contract
+          ~pre:(List.assoc path !pre)
+          ~post:(List.assoc path !post)
+          (List.assoc path recovered)
+      with
+      | None -> ()
+      | Some reason -> violations := (Some path, reason) :: !violations)
+    p.p_paths;
+  (match
+     p.p_claim contract (fun path ->
+         Option.join (List.assoc_opt path recovered))
+   with
+  | None -> ()
+  | Some reason -> violations := (None, reason) :: !violations);
+  {
+    t_crashed_at = !crashed_at;
+    t_recovered = recovered;
+    t_violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type violation = {
+  vl_path : string option;  (** [None] = pattern-claim violation *)
+  vl_reason : string;
+  vl_fence : int;
+  vl_op : int option;
+  vl_survivors : Pmem.Device.survivor list;
+}
+
+type run = {
+  r_pattern : string;
+  r_stack : stack_id;
+  r_config : string;  (** stack name, or an aux configuration name *)
+  r_contract : contract;
+  r_points : int;  (** crash points: fences + end of trace *)
+  r_states : int;  (** crash states enumerated — all of them *)
+  r_violations : violation list;
+}
+
+(** Litmus is exhaustive by construction: a pattern whose crash space
+    outgrows this per-point cap is a corpus bug, not a sampling
+    opportunity. *)
+let max_point_states = 4096
+
+let run_pattern ?builder ?config ?contract p stack =
+  let builder =
+    match builder with Some b -> b | None -> builder_of stack
+  in
+  let config = Option.value config ~default:(stack_name stack) in
+  let contract = Option.value contract ~default:(contract_of stack) in
+  let points, _ = profile builder p in
+  let states = ref 0 and violations = ref [] in
+  List.iter
+    (fun (pt : Explore.point) ->
+      let n = Explore.state_count pt.Explore.pending in
+      if n > max_point_states then
+        failwith
+          (Printf.sprintf
+             "litmus %s on %s: %d crash states at fence %d exceed the \
+              exhaustive cap %d"
+             p.p_name config n pt.Explore.fence max_point_states);
+      states := !states + n;
+      List.iter
+        (fun svs ->
+          let t = run_trial builder p contract ~point:pt ~survivors:svs in
+          List.iter
+            (fun (path, reason) ->
+              violations :=
+                {
+                  vl_path = path;
+                  vl_reason = reason;
+                  vl_fence = pt.Explore.fence;
+                  vl_op = t.t_crashed_at;
+                  vl_survivors = svs;
+                }
+                :: !violations)
+            t.t_violations)
+        (Explore.enumerate pt.Explore.pending))
+    points;
+  {
+    r_pattern = p.p_name;
+    r_stack = stack;
+    r_config = config;
+    r_contract = contract;
+    r_points = List.length points;
+    r_states = !states;
+    r_violations = List.rev !violations;
+  }
+
+(** The whole corpus across all six stacks, exhaustively. *)
+let run_corpus () =
+  List.concat_map
+    (fun p -> List.map (fun s -> run_pattern p s) all_stacks)
+    corpus
+
+(** The auxiliary coverage configurations (exhaustive as well — their
+    patterns are sized to stay enumerable). *)
+let run_aux () =
+  List.map
+    (fun x ->
+      run_pattern ~builder:x.x_builder ~config:x.x_name ~contract:x.x_contract
+        x.x_pattern x.x_stack)
+    aux_combos
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v2>fence %d%a%a: %s@,survivors: @[%a@]@]" v.vl_fence
+    (fun ppf -> function
+      | Some k -> Fmt.pf ppf " (op %d in flight)" k
+      | None -> ())
+    v.vl_op
+    (fun ppf -> function
+      | Some p -> Fmt.pf ppf ", %s" p
+      | None -> Fmt.string ppf ", claim")
+    v.vl_path v.vl_reason
+    Fmt.(
+      list ~sep:semi (fun ppf (s : Pmem.Device.survivor) ->
+          Fmt.pf ppf "line %d keep %d" s.s_line s.s_keep))
+    v.vl_survivors
+
+let pp_run ppf r =
+  Fmt.pf ppf
+    "@[<v2>%-16s %-22s %-8s %3d points %5d states (exhaustive)  %d \
+     violation(s)%a@]"
+    r.r_pattern r.r_config
+    (contract_name r.r_contract)
+    r.r_points r.r_states
+    (List.length r.r_violations)
+    Fmt.(list ~sep:nop (fun ppf v -> Fmt.pf ppf "@,%a" pp_violation v))
+    r.r_violations

@@ -1,0 +1,215 @@
+(** Fence minimization over the litmus corpus (DESIGN.md §5i).
+
+    Every [Device.fence]/[flush] call site in the SplitFS user-space
+    library, the oplog, and the kernel journal is registered with a
+    site id. This module asks, for each site: is that fence load-bearing
+    for crash consistency, or is it covered by a later fence on every
+    path that matters?
+
+    The method is elision, not reasoning: a site is switched off at the
+    device (the fence's persist-order commit, its simulated-time charge
+    and its stats all vanish — a faithful model of deleting the call),
+    and the entire litmus corpus is re-explored *exhaustively* on every
+    configuration where the site fires inside a crash window. A site is
+
+    - REQUIRED if some crash state of some pattern then violates its
+      stack's contract — the verdict carries the violating state, shrunk
+      to a minimal set of lost lines;
+    - REDUNDANT if every crash state of every combination where the
+      site fires still recovers correctly. Because the exploration is
+      exhaustive (the litmus corpus is built to stay enumerable), this
+      is a proof relative to the corpus and the simulator's persist
+      semantics, not a sampled impression;
+    - UNEXERCISED if the site never fires inside any corpus crash
+      window (e.g. mount-time initialisation) — no verdict, the fence
+      stays.
+
+    Only REDUNDANT sites are candidates for physical removal; the
+    corresponding source deletions and their simulated-time effect are
+    recorded in EXPERIMENTS.md. *)
+
+(* ------------------------------------------------------------------ *)
+(* Combinations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type combo = {
+  c_name : string;  (** "pattern/config" *)
+  c_config : string;
+  c_builder : Litmus.builder;
+  c_pattern : Litmus.pattern;
+  c_stack : Litmus.stack_id;
+  c_contract : Litmus.contract;
+}
+
+(** The full corpus × stack matrix plus the auxiliary coverage
+    configurations — everything litmus itself checks. *)
+let all_combos () =
+  List.concat_map
+    (fun (p : Litmus.pattern) ->
+      List.map
+        (fun s ->
+          {
+            c_name = p.Litmus.p_name ^ "/" ^ Litmus.stack_name s;
+            c_config = Litmus.stack_name s;
+            c_builder = Litmus.builder_of s;
+            c_pattern = p;
+            c_stack = s;
+            c_contract = Litmus.contract_of s;
+          })
+        Litmus.all_stacks)
+    Litmus.corpus
+  @ List.map
+      (fun (x : Litmus.aux) ->
+        {
+          c_name = x.Litmus.x_pattern.Litmus.p_name ^ "/" ^ x.Litmus.x_name;
+          c_config = x.Litmus.x_name;
+          c_builder = x.Litmus.x_builder;
+          c_pattern = x.Litmus.x_pattern;
+          c_stack = x.Litmus.x_stack;
+          c_contract = x.Litmus.x_contract;
+        })
+      Litmus.aux_combos
+
+(** Combos in whose crash window [site] fires, from one un-elided
+    profiling pass per combo. *)
+let firing_combos combos site =
+  List.filter
+    (fun c ->
+      let _, hits = Litmus.profile c.c_builder c.c_pattern in
+      List.mem_assoc site hits)
+    combos
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking a counterexample                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Greedily restore lost lines to fully-persisted while the violation
+    survives: what remains is the minimal deviation that breaks
+    recovery without the elided fence. Runs with the elision still
+    active. *)
+let shrink ?(budget = 48) c (v : Litmus.violation) =
+  let points, _ = Litmus.profile c.c_builder c.c_pattern in
+  match
+    List.find_opt
+      (fun (p : Explore.point) -> p.Explore.fence = v.Litmus.vl_fence)
+      points
+  with
+  | None -> v
+  | Some point ->
+      let budget = ref budget in
+      let full_keep line =
+        match
+          Array.to_list point.Explore.pending
+          |> List.find_opt (fun (p : Pmem.Device.pending_line) ->
+                 p.Pmem.Device.p_line = line)
+        with
+        | Some p -> p.Pmem.Device.p_versions
+        | None -> 0
+      in
+      let violates svs =
+        decr budget;
+        (Litmus.run_trial c.c_builder c.c_pattern c.c_contract ~point
+           ~survivors:svs)
+          .Litmus.t_violations
+        <> []
+      in
+      let current = ref v.Litmus.vl_survivors in
+      let progress = ref true in
+      while !progress && !budget > 0 do
+        progress := false;
+        List.iter
+          (fun (s : Pmem.Device.survivor) ->
+            let n = full_keep s.Pmem.Device.s_line in
+            if (s.Pmem.Device.s_keep <> n || s.Pmem.Device.s_tear <> 0)
+               && !budget > 0
+            then begin
+              let cand =
+                List.map
+                  (fun (s' : Pmem.Device.survivor) ->
+                    if s'.Pmem.Device.s_line = s.Pmem.Device.s_line then
+                      { s' with Pmem.Device.s_keep = n; s_tear = 0 }
+                    else s')
+                  !current
+              in
+              if violates cand then begin
+                current := cand;
+                progress := true
+              end
+            end)
+          !current
+      done;
+      {
+        v with
+        Litmus.vl_survivors =
+          List.filter
+            (fun (s : Pmem.Device.survivor) ->
+              s.Pmem.Device.s_keep <> full_keep s.Pmem.Device.s_line
+              || s.Pmem.Device.s_tear <> 0)
+            !current;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Per-site classification                                              *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Required of {
+      q_combo : string;  (** where the counterexample lives *)
+      q_violation : Litmus.violation;  (** shrunk *)
+    }
+  | Redundant of {
+      q_combos : int;  (** combinations the site fires in *)
+      q_states : int;  (** crash states exhaustively re-checked *)
+    }
+  | Unexercised  (** never fires inside a corpus crash window *)
+
+type site_report = { s_site : int; s_name : string; s_verdict : verdict }
+
+(** Classify one site against [combos] (default: everything). *)
+let classify ?combos site =
+  let combos = match combos with Some c -> c | None -> all_combos () in
+  match firing_combos combos site with
+  | [] -> Unexercised
+  | firing ->
+      Pmem.Device.elide_fence_site site;
+      Fun.protect ~finally:Pmem.Device.clear_fence_elision @@ fun () ->
+      let states = ref 0 in
+      let rec go = function
+        | [] ->
+            Redundant { q_combos = List.length firing; q_states = !states }
+        | c :: rest -> (
+            let r =
+              Litmus.run_pattern ~builder:c.c_builder ~config:c.c_config
+                ~contract:c.c_contract c.c_pattern c.c_stack
+            in
+            states := !states + r.Litmus.r_states;
+            match r.Litmus.r_violations with
+            | [] -> go rest
+            | v :: _ -> Required { q_combo = c.c_name; q_violation = shrink c v })
+      in
+      go firing
+
+(** Classify every registered site. *)
+let run ?combos () =
+  let combos = match combos with Some c -> c | None -> all_combos () in
+  List.map
+    (fun (site, name) ->
+      { s_site = site; s_name = name; s_verdict = classify ~combos site })
+    (Pmem.Device.fence_sites ())
+
+let verdict_name = function
+  | Required _ -> "REQUIRED"
+  | Redundant _ -> "REDUNDANT"
+  | Unexercised -> "unexercised"
+
+let pp_verdict ppf = function
+  | Required { q_combo; q_violation } ->
+      Fmt.pf ppf "REQUIRED    counterexample in %s: %a" q_combo
+        Litmus.pp_violation q_violation
+  | Redundant { q_combos; q_states } ->
+      Fmt.pf ppf "REDUNDANT   %d combos, %d crash states, all recover" q_combos
+        q_states
+  | Unexercised -> Fmt.string ppf "unexercised (kept)"
+
+let pp_site_report ppf r =
+  Fmt.pf ppf "@[<v2>%-26s %a@]" r.s_name pp_verdict r.s_verdict

@@ -1,0 +1,10 @@
+(** What the differential oracle knows about one file at one instant. *)
+
+type t = {
+  cur : Bytes.t;  (** current (volatile) content *)
+  stable : Bytes.t;  (** content as of the last fsync *)
+  stable_ow : Bytes.t;
+      (** [stable] with post-fsync in-place overwrites applied *)
+}
+
+let empty = { cur = Bytes.empty; stable = Bytes.empty; stable_ow = Bytes.empty }

@@ -851,6 +851,76 @@ let faultcheck ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3)
   end;
   reports
 
+(* ------------------------------------------------------------------ *)
+(* Litmus: named crash patterns, exhaustively, plus fence minimization  *)
+(* (§5i)                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** The litmus corpus (Ferrite-style patterns plus SplitFS-specific
+    WAL-commit and relink-publish) explored {e exhaustively} on every
+    stack × mode combination, followed — unless [minimize:false] — by
+    the fence minimizer's per-site verdicts: each registered
+    [Device.fence] site elided and the whole corpus re-explored to
+    decide whether it is load-bearing (REQUIRED, with a shrunk
+    counterexample) or covered by later ordering (REDUNDANT, an
+    exhaustive proof relative to the corpus). *)
+let litmus ?(minimize = true) ?(print = true) () =
+  let runs = Crashcheck.Litmus.run_corpus () @ Crashcheck.Litmus.run_aux () in
+  if print then begin
+    Runner.print_table
+      ~title:"Litmus corpus: exhaustive crash-state exploration"
+      [ "pattern"; "stack"; "contract"; "crash points"; "states"; "violations" ]
+      (List.map
+         (fun (r : Crashcheck.Litmus.run) ->
+           [
+             r.Crashcheck.Litmus.r_pattern;
+             r.Crashcheck.Litmus.r_config;
+             Crashcheck.Litmus.contract_name r.Crashcheck.Litmus.r_contract;
+             string_of_int r.Crashcheck.Litmus.r_points;
+             string_of_int r.Crashcheck.Litmus.r_states;
+             string_of_int (List.length r.Crashcheck.Litmus.r_violations);
+           ])
+         runs);
+    List.iter
+      (fun (r : Crashcheck.Litmus.run) ->
+        List.iter
+          (fun v ->
+            Fmt.pr "%s/%s: %a@." r.Crashcheck.Litmus.r_pattern
+              r.Crashcheck.Litmus.r_config Crashcheck.Litmus.pp_violation v)
+          r.Crashcheck.Litmus.r_violations)
+      runs
+  end;
+  let verdicts = if minimize then Crashcheck.Minimize.run () else [] in
+  if print && minimize then begin
+    Runner.print_table
+      ~title:"Fence minimization: per-site verdicts (exhaustive elision)"
+      [ "fence site"; "verdict"; "evidence" ]
+      (List.map
+         (fun (s : Crashcheck.Minimize.site_report) ->
+           [
+             s.Crashcheck.Minimize.s_name;
+             Crashcheck.Minimize.verdict_name s.Crashcheck.Minimize.s_verdict;
+             (match s.Crashcheck.Minimize.s_verdict with
+             | Crashcheck.Minimize.Required { q_combo; _ } ->
+                 "counterexample in " ^ q_combo
+             | Crashcheck.Minimize.Redundant { q_combos; q_states } ->
+                 Printf.sprintf "%d combos, %d states, all recover" q_combos
+                   q_states
+             | Crashcheck.Minimize.Unexercised ->
+                 "outside every crash window");
+           ])
+         verdicts);
+    List.iter
+      (fun (s : Crashcheck.Minimize.site_report) ->
+        match s.Crashcheck.Minimize.s_verdict with
+        | Crashcheck.Minimize.Required { q_combo; q_violation } ->
+            Fmt.pr "%s @@ %s: %a@." s.Crashcheck.Minimize.s_name q_combo
+              Crashcheck.Litmus.pp_violation q_violation
+        | _ -> ())
+      verdicts
+  end;
+  (runs, verdicts)
+
 type degraded_row = {
   dg_spec : spec;
   dg_variant : string;  (** ["healthy"] or ["degraded"] *)

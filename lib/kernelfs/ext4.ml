@@ -14,6 +14,10 @@
 open Pmem
 
 let block_size = 4096
+
+(* Registered fence sites (fence minimization, crashcheck litmus). *)
+let site_pwrite = Device.register_fence_site "ext4:pwrite"
+let site_fsync_fast = Device.register_fence_site "ext4:fsync-fast"
 let blocks_per_huge = 512 (* 2 MB *)
 
 type inode = {
@@ -439,7 +443,7 @@ let pwrite t inode ~off buf ~boff ~len =
          else (timing t).Timing.ext4_write_cpu);
       let meta = write_data t inode ~off buf ~boff ~len in
       stage_meta t meta;
-      Device.fence t.env.Env.dev;
+      Device.fence ~site:site_pwrite t.env.Env.dev;
       len)
 
 (** pread(2): DAX read, media cost charged per contiguous extent. *)
@@ -545,7 +549,7 @@ let fsync t inode =
   end
   else
     (* no running transaction: jbd2 fast path *)
-    Device.fence t.env.Env.dev
+    Device.fence ~site:site_fsync_fast t.env.Env.dev
 
 (* ------------------------------------------------------------------ *)
 (* swap_extents — the kernel half of relink                             *)

@@ -66,9 +66,55 @@ type journal = {
           fence committed (or would have committed) *)
   mutable j_trip_fence : int;  (** fence index to crash at; -1 = disarmed *)
   mutable j_trip_survivors : survivor list;
+  j_dedup : bool;
+      (** collapse stores whose post-store line content equals the line's
+          current frontier (newest pending version, or the base when none
+          is pending). Identical content means identical crash outcome —
+          keeping the duplicate only multiplies the survivor space — so
+          exhaustive litmus exploration turns this on. Notably it erases
+          the all-zero jbd2 journal-block traffic over a zeroed journal
+          area, which would otherwise add 64 one-version lines per
+          commit. *)
 }
 
 exception Crashed
+
+(* ------------------------------------------------------------------ *)
+(* Fence-site registry (fence minimization support)                     *)
+(*                                                                      *)
+(* Every ordering instruction the file-system layers issue registers a   *)
+(* named site id at module initialisation and passes it to [fence]/      *)
+(* [flush]. The minimizer elides one site at a time — a faithful model   *)
+(* of deleting that sfence/clwb from the source: no ordering commit, no  *)
+(* simulated-time charge, no stats — and lets exhaustive crash-state     *)
+(* exploration either prove the site redundant or exhibit a              *)
+(* counterexample. The registry is global (sites are source locations,   *)
+(* not per-device state); hit counters feed the coverage test.           *)
+(* ------------------------------------------------------------------ *)
+
+type fence_site = { fs_name : string; mutable fs_hits : int }
+
+let fence_site_registry : fence_site array ref = ref [||]
+let elided_fence_site : int ref = ref (-1)
+
+let register_fence_site name =
+  let id = Array.length !fence_site_registry in
+  fence_site_registry :=
+    Array.append !fence_site_registry [| { fs_name = name; fs_hits = 0 } |];
+  id
+
+let fence_sites () =
+  Array.to_list (Array.mapi (fun i s -> (i, s.fs_name)) !fence_site_registry)
+
+let fence_site_name i = !fence_site_registry.(i).fs_name
+let fence_site_hits i = !fence_site_registry.(i).fs_hits
+
+let reset_fence_site_hits () =
+  Array.iter (fun s -> s.fs_hits <- 0) !fence_site_registry
+
+let elide_fence_site i = elided_fence_site := i
+let clear_fence_elision () = elided_fence_site := -1
+let elided_site () = if !elided_fence_site < 0 then None else Some !elided_fence_site
 
 type t = {
   capacity : int;
@@ -320,6 +366,11 @@ let j_reached t jl line =
           };
         ]
 
+(** The line's current frontier content: newest pending version, or the
+    fence-committed base when nothing is pending. *)
+let j_frontier jl =
+  match jl.jversions with v :: _ -> v.vdata | [] -> jl.jbase
+
 (** After a temporal store: push one unreached version per touched line,
     holding the line's full post-store cached content. *)
 let j_store t ~addr ~len =
@@ -329,13 +380,12 @@ let j_store t ~addr ~len =
       let first = addr / line_size and last = (addr + len - 1) / line_size in
       for line = first to last do
         let jl = j_touch j t line in
-        jl.jversions <-
-          {
-            vdata = Bytes.sub t.shadow (line * line_size) line_size;
-            nt = false;
-            reached = false;
-          }
-          :: jl.jversions
+        let vdata = Bytes.sub t.shadow (line * line_size) line_size in
+        (* identical content, identical crash outcomes: surviving the
+           duplicate is indistinguishable from surviving its predecessor *)
+        if not (j.j_dedup && Bytes.equal vdata (j_frontier jl)) then
+          jl.jversions <-
+            { vdata; nt = false; reached = false } :: jl.jversions
       done
 
 (** Before an NT store's writeback/blit: capture line bases and mark
@@ -360,13 +410,16 @@ let j_store_nt_post t ~addr ~len =
       let first = addr / line_size and last = (addr + len - 1) / line_size in
       for line = first to last do
         let jl = j_touch j t line in
-        jl.jversions <-
-          {
-            vdata = Bytes.sub t.persistent (line * line_size) line_size;
-            nt = true;
-            reached = true;
-          }
-          :: jl.jversions
+        let vdata = Bytes.sub t.persistent (line * line_size) line_size in
+        if j.j_dedup && Bytes.equal vdata (j_frontier jl) then
+          (* content already at the frontier; the NT store still reaches
+             the persistence domain, so promote the frontier (a tear
+             against identical content is a no-op) *)
+          (match jl.jversions with
+          | v :: _ -> v.reached <- true
+          | [] -> () (* equals the committed base: nothing new pending *))
+        else
+          jl.jversions <- { vdata; nt = true; reached = true } :: jl.jversions
       done
 
 (** Before a flush writes dirty lines back: mark their newest cached
@@ -549,11 +602,25 @@ let store_nt t ~addr src ~off ~len =
 (* Flush / fence                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(** An instrumented call site executed (only live devices count: a halted
+    device is unwinding out of a chosen crash image). *)
+let site_hit site t =
+  if site >= 0 && not t.halted then begin
+    let s = !fence_site_registry.(site) in
+    s.fs_hits <- s.fs_hits + 1
+  end
+
+let site_elided site = site >= 0 && site = !elided_fence_site
+
 (** Flush (clwb) every dirty line intersecting [addr, addr+len): only set
-    bits in the range are visited, clean words are skipped wholesale. *)
-let flush t ~addr ~len =
+    bits in the range are visited, clean words are skipped wholesale.
+    [site]: registered call-site id; an elided site skips the whole flush
+    — writebacks, charges and stats — exactly as if the clwb loop were
+    deleted from the source. *)
+let flush ?(site = -1) t ~addr ~len =
   assert (check_range t addr len);
-  if len > 0 && not t.halted then begin
+  site_hit site t;
+  if len > 0 && (not t.halted) && not (site_elided site) then begin
     j_flush t ~addr ~len;
     if t.dirty_count = 0 then
       t.stats.Stats.fast_path_hits <- t.stats.Stats.fast_path_hits + 1
@@ -591,8 +658,12 @@ let flush t ~addr ~len =
     end
   end
 
-let fence t =
-  if not t.halted then begin
+(** [site]: registered call-site id; an elided site skips the whole fence
+    — no journal commit, no armed-crash trip, no time charge, no stats —
+    exactly as if the sfence were deleted from the source. *)
+let fence ?(site = -1) t =
+  site_hit site t;
+  if (not t.halted) && not (site_elided site) then begin
     (match t.journal with
     | None -> ()
     | Some j ->
@@ -844,7 +915,7 @@ let reset_faults t =
 (* Persist-order journal API                                            *)
 (* ------------------------------------------------------------------ *)
 
-let journal_begin t =
+let journal_begin ?(dedup = false) t =
   t.journal <-
     Some
       {
@@ -853,6 +924,7 @@ let journal_begin t =
         j_fence_pending = Hashtbl.create 64;
         j_trip_fence = -1;
         j_trip_survivors = [];
+        j_dedup = dedup;
       }
 
 let journal_stop t = t.journal <- None

@@ -30,11 +30,46 @@ val store : t -> addr:int -> Bytes.t -> off:int -> len:int -> unit
     fence orders it. Invalidates stale cached lines it covers. *)
 val store_nt : t -> addr:int -> Bytes.t -> off:int -> len:int -> unit
 
-(** Flush (clwb) every dirty line intersecting the range. *)
-val flush : t -> addr:int -> len:int -> unit
+(** Flush (clwb) every dirty line intersecting the range. [site] is a
+    registered fence-site id (see {!register_fence_site}); an elided site
+    skips the whole flush, as if the clwb loop were deleted. *)
+val flush : ?site:int -> t -> addr:int -> len:int -> unit
 
-(** Ordering fence (sfence). *)
-val fence : t -> unit
+(** Ordering fence (sfence). [site] as for {!flush}; an elided site skips
+    the fence entirely — no journal commit, no time charge. *)
+val fence : ?site:int -> t -> unit
+
+(** {1 Fence-site registry (fence minimization)}
+
+    Ordering instructions in the file-system layers register a named call
+    site once (at module initialisation) and pass the id to [fence] and
+    [flush]. The registry is global — sites are source locations, not
+    per-device state. Eliding a site models deleting that sfence/clwb
+    from the source; {!Crashcheck} exploration then proves the site
+    redundant or exhibits a counterexample crash state. *)
+
+val register_fence_site : string -> int
+(** Register a named call site; returns its id. *)
+
+val fence_sites : unit -> (int * string) list
+(** All registered sites, in registration order. *)
+
+val fence_site_name : int -> string
+
+val fence_site_hits : int -> int
+(** Executions of the site since the last {!reset_fence_site_hits}
+    (halted devices don't count; elided executions do). *)
+
+val reset_fence_site_hits : unit -> unit
+
+val elide_fence_site : int -> unit
+(** Suppress the given site everywhere until {!clear_fence_elision}. At
+    most one site is elided at a time (matching one-fence-at-a-time
+    minimization). *)
+
+val clear_fence_elision : unit -> unit
+
+val elided_site : unit -> int option
 
 (** Load into [dst]; dirty lines are served from the cache at cache speed,
     the rest is charged PM media cost with sequential/random latency
@@ -150,9 +185,15 @@ type pending_line = { p_line : int; p_versions : int; p_nt_mask : int }
 exception Crashed
 (** Raised by [fence] when an armed crash trips. *)
 
-val journal_begin : t -> unit
+val journal_begin : ?dedup:bool -> t -> unit
 (** Start (or restart) persist-order journaling. Call at a quiescent
-    point — ideally with no dirty lines and no armed crash. *)
+    point — ideally with no dirty lines and no armed crash. [dedup]
+    (default false) collapses stores whose post-store line content equals
+    the line's current frontier (newest pending version, or the base):
+    identical content means identical crash outcomes, so the duplicate
+    only multiplies the survivor space. Exhaustive litmus exploration
+    turns this on; notably it erases all-zero jbd2 journal-block traffic
+    over a zeroed journal area. *)
 
 val journal_stop : t -> unit
 val journaling : t -> bool

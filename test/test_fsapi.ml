@@ -70,7 +70,9 @@ let test_journal_accounting () =
   Util.check_int "one commit" 1 s.Pmem.Stats.journal_commits;
   (* descriptor + 3 metadata copies + commit record = 5 blocks *)
   Util.check_int "journal bytes" (5 * 4096) s.Pmem.Stats.journal_bytes;
-  Util.check_int "two fences" 2 s.Pmem.Stats.fences;
+  (* one fence per commit since the blocks-before-record fence was
+     proven redundant and removed (PR 7 fence minimization) *)
+  Util.check_int "one fence" 1 s.Pmem.Stats.fences;
   (* empty transactions are free *)
   Kernelfs.Journal.commit j ~meta_blocks:0;
   Util.check_int "still one commit" 1 s.Pmem.Stats.journal_commits;

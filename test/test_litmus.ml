@@ -1,0 +1,173 @@
+(** The litmus corpus (DESIGN.md §5i): Ferrite-style crash patterns run
+    exhaustively on every stack, with exact crash-state counts pinned;
+    fence-site coverage; and the fence minimizer's verdicts, including a
+    pinned REQUIRED counterexample and a pinned REDUNDANT exhaustive
+    proof. *)
+
+let tc = Alcotest.test_case
+
+module L = Crashcheck.Litmus
+module M = Crashcheck.Minimize
+
+(* ---- exhaustive state counts, pinned per (pattern, stack) ----------- *)
+
+(* Counts in [all_stacks] order: ext4-dax, pmfs, nova-relaxed,
+   splitfs-posix, splitfs-sync, splitfs-strict. These are the *entire*
+   crash spaces — any change to fence placement, journal traffic or the
+   persist-order model drifts a count here before it manifests as a
+   consistency bug. The SplitFS counts reflect the fences removed after
+   the minimizer's REDUNDANT proofs (EXPERIMENTS.md, PR 7). *)
+let pinned_states =
+  [
+    ("create-rename", [ 6; 42; 23; 6; 23; 23 ]);
+    ("two-appends", [ 5; 11; 13; 4; 9; 9 ]);
+    ("chrome", [ 5; 42; 23; 4; 18; 18 ]);
+    ("replace-truncate", [ 8; 22; 15; 8; 24; 18 ]);
+    ("wal-commit", [ 4; 14; 11; 6; 271; 271 ]);
+    ("relink-publish", [ 8; 16; 19; 22; 156; 156 ]);
+  ]
+
+let check_pattern name () =
+  let p =
+    match L.find_pattern name with
+    | Some p -> p
+    | None -> Alcotest.fail ("no litmus pattern " ^ name)
+  in
+  List.iter2
+    (fun stack expected ->
+      let r = L.run_pattern p stack in
+      let where = name ^ "/" ^ L.stack_name stack in
+      Alcotest.(check (list string))
+        (where ^ ": no violations") []
+        (List.map (Fmt.str "%a" L.pp_violation) r.L.r_violations);
+      Alcotest.(check int) (where ^ ": crash states") expected r.L.r_states)
+    L.all_stacks (List.assoc name pinned_states)
+
+let test_aux_configs () =
+  let runs = L.run_aux () in
+  Alcotest.(check int) "aux configs" 2 (List.length runs);
+  List.iter
+    (fun (r : L.run) ->
+      Alcotest.(check (list string))
+        (r.L.r_config ^ ": no violations") []
+        (List.map (Fmt.str "%a" L.pp_violation) r.L.r_violations);
+      Alcotest.(check int)
+        (r.L.r_config ^ ": crash states")
+        (match r.L.r_config with
+        | "splitfs-sync-degraded" -> 9
+        | _ -> 7)
+        r.L.r_states;
+      (* kernel-path writes: DRAM metadata survives, data tails may
+         zero — the aux configs are held to the DAX contract, not the
+         staged-append Sync one *)
+      Alcotest.(check string)
+        (r.L.r_config ^ ": contract") "sync-dax"
+        (L.contract_name r.L.r_contract))
+    runs
+
+(* ---- fence-site coverage -------------------------------------------- *)
+
+(* Every registered fence site must fire somewhere in the corpus (or at
+   the mounts the corpus performs — oplog:init is mount-time only):
+   a site no workload reaches is a site the minimizer cannot vouch
+   for. *)
+let test_fence_site_coverage () =
+  Pmem.Device.reset_fence_site_hits ();
+  List.iter
+    (fun (p : L.pattern) ->
+      List.iter (fun s -> ignore (L.profile (L.builder_of s) p)) L.all_stacks)
+    L.corpus;
+  List.iter
+    (fun (x : L.aux) -> ignore (L.profile x.L.x_builder x.L.x_pattern))
+    L.aux_combos;
+  let sites = Pmem.Device.fence_sites () in
+  Alcotest.(check int) "registered sites" 14 (List.length sites);
+  List.iter
+    (fun (site, name) ->
+      Alcotest.(check bool)
+        (name ^ " exercised") true
+        (Pmem.Device.fence_site_hits site > 0))
+    sites
+
+(* ---- minimizer verdicts, pinned ------------------------------------- *)
+
+let combo name =
+  match List.find_opt (fun (c : M.combo) -> c.M.c_name = name) (M.all_combos ())
+  with
+  | Some c -> c
+  | None -> Alcotest.fail ("no litmus combo " ^ name)
+
+let site name =
+  match
+    List.find_opt (fun (_, n) -> n = name) (Pmem.Device.fence_sites ())
+  with
+  | Some (s, _) -> s
+  | None -> Alcotest.fail ("no fence site " ^ name)
+
+(* Eliding the per-append persist barrier in strict mode must break the
+   two-appends pattern: with the fence gone, the second append's oplog
+   commit can persist while the first append's staged data line is
+   still lost — B-without-A, exactly the prefix-append guarantee the
+   Atomic contract pins. The counterexample shrinks to a minimal set of
+   lost lines. *)
+let test_strict_write_required () =
+  match
+    M.classify ~combos:[ combo "two-appends/splitfs-strict" ]
+      (site "usplit:strict-write")
+  with
+  | M.Required { q_combo; q_violation } ->
+      Alcotest.(check string) "combo" "two-appends/splitfs-strict" q_combo;
+      Alcotest.(check bool) "shrunk to a nonempty minimal core" true
+        (q_violation.L.vl_survivors <> []);
+      Alcotest.(check bool) "counterexample names the file" true
+        (q_violation.L.vl_path = Some "/log")
+  | v ->
+      Alcotest.fail ("expected REQUIRED for usplit:strict-write, got "
+                     ^ M.verdict_name v)
+
+(* The strict-truncate fence is double-covered on this corpus (the
+   following fsync fences commit the same oplog lines), so eliding it
+   and exhaustively re-exploring every crash state of the one combo it
+   fires in finds no violation — a proof, relative to the corpus, with
+   its size pinned. *)
+let test_strict_truncate_redundant () =
+  match
+    M.classify ~combos:[ combo "replace-truncate/splitfs-strict" ]
+      (site "usplit:strict-truncate")
+  with
+  | M.Redundant { q_combos; q_states } ->
+      Alcotest.(check int) "firing combos" 1 q_combos;
+      Alcotest.(check int) "states exhaustively re-checked" 24 q_states
+  | v ->
+      Alcotest.fail ("expected REDUNDANT for usplit:strict-truncate, got "
+                     ^ M.verdict_name v)
+
+(* A site that only fires during mount initialisation is outside every
+   crash window: no verdict, the fence stays. *)
+let test_oplog_init_unexercised () =
+  match M.classify ~combos:[ combo "two-appends/splitfs-strict" ]
+          (site "oplog:init")
+  with
+  | M.Unexercised -> ()
+  | v -> Alcotest.fail ("expected unexercised, got " ^ M.verdict_name v)
+
+let suite =
+  [
+    tc "create-rename: exhaustive, pinned" `Quick
+      (check_pattern "create-rename");
+    tc "two-appends: exhaustive, pinned" `Quick (check_pattern "two-appends");
+    tc "chrome append-rename: exhaustive, pinned" `Quick
+      (check_pattern "chrome");
+    tc "replace-via-truncate: exhaustive, pinned" `Quick
+      (check_pattern "replace-truncate");
+    tc "wal-commit: exhaustive, pinned" `Quick (check_pattern "wal-commit");
+    tc "relink-publish: exhaustive, pinned" `Quick
+      (check_pattern "relink-publish");
+    tc "aux configs: degraded and no-staging" `Quick test_aux_configs;
+    tc "every fence site exercised" `Quick test_fence_site_coverage;
+    tc "strict-write fence REQUIRED (pinned counterexample)" `Quick
+      test_strict_write_required;
+    tc "strict-truncate fence REDUNDANT (exhaustive proof)" `Quick
+      test_strict_truncate_redundant;
+    tc "mount-time site unexercised" `Quick test_oplog_init_unexercised;
+  ]

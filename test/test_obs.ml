@@ -333,6 +333,28 @@ let test_hist_percentiles () =
         (Obs.Hist.percentile c p))
     [ 50.; 90.; 99.; 99.9 ]
 
+(* Edge cases for the SLO-attainment arithmetic: empty histogram (no op
+   violated any objective), single sample (every percentile clamps to
+   the one observed value), and a threshold exactly equal to the sample
+   (whole buckets count as below when their upper edge does). *)
+let test_hist_edge_cases () =
+  let e = Obs.Hist.create () in
+  Alcotest.(check (float 0.)) "empty frac_below" 1. (Obs.Hist.frac_below e 100.);
+  Alcotest.(check (float 0.)) "empty percentile" 0. (Obs.Hist.percentile e 99.);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Obs.Hist.mean e);
+  let s = Obs.Hist.create () in
+  Obs.Hist.record s 1000.;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "single-sample p%g" p)
+        1000. (Obs.Hist.percentile s p))
+    [ 0.; 50.; 100. ];
+  Alcotest.(check (float 0.)) "boundary-equal counts as below" 1.
+    (Obs.Hist.frac_below s 1000.);
+  Alcotest.(check (float 0.)) "threshold above" 1. (Obs.Hist.frac_below s 2000.);
+  Alcotest.(check (float 0.)) "threshold below" 0. (Obs.Hist.frac_below s 500.)
+
 (* --- stats printers (satellite: lock/bw wait in the dump) ------------ *)
 
 let test_stats_printers () =
@@ -422,6 +444,7 @@ let suite =
     tc "chrome trace json" `Quick test_chrome_json;
     tc "strace-style syscall lines" `Quick test_syscall_trace_lines;
     tc "histogram percentiles" `Quick test_hist_percentiles;
+    tc "histogram edge cases" `Quick test_hist_edge_cases;
     tc "stats table and delta printers" `Quick test_stats_printers;
     tc "profile experiment shape" `Quick test_profile_experiment;
     tc "latency experiment shape" `Quick test_latency_experiment;
