@@ -1,6 +1,11 @@
-.PHONY: all build test bench bench-json crashcheck faultcheck litmus profile scale check
+.PHONY: all build test bench bench-json crashcheck faultcheck litmus profile scale par-bench check
 
 all: build
+
+# Worker domains for the verification campaigns. Every campaign's report
+# is identical at every job count (see DESIGN.md §5j); JOBS only buys
+# wall-clock. Override with `make check JOBS=8`.
+JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
 build:
 	dune build
@@ -12,10 +17,12 @@ bench:
 	dune exec bench/main.exe
 
 # Perf-trajectory point for this PR: host ns/op per experiment kernel
-# (bechamel) plus simulated ns/op per scaling configuration. Diffable
-# against the BENCH_PR*.json of earlier PRs.
+# (bechamel) plus simulated ns/op per scaling configuration, plus the
+# domain-parallel campaign wall times (par/*). Diffable against the
+# BENCH_PR*.json of earlier PRs; the simulated-ns entries must be
+# bit-identical to BENCH_PR7.json (parallelism must not change results).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR7.json
+	dune exec bench/main.exe -- --json BENCH_PR8.json
 
 # Scale-out serving tier smoke: the multi-tenant sweep up to N=1000
 # actors across all six stacks, plus the scheduler dispatch-overhead
@@ -23,7 +30,7 @@ bench-json:
 # per dispatch than the reference min-scan). The full N=10000 sweep runs
 # under bench-json. (~30s)
 scale:
-	dune exec bin/splitfs_cli.exe -- scale --fast
+	dune exec bin/splitfs_cli.exe -- scale --fast --jobs $(JOBS)
 
 # Observability: the software-overhead attribution table (where every
 # simulated ns goes, per stack), latency percentiles per (stack x op),
@@ -36,9 +43,9 @@ profile:
 
 # Crash-state exploration: sampled partial-persistence crash states per
 # mode, each recovered and checked against the reference oracle. Exits
-# non-zero on any invariant violation. (~2s)
+# non-zero on any invariant violation. (~2s sequential, less with JOBS)
 crashcheck:
-	dune exec bin/splitfs_cli.exe -- crashcheck
+	dune exec bin/splitfs_cli.exe -- crashcheck --jobs $(JOBS)
 
 # Fault-injection campaign: media errors (poisoned lines, worn blocks),
 # resource exhaustion (ENOSPC, journal/swap EIO), and scrubber patrols
@@ -46,7 +53,7 @@ crashcheck:
 # differential fault oracle (masked / retried / correct errno — never
 # silent corruption). Exits non-zero on any violation. (~1s)
 faultcheck:
-	dune exec bin/splitfs_cli.exe -- faultcheck
+	dune exec bin/splitfs_cli.exe -- faultcheck --jobs $(JOBS)
 
 # Litmus corpus: named crash patterns (Ferrite's create-rename,
 # two-appends, chrome, replace-via-truncate, plus SplitFS-specific
@@ -54,18 +61,25 @@ faultcheck:
 # mode, then the fence minimizer: every registered fence site elided in
 # turn and the corpus re-explored to prove it REQUIRED (shrunk
 # counterexample) or REDUNDANT. Exits non-zero on any contract
-# violation with all fences in place. (~10s)
+# violation with all fences in place. (~10s sequential)
 litmus:
-	dune exec bin/splitfs_cli.exe -- litmus
+	dune exec bin/splitfs_cli.exe -- litmus --jobs $(JOBS)
+
+# Campaign wall time at 1/2/4/8 worker domains. On hosts with >= 4
+# recommended domains this is also a gate: litmus and minimize must be
+# >= 2x faster at 4 jobs than at 1; single-core hosts skip the gate.
+par-bench:
+	dune exec bin/splitfs_cli.exe -- par-bench
 
 # Full verification: build, unit + property + differential tests, crash
 # state exploration, and the paper tables as a smoke test of every
-# experiment stack.
+# experiment stack. Campaigns run with $(JOBS) worker domains.
 check:
 	dune build
 	dune runtest
-	dune exec bin/splitfs_cli.exe -- crashcheck
-	dune exec bin/splitfs_cli.exe -- faultcheck
-	dune exec bin/splitfs_cli.exe -- litmus
-	dune exec bin/splitfs_cli.exe -- scale --fast
+	dune exec bin/splitfs_cli.exe -- crashcheck --jobs $(JOBS)
+	dune exec bin/splitfs_cli.exe -- faultcheck --jobs $(JOBS)
+	dune exec bin/splitfs_cli.exe -- litmus --jobs $(JOBS)
+	dune exec bin/splitfs_cli.exe -- scale --fast --jobs $(JOBS)
+	dune exec bin/splitfs_cli.exe -- par-bench
 	dune exec bench/main.exe -- --fast

@@ -391,6 +391,36 @@ let fig4_sim_estimates results =
         (base :: challengers))
     results
 
+(* Domain-parallel campaign sweep (§5j): host wall ns per campaign at
+   each job count, plus the speedup vs one job. Host-dependent like the
+   bechamel entries; the speedups are the comparable numbers. *)
+let par_estimates rows =
+  let wall campaign jobs =
+    let r =
+      List.find
+        (fun (r : Harness.Experiments.par_row) ->
+          r.Harness.Experiments.pb_campaign = campaign
+          && r.Harness.Experiments.pb_jobs = jobs)
+        rows
+    in
+    r.Harness.Experiments.pb_wall_ns
+  in
+  List.concat_map
+    (fun (r : Harness.Experiments.par_row) ->
+      let c = r.Harness.Experiments.pb_campaign in
+      let j = r.Harness.Experiments.pb_jobs in
+      let entry =
+        (Printf.sprintf "par/%s/walltime-j%d" c j, r.Harness.Experiments.pb_wall_ns)
+      in
+      if j = 1 then [ entry ]
+      else
+        [
+          entry;
+          ( Printf.sprintf "par/%s/speedup-j%d" c j,
+            wall c 1 /. r.Harness.Experiments.pb_wall_ns );
+        ])
+    rows
+
 let table6_sim_estimates rows =
   List.concat_map
     (fun (fs, (l : Workloads.Varmail.latencies)) ->
@@ -439,6 +469,7 @@ let () =
   if not fast then begin
     let scale = Harness.Experiments.scale () in
     let dispatch = Harness.Experiments.dispatch_bench () in
+    let par = Harness.Experiments.par_bench () in
     let estimates = run_bechamel () in
     Option.iter
       (fun path ->
@@ -448,7 +479,7 @@ let () =
           @ scaling_estimates scaling @ profile_estimates profile
           @ latency_estimates latency @ fault_estimates faultcheck
           @ degraded_estimates degraded @ litmus_estimates litmus
-          @ scale_estimates scale dispatch))
+          @ scale_estimates scale dispatch @ par_estimates par))
       json_path
   end;
   print_endline "\nAll experiments completed."

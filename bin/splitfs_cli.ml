@@ -23,20 +23,20 @@ let run_fig6 records operations =
 
 let run_recovery () = ignore (Harness.Experiments.recovery ())
 
-let run_crashcheck samples seed nops =
-  let reports = Harness.Experiments.crashcheck ~samples ~seed ~nops () in
+let run_crashcheck samples seed nops jobs =
+  let reports = Harness.Experiments.crashcheck ~samples ~seed ~nops ?jobs () in
   if
     List.exists
       (fun (r : Crashcheck.mode_report) -> r.Crashcheck.r_violations <> [])
       reports
   then exit 1
-let run_faultcheck seed nops =
-  let reports = Harness.Experiments.faultcheck ~seed ~nops () in
+let run_faultcheck seed nops jobs =
+  let reports = Harness.Experiments.faultcheck ~seed ~nops ?jobs () in
   if not (Faultcheck.clean reports) then exit 1
 
-let run_litmus no_minimize =
+let run_litmus no_minimize jobs =
   let runs, _verdicts =
-    Harness.Experiments.litmus ~minimize:(not no_minimize) ()
+    Harness.Experiments.litmus ~minimize:(not no_minimize) ?jobs ()
   in
   (* REQUIRED verdicts are findings, not failures: they are the proof a
      fence is load-bearing. Only a contract violation with every fence
@@ -52,17 +52,50 @@ let run_ablations total_mb = ignore (Harness.Experiments.ablations ~total_mb ())
 let run_resources () = ignore (Harness.Experiments.resources ())
 let run_scaling () = ignore (Harness.Experiments.scaling ())
 
-let run_scale fast dispatch_n =
+let run_scale fast dispatch_n jobs =
   let counts =
     if fast then [ 16; 100; 1000 ] else Harness.Experiments.scale_counts
   in
-  ignore (Harness.Experiments.scale ~counts ());
+  ignore (Harness.Experiments.scale ~counts ?jobs ());
   let d = Harness.Experiments.dispatch_bench ~nactors:dispatch_n () in
   if d.Harness.Experiments.db_speedup < 10. then begin
     Printf.eprintf "dispatch speedup %.1fx below the 10x floor\n"
       d.Harness.Experiments.db_speedup;
     exit 1
   end
+(* [par-bench]: wall-time every verification campaign at 1/2/4/8 worker
+   domains. On hosts with at least 4 recommended domains the sweep is
+   also a gate: 4 jobs must be at least 2x faster than 1 job on the
+   heavyweight campaigns (litmus, minimize). On smaller hosts (CI
+   containers pinned to one core) the gate is skipped — there is nothing
+   to parallelise onto. *)
+let run_par_bench () =
+  let rows = Harness.Experiments.par_bench () in
+  let wall campaign jobs =
+    let r =
+      List.find
+        (fun (r : Harness.Experiments.par_row) ->
+          r.Harness.Experiments.pb_campaign = campaign
+          && r.Harness.Experiments.pb_jobs = jobs)
+        rows
+    in
+    r.Harness.Experiments.pb_wall_ns
+  in
+  if Domain.recommended_domain_count () >= 4 then
+    List.iter
+      (fun campaign ->
+        let speedup = wall campaign 1 /. wall campaign 4 in
+        if speedup < 2.0 then begin
+          Printf.eprintf "%s: %.2fx speedup at 4 jobs, below the 2x floor\n"
+            campaign speedup;
+          exit 1
+        end)
+      [ "litmus"; "minimize" ]
+  else
+    Printf.printf
+      "(speedup gate skipped: only %d recommended domain(s) on this host)\n"
+      (Domain.recommended_domain_count ())
+
 let run_profile () = ignore (Harness.Experiments.profile ())
 let run_latency () = ignore (Harness.Experiments.latency ())
 
@@ -181,6 +214,17 @@ let scale_fast =
     & info [ "fast" ]
         ~doc:"Smoke mode: stop the actor sweep at N=1000 (CI-friendly).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains for the campaign's trial fan-out (default: \
+           \\$SPLITFS_JOBS, else the host's recommended domain count). \
+           Results are identical at every job count; 1 runs the \
+           sequential harness on the calling domain.")
+
 let scale_dispatch_n =
   Arg.(
     value & opt int 10_000
@@ -255,14 +299,14 @@ let () =
               Term.(const run_recovery $ const ());
             cmd "crashcheck"
               "Crash-state exploration with a differential recovery oracle."
-              Term.(const run_crashcheck $ samples $ seed $ cc_ops);
+              Term.(const run_crashcheck $ samples $ seed $ cc_ops $ jobs_arg);
             cmd "faultcheck"
               "Fault-injection campaign: media errors, resource exhaustion, oracle."
-              Term.(const run_faultcheck $ fc_seed $ fc_ops);
+              Term.(const run_faultcheck $ fc_seed $ fc_ops $ jobs_arg);
             cmd "litmus"
               "Exhaustive litmus corpus (Ferrite patterns and more) plus \
                fence minimization."
-              Term.(const run_litmus $ lm_no_minimize);
+              Term.(const run_litmus $ lm_no_minimize $ jobs_arg);
             cmd "ablations" "Design-choice ablations (DRAM staging, huge pages, mmap size)."
               Term.(const run_ablations $ total_mb);
             cmd "resources" "U-Split resource consumption."
@@ -273,7 +317,11 @@ let () =
             cmd "scale"
               "Multi-tenant serving tier at up to 10k actors, plus the \
                dispatch-overhead microbenchmark."
-              Term.(const run_scale $ scale_fast $ scale_dispatch_n);
+              Term.(const run_scale $ scale_fast $ scale_dispatch_n $ jobs_arg);
+            cmd "par-bench"
+              "Wall-time every verification campaign at 1/2/4/8 worker \
+               domains; gate the 4-job speedup on multi-core hosts."
+              Term.(const run_par_bench $ const ());
             cmd "profile"
               "Software-overhead attribution: where every simulated ns goes."
               Term.(const run_profile $ const ());

@@ -35,11 +35,6 @@ type data_op = {
           replaying the final (possibly data-torn) entry. *)
 }
 
-(** When false, decoding skips both checksum verifications — the
-    "forgot to verify" bug that crashcheck's differential test must
-    catch. Tests only; defaults to true. *)
-let verify_checksums = ref true
-
 type entry =
   | Append of data_op
   | Overwrite of data_op
@@ -85,7 +80,10 @@ let encode entry =
 
 type decoded = Valid of entry | Torn | Empty
 
-let decode b ~off =
+(* [verify:false] skips checksum verification — the "forgot to verify"
+   bug that crashcheck's differential test must catch. Tests only; the
+   campaign flag lives in [Env.checks.verify_checksums]. *)
+let decode ?(verify = true) b ~off =
   let is_zero = ref true in
   for i = off to off + entry_size - 1 do
     if Bytes.get b i <> '\000' then is_zero := false
@@ -95,7 +93,7 @@ let decode b ~off =
     let stored = Int32.to_int (Bytes.get_int32_le b (off + 4)) land 0xFFFFFFFF in
     let copy = Bytes.sub b off entry_size in
     Bytes.set_int32_le copy 4 0l;
-    if !verify_checksums && Crc32.bytes copy <> stored then Torn
+    if verify && Crc32.bytes copy <> stored then Torn
     else begin
       let geti pos = Int64.to_int (Bytes.get_int64_le copy pos) in
       let data_op () =
@@ -229,7 +227,7 @@ type scan_result = { valid : entry list; torn : int; scanned : int }
     zero (a stale valid-looking entry left beyond a tear must not be
     resurrected when the log is reused). Slots at or beyond the first torn
     one count as torn. *)
-let scan sys path =
+let scan ?(verify = true) sys path =
   let fd = Kernelfs.Syscall.open_ sys path Fsapi.Flags.rdonly in
   Fun.protect
     ~finally:(fun () -> Kernelfs.Syscall.close sys fd)
@@ -246,7 +244,7 @@ let scan sys path =
         let entries = got / entry_size in
         let i = ref 0 in
         while (not !stop) && !i < entries do
-          (match decode buf ~off:(!i * entry_size) with
+          (match decode ~verify buf ~off:(!i * entry_size) with
           | Empty -> stop := true
           | Torn ->
               trusted := false;

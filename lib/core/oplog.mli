@@ -23,10 +23,6 @@ type data_op = {
           the entry and its data share one sfence *)
 }
 
-val verify_checksums : bool ref
-(** When false, decoding skips checksum verification — the injected bug
-    crashcheck's differential test must catch. Tests only; default true. *)
-
 type entry =
   | Append of data_op
   | Overwrite of data_op
@@ -44,8 +40,10 @@ val encode : entry -> Bytes.t
 type decoded = Valid of entry | Torn | Empty
 
 (** Classify the 64-byte slot at [off]: all-zero = [Empty], checksum
-    mismatch = [Torn]. *)
-val decode : Bytes.t -> off:int -> decoded
+    mismatch = [Torn]. [verify:false] skips checksum verification — the
+    injected bug crashcheck's differential test must catch (campaigns set
+    it from [Env.checks.verify_checksums]; default true). *)
+val decode : ?verify:bool -> Bytes.t -> off:int -> decoded
 
 type t
 
@@ -75,4 +73,4 @@ type scan_result = { valid : entry list; torn : int; scanned : int }
     keep scanning to the first all-zero slot so [scanned] covers the whole
     non-zero prefix; slots at or beyond the first torn one count as
     [torn]. *)
-val scan : Kernelfs.Syscall.t -> string -> scan_result
+val scan : ?verify:bool -> Kernelfs.Syscall.t -> string -> scan_result

@@ -134,10 +134,9 @@ let empty_report =
     relink already moved those blocks, so the op provably completed (and
     its fence with it) and replay of the half-moved range must stay
     idempotent. *)
-let verify_final_data kfs valid =
+let verify_final_data ~verify kfs valid =
   match List.rev valid with
-  | (Oplog.Append op | Oplog.Overwrite op) :: earlier
-    when !Oplog.verify_checksums -> (
+  | (Oplog.Append op | Oplog.Overwrite op) :: earlier when verify -> (
       match Kernelfs.Ext4.inode_of kfs op.Oplog.staging_ino with
       | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> (valid, 0)
       | staging ->
@@ -163,6 +162,7 @@ let recover ~sys ~env ~instance =
   let kfs = Kernelfs.Syscall.kernel sys in
   let dev = env.Env.dev in
   let faults = env.Env.faults in
+  let verify = env.Env.checks.Env.verify_checksums in
   let path = Printf.sprintf "/.splitfs-oplog-%d" instance in
   let t0 = Env.now env in
   (* quarantine the PM line behind the most recent machine-check so the
@@ -177,7 +177,7 @@ let recover ~sys ~env ~instance =
      other bytes — or empty) and rescan. *)
   let max_scan_attempts = 64 in
   let rec scan_log attempt =
-    match Oplog.scan sys path with
+    match Oplog.scan ~verify sys path with
     | scan -> Some scan
     | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) -> None
     | exception Fsapi.Errno.Error (Fsapi.Errno.EIO, _)
@@ -193,7 +193,7 @@ let recover ~sys ~env ~instance =
       empty_report
   | Some scan ->
   let valid, torn_data =
-    match verify_final_data kfs scan.Oplog.valid with
+    match verify_final_data ~verify kfs scan.Oplog.valid with
     | r -> r
     | exception Faults.Poisoned a ->
         (* the final entry's staged data is unreadable: it certainly

@@ -337,23 +337,20 @@ let write_inplace t st ~at buf ~boff ~len =
   done
 
 
-(** Injected-bug switch for the fault oracle's self-test: when cleared,
-    the degraded write path drops the data instead of routing it through
-    the kernel — faultcheck must flag the resulting corruption. Always
-    [true] outside that regression test. *)
-let honest_degraded_writes = ref true
-
 (** Staging pre-allocation failed (no space for a fresh staging file):
     degrade to the plain kernel write path at its honest cost instead of
     surfacing ENOSPC for a write the file system could still serve. The
     epoch advance lets transient allocator faults heal before the
-    fallback's own allocations. *)
+    fallback's own allocations. [Env.checks.honest_degraded_writes] is
+    the injected-bug switch for the fault oracle's self-test: when
+    cleared, this path drops the data instead of routing it through the
+    kernel — faultcheck must flag the resulting corruption. *)
 let degraded_write t st ~at buf ~boff ~len =
   uspan t "u:degraded-write" @@ fun () ->
   let faults = t.env.Env.faults in
   Faults.new_epoch faults;
   Faults.note_degraded_write faults;
-  if !honest_degraded_writes then begin
+  if t.env.Env.checks.Env.honest_degraded_writes then begin
     let n = Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff ~len ~at in
     assert (n = len);
     (* the kernel copy supersedes any staged bytes in the range *)

@@ -44,12 +44,6 @@ val relink_all : t -> unit
     resource-consumption measurement. *)
 val memory_usage : t -> int
 
-(** Injected-bug switch for the fault oracle's self-test: when cleared,
-    the degraded write path (staging pre-allocation ENOSPC → kernel
-    write) silently drops the data — faultcheck must flag the resulting
-    corruption. Always [true] outside that regression test. *)
-val honest_degraded_writes : bool ref
-
 (** [scrub t ~wear_limit] runs one background scrubber patrol: file data
     sitting on blocks worn to [wear_limit] writes (or holding poisoned
     lines) is migrated to fresh blocks and the bad blocks are retired.

@@ -54,6 +54,16 @@ module Workload = struct
     Bytes.init len (fun i ->
         Char.chr ((seed * 131 + i * 7 + (i * i mod 251)) land 0xFF))
 
+  (** Allocation-free twin of {!payload}: fill [buf]'s first [len] bytes
+      with the same content stream. Safe to reuse across ops because
+      every [pwrite] in the simulation (U-Split staging, kernel, oracle)
+      copies out of the caller's buffer. *)
+  let payload_into ~seed buf ~len =
+    for i = 0 to len - 1 do
+      Bytes.unsafe_set buf i
+        (Char.unsafe_chr ((seed * 131 + (i * 7) + (i * i mod 251)) land 0xFF))
+    done
+
   let pp_op ppf = function
     | Write { file; at; len; seed = _ } ->
         Fmt.pf ppf "write f%d [%d,+%d)" file at len
@@ -135,9 +145,11 @@ module Runner = struct
   let file_path i = Printf.sprintf "/f%d" i
 
   (** A small, fast stack: every crash state re-runs the workload on a
-      fresh one of these, so size is latency. *)
-  let build mode =
-    let env = Pmem.Env.create ~capacity:(8 * 1024 * 1024) () in
+      fresh one of these, so size is latency. [checks] configures the
+      environment's oracle/recovery toggles (used by the injected-bug
+      regression tests); the default is all checks on. *)
+  let build ?checks mode =
+    let env = Pmem.Env.create ~capacity:(8 * 1024 * 1024) ?checks () in
     let kfs = Kernelfs.Ext4.mkfs ~journal_len:(1024 * 1024) env in
     let sys = Kernelfs.Syscall.make kfs in
     let cfg =
@@ -151,21 +163,38 @@ module Runner = struct
     let u = Splitfs.Usplit.mount ~cfg ~sys ~env ~instance:0 () in
     { env; sys; u; fs = Splitfs.Usplit.as_fsapi u }
 
+  (** Grow-on-demand payload scratch: one buffer per trial replaces a
+      [Bytes] allocation per applied op (and each crash state replays the
+      whole workload, so the savings multiply by the trial count). *)
+  let scratch_payload scratch ~seed len =
+    if Bytes.length !scratch < len then
+      scratch := Bytes.create (max len (2 * Bytes.length !scratch));
+    Workload.payload_into ~seed !scratch ~len;
+    !scratch
+
   (** Create the workload's files with their initial content and fsync
       them: the trace starts from a fully durable state. *)
-  let setup (w : Workload.t) (fs : Fsapi.Fs.t) =
+  let setup ?scratch (w : Workload.t) (fs : Fsapi.Fs.t) =
     Array.init w.Workload.nfiles (fun i ->
         let fd = fs.Fsapi.Fs.open_ (file_path i) Fsapi.Flags.create_rw in
         let len = w.Workload.initial.(i) in
-        let buf = Workload.payload ~seed:(1000 + i) len in
+        let buf =
+          match scratch with
+          | Some s -> scratch_payload s ~seed:(1000 + i) len
+          | None -> Workload.payload ~seed:(1000 + i) len
+        in
         ignore (fs.Fsapi.Fs.pwrite fd ~buf ~boff:0 ~len ~at:0);
         fs.Fsapi.Fs.fsync fd;
         fd)
 
-  let apply ~checkpoint (fs : Fsapi.Fs.t) fds (op : Workload.op) =
+  let apply ?scratch ~checkpoint (fs : Fsapi.Fs.t) fds (op : Workload.op) =
     match op with
     | Workload.Write { file; at; len; seed } ->
-        let buf = Workload.payload ~seed len in
+        let buf =
+          match scratch with
+          | Some s -> scratch_payload s ~seed len
+          | None -> Workload.payload ~seed len
+        in
         ignore (fs.Fsapi.Fs.pwrite fds.(file) ~buf ~boff:0 ~len ~at)
     | Workload.Fsync { file } -> fs.Fsapi.Fs.fsync fds.(file)
     | Workload.Checkpoint -> checkpoint ()
@@ -229,11 +258,12 @@ module Runner = struct
   (** One crash state, end to end: rebuild the stack, arm the crash,
       replay the workload against SplitFS and the oracle in lockstep,
       inject the crash, recover, read back, check. *)
-  let run_trial (w : Workload.t) ~(point : Explore.point) ~survivors =
-    let st = build w.Workload.mode in
-    let fds = setup w st.fs in
+  let run_trial ?checks (w : Workload.t) ~(point : Explore.point) ~survivors =
+    let scratch = ref Bytes.empty in
+    let st = build ?checks w.Workload.mode in
+    let fds = setup ~scratch w st.fs in
     let ofs, oracle = Fsapi.Ref_fs.make_oracle () in
-    let ofds = setup w ofs in
+    let ofds = setup ~scratch w ofs in
     let dev = st.env.Pmem.Env.dev in
     Pmem.Device.journal_begin dev;
     Pmem.Device.arm_crash dev ~fence:point.Explore.fence ~survivors;
@@ -247,14 +277,14 @@ module Runner = struct
           post := !pre;
           Pmem.Device.crash_partial dev ~survivors
       | op :: rest -> (
-          match apply ~checkpoint:real_cp st.fs fds op with
+          match apply ~scratch ~checkpoint:real_cp st.fs fds op with
           | () ->
-              apply ~checkpoint:oracle_cp ofs ofds op;
+              apply ~scratch ~checkpoint:oracle_cp ofs ofds op;
               go (k + 1) rest
           | exception Pmem.Device.Crashed ->
               crashed_at := Some k;
               pre := snapshot w oracle;
-              apply ~checkpoint:oracle_cp ofs ofds op;
+              apply ~scratch ~checkpoint:oracle_cp ofs ofds op;
               post := snapshot w oracle)
     in
     go 0 w.Workload.ops;
@@ -289,7 +319,7 @@ end
     violates. What remains is a minimal set of lost/torn lines that
     still breaks recovery — the actual culprit, not the noise the
     sampler drew alongside it. Bounded by [budget] re-runs. *)
-let shrink ?(budget = 100) (w : Workload.t) ~(point : Explore.point)
+let shrink ?(budget = 100) ?checks (w : Workload.t) ~(point : Explore.point)
     ~survivors =
   let budget = ref budget in
   let full_keep line =
@@ -302,7 +332,7 @@ let shrink ?(budget = 100) (w : Workload.t) ~(point : Explore.point)
   in
   let violates svs =
     decr budget;
-    (Runner.run_trial w ~point ~survivors:svs).Runner.violations <> []
+    (Runner.run_trial ?checks w ~point ~survivors:svs).Runner.violations <> []
   in
   let current = ref survivors in
   let progress = ref true in
@@ -378,12 +408,20 @@ let pp_mode_report ppf r =
     Fmt.(list ~sep:nop (fun ppf v -> Fmt.pf ppf "@,%a" pp_violation v))
     r.r_violations
 
-(** [check_mode ?samples ?seed ?nops mode] generates a workload, maps
-    its crash-state space, explores it (exhaustively if it fits in
+(** [check_mode ?samples ?seed ?nops ?jobs mode] generates a workload,
+    maps its crash-state space, explores it (exhaustively if it fits in
     [samples] trials, by seeded sampling otherwise) and differentially
     checks recovery for every explored state. The first violation is
-    shrunk; all are reported. *)
-let check_mode ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) mode =
+    shrunk; all are reported.
+
+    Parallel structure (DESIGN.md §5j): the trial list is materialised by
+    a cheap sequential prepass — identical RNG draws regardless of job
+    count — then the expensive per-trial replays fan over the {!Par}
+    domain pool. Results come back in trial order, so the merge (and
+    which violation gets the shrinking budget) is byte-identical at any
+    job count. *)
+let check_mode ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) ?jobs ?checks
+    mode =
   let w = Workload.generate ~mode ~seed ~nops () in
   let points = Runner.profile w in
   let total =
@@ -406,14 +444,19 @@ let check_mode ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) mode =
           (p, Explore.sample rng p.Explore.pending))
     end
   in
+  let results =
+    Par.map ?jobs
+      (fun _ ((p : Explore.point), svs) ->
+        Runner.run_trial ?checks w ~point:p ~survivors:svs)
+      trials
+  in
   let violations = ref [] in
-  List.iter
-    (fun ((p : Explore.point), svs) ->
-      let t = Runner.run_trial w ~point:p ~survivors:svs in
+  List.iter2
+    (fun ((p : Explore.point), svs) (t : Runner.trial) ->
       List.iter
         (fun (file, reason) ->
           let shrunk =
-            if !violations = [] then shrink w ~point:p ~survivors:svs
+            if !violations = [] then shrink ?checks w ~point:p ~survivors:svs
             else svs
           in
           violations :=
@@ -427,7 +470,7 @@ let check_mode ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) mode =
             }
             :: !violations)
         t.Runner.violations)
-    trials;
+    trials results;
   {
     r_mode = w.Workload.mode;
     r_ops = nops;
@@ -439,9 +482,9 @@ let check_mode ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) mode =
   }
 
 (** All three modes with the same budget. *)
-let run ?samples ?seed ?nops () =
+let run ?samples ?seed ?nops ?jobs () =
   List.map
-    (fun mode -> check_mode ?samples ?seed ?nops mode)
+    (fun mode -> check_mode ?samples ?seed ?nops ?jobs mode)
     [ Splitfs.Config.Posix; Splitfs.Config.Sync; Splitfs.Config.Strict ]
 
 (* ------------------------------------------------------------------ *)
@@ -623,8 +666,10 @@ module Concurrent = struct
   }
 
   (** Seeded sampling over the merged trace's crash states; client 0 runs
-      the seed workload, client 1 an independently generated one. *)
-  let check_mode ?(samples = 100) ?(seed = 0x51ED) ?(nops = 16) mode =
+      the seed workload, client 1 an independently generated one. Same
+      parallel structure as the single-client campaign: sequential
+      sampling prepass, trial fan-out, in-order merge. *)
+  let check_mode ?(samples = 100) ?(seed = 0x51ED) ?(nops = 16) ?jobs mode =
     let ws =
       [|
         Workload.generate ~mode ~seed ~nops ();
@@ -634,17 +679,22 @@ module Concurrent = struct
     let points = profile ws in
     let rng = Workloads.Rng.create (seed lxor 0x5EED5EED) in
     let parr = Array.of_list points in
-    let violations = ref [] in
-    for _ = 1 to samples do
-      let p = parr.(Workloads.Rng.int rng (Array.length parr)) in
-      let svs = Explore.sample rng p.Explore.pending in
-      let _, vs = run_trial ws ~point:p ~survivors:svs in
-      violations := vs @ !violations
-    done;
+    let trials =
+      List.init samples (fun _ ->
+          let p = parr.(Workloads.Rng.int rng (Array.length parr)) in
+          (p, Explore.sample rng p.Explore.pending))
+    in
+    let results =
+      Par.map ?jobs
+        (fun _ ((p : Explore.point), svs) ->
+          snd (run_trial ws ~point:p ~survivors:svs))
+        trials
+    in
+    let violations = List.fold_left (fun acc vs -> vs @ acc) [] results in
     {
       c_mode = mode;
       c_points = Array.length parr;
       c_explored = samples;
-      c_violations = !violations;
+      c_violations = violations;
     }
 end

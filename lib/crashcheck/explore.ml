@@ -50,15 +50,37 @@ let enumerate (pending : Pmem.Device.pending_line array) =
     8-byte atomicity for the stores themselves, so an NT line caught
     mid-persist may be half old, half new. *)
 let sample rng (pending : Pmem.Device.pending_line array) =
-  Array.to_list pending
-  |> List.map (fun (p : Pmem.Device.pending_line) ->
-         let keep = Workloads.Rng.int rng (p.p_versions + 1) in
-         let tear =
-           if
-             keep > 0
-             && p.p_nt_mask land (1 lsl (keep - 1)) <> 0
-             && Workloads.Rng.int rng 4 = 0
-           then 1 + Workloads.Rng.int rng 255
-           else 0
-         in
-         { Pmem.Device.s_line = p.p_line; s_keep = keep; s_tear = tear })
+  (* direct recursion over the array instead of [Array.to_list |> map]:
+     no intermediate list on the per-trial hot path. The [let s] binding
+     forces the draw for line [i] before the recursive call, preserving
+     the exact draw order of the list-based implementation. *)
+  let n = Array.length pending in
+  let survivor_of (p : Pmem.Device.pending_line) =
+    let keep = Workloads.Rng.int rng (p.p_versions + 1) in
+    let tear =
+      if
+        keep > 0
+        && p.p_nt_mask land (1 lsl (keep - 1)) <> 0
+        && Workloads.Rng.int rng 4 = 0
+      then 1 + Workloads.Rng.int rng 255
+      else 0
+    in
+    { Pmem.Device.s_line = p.p_line; s_keep = keep; s_tear = tear }
+  in
+  let rec build i =
+    if i = n then []
+    else
+      let s = survivor_of pending.(i) in
+      s :: build (i + 1)
+  in
+  build 0
+
+(** [sample_indexed ~seed ~index pending] is the deterministic,
+    partition-independent sampler for parallel campaigns: draw [index]'s
+    survivor vector from a PRNG derived from [(seed, index)] alone
+    ({!Workloads.Rng.derive}), never from shared RNG state. A budget of
+    [m] samples split over [k] domains — each domain covering its own
+    index range — therefore visits exactly the same multiset of crash
+    states as one sequential pass over indices [0..m-1]. *)
+let sample_indexed ~seed ~index (pending : Pmem.Device.pending_line array) =
+  sample (Workloads.Rng.create_derived seed index) pending

@@ -483,9 +483,11 @@ let profile (builder : builder) p =
   let b = builder () in
   let slots = setup p b.b_fs in
   let dev = b.b_env.Pmem.Env.dev in
+  (* hit counters are per-device (PR 8), so the mount/setup traffic this
+     builder already generated is the baseline to diff against *)
   let before =
     List.map
-      (fun (i, _) -> (i, Pmem.Device.fence_site_hits i))
+      (fun (i, _) -> (i, Pmem.Device.site_hits dev i))
       (Pmem.Device.fence_sites ())
   in
   Pmem.Device.journal_begin ~dedup:true dev;
@@ -500,11 +502,44 @@ let profile (builder : builder) p =
   let hits =
     List.filter_map
       (fun (i, h0) ->
-        let d = Pmem.Device.fence_site_hits i - h0 in
+        let d = Pmem.Device.site_hits dev i - h0 in
         if d > 0 then Some (i, d) else None)
       before
   in
   (points, hits)
+
+(** Per-site execution totals over one profiling pass of the whole corpus
+    plus the aux configurations, *including* mount/setup-time traffic
+    (the in-window [profile] hits miss mount-only sites like
+    [oplog:init]). Feeds the coverage test: a site with zero total is one
+    no workload reaches and the minimizer cannot vouch for. *)
+let site_coverage ?jobs () =
+  let combos =
+    List.concat_map
+      (fun p -> List.map (fun s -> (builder_of s, p)) all_stacks)
+      corpus
+    @ List.map (fun (x : aux) -> (x.x_builder, x.x_pattern)) aux_combos
+  in
+  let per_combo =
+    Par.map ?jobs
+      (fun _ (builder, p) ->
+        let b = builder () in
+        let slots = setup p b.b_fs in
+        let dev = b.b_env.Pmem.Env.dev in
+        Pmem.Device.journal_begin ~dedup:true dev;
+        List.iter (apply b.b_fs ~checkpoint:b.b_checkpoint slots) p.p_ops;
+        Pmem.Device.journal_stop dev;
+        List.map (fun (i, _) -> Pmem.Device.site_hits dev i)
+          (Pmem.Device.fence_sites ()))
+      combos
+  in
+  let sites = Pmem.Device.fence_sites () in
+  List.mapi
+    (fun k (site, name) ->
+      ( site,
+        name,
+        List.fold_left (fun acc hits -> acc + List.nth hits k) 0 per_combo ))
+    sites
 
 let snap (oracle : Fsapi.Ref_fs.oracle) paths =
   List.map
@@ -712,17 +747,23 @@ let run_pattern ?builder ?config ?contract p stack =
     r_violations = List.rev !violations;
   }
 
-(** The whole corpus across all six stacks, exhaustively. *)
-let run_corpus () =
-  List.concat_map
-    (fun p -> List.map (fun s -> run_pattern p s) all_stacks)
-    corpus
+(** The whole corpus across all six stacks, exhaustively. The 36
+    (pattern × stack) combos are independent — each [run_pattern] builds
+    its own stacks — so they fan over the {!Par} domain pool; results
+    come back in combo order, identical at any job count. Exploration
+    inside one combo stays sequential, preserving the pinned per-combo
+    state counts exactly. *)
+let run_corpus ?jobs () =
+  let combos =
+    List.concat_map (fun p -> List.map (fun s -> (p, s)) all_stacks) corpus
+  in
+  Par.map ?jobs (fun _ (p, s) -> run_pattern p s) combos
 
 (** The auxiliary coverage configurations (exhaustive as well — their
     patterns are sized to stay enumerable). *)
-let run_aux () =
-  List.map
-    (fun x ->
+let run_aux ?jobs () =
+  Par.map ?jobs
+    (fun _ x ->
       run_pattern ~builder:x.x_builder ~config:x.x_name ~contract:x.x_contract
         x.x_pattern x.x_stack)
     aux_combos

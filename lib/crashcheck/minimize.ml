@@ -165,35 +165,53 @@ type verdict =
 
 type site_report = { s_site : int; s_name : string; s_verdict : verdict }
 
+(** [elided_combo c site] is [c] with every stack its builder mounts
+    carrying the elision of [site] on its own device. Elision is
+    per-device state (PR 8), so concurrent classifications of different
+    sites never observe each other; setting it after the mount is
+    faithful because the persist-order journal only opens afterwards —
+    mount-time fences are outside every crash window. *)
+let elided_combo c site =
+  let builder () =
+    let b = c.c_builder () in
+    Pmem.Device.elide_fence_site b.Litmus.b_env.Pmem.Env.dev site;
+    b
+  in
+  { c with c_builder = builder }
+
 (** Classify one site against [combos] (default: everything). *)
 let classify ?combos site =
   let combos = match combos with Some c -> c | None -> all_combos () in
   match firing_combos combos site with
   | [] -> Unexercised
   | firing ->
-      Pmem.Device.elide_fence_site site;
-      Fun.protect ~finally:Pmem.Device.clear_fence_elision @@ fun () ->
       let states = ref 0 in
       let rec go = function
         | [] ->
             Redundant { q_combos = List.length firing; q_states = !states }
         | c :: rest -> (
+            let ec = elided_combo c site in
             let r =
-              Litmus.run_pattern ~builder:c.c_builder ~config:c.c_config
-                ~contract:c.c_contract c.c_pattern c.c_stack
+              Litmus.run_pattern ~builder:ec.c_builder ~config:ec.c_config
+                ~contract:ec.c_contract ec.c_pattern ec.c_stack
             in
             states := !states + r.Litmus.r_states;
             match r.Litmus.r_violations with
             | [] -> go rest
-            | v :: _ -> Required { q_combo = c.c_name; q_violation = shrink c v })
+            | v :: _ ->
+                (* shrink with the elision still active *)
+                Required { q_combo = c.c_name; q_violation = shrink ec v })
       in
       go firing
 
-(** Classify every registered site. *)
-let run ?combos () =
+(** Classify every registered site. Sites are independent — each holds
+    its elision on the devices its own builders mount — so the costliest
+    loop of the whole verification suite fans over the {!Par} domain
+    pool, one task per site, reports merged in registration order. *)
+let run ?combos ?jobs () =
   let combos = match combos with Some c -> c | None -> all_combos () in
-  List.map
-    (fun (site, name) ->
+  Par.map ?jobs
+    (fun _ (site, name) ->
       { s_site = site; s_name = name; s_verdict = classify ~combos site })
     (Pmem.Device.fence_sites ())
 

@@ -126,8 +126,8 @@ module Runner = struct
   (** [tiny_staging] shrinks the staging pool to one nearly-useless file
       so staging pre-allocation runs during the workload — the only way
       an origin-scoped [Staging_prealloc] fault can fire. *)
-  let build ?(tiny_staging = false) kind =
-    let env = Pmem.Env.create ~capacity:(8 * 1024 * 1024) () in
+  let build ?(tiny_staging = false) ?checks kind =
+    let env = Pmem.Env.create ~capacity:(8 * 1024 * 1024) ?checks () in
     let kfs = Kernelfs.Ext4.mkfs ~journal_len:(1024 * 1024) env in
     let sys = Kernelfs.Syscall.make kfs in
     match kind with
@@ -186,8 +186,9 @@ module Runner = struct
 
   let snapshot_counts (c : Faults.counts) = { c with Faults.injected = c.injected }
 
-  let run_trial ?tiny_staging kind (w : W.t) ~(points : fault_point list) =
-    let st = build ?tiny_staging kind in
+  let run_trial ?tiny_staging ?checks kind (w : W.t)
+      ~(points : fault_point list) =
+    let st = build ?tiny_staging ?checks kind in
     let dev = st.env.Pmem.Env.dev in
     let plane = st.env.Pmem.Env.faults in
     let kfs = Kernelfs.Syscall.kernel st.sys in
@@ -459,7 +460,7 @@ let durations = [ Faults.Transient 1; Faults.Transient 3; Faults.Sticky ]
     counts the calls each injection site sees, and call indices are
     sampled across that range; poison candidates are the device lines
     backing the initial durable file content. *)
-let check_stack ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3) kind =
+let check_stack ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3) ?jobs kind =
   let mode =
     match kind with Ext4_dax -> Splitfs.Config.Posix | Splitfs m -> m
   in
@@ -546,12 +547,22 @@ let check_stack ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3) kind =
     List.map (fun p -> (p, false)) (site_points @ poison_points @ scrub_points @ combo)
     @ List.map (fun p -> (p, true)) degraded_points
   in
+  (* fan the trials over the domain pool (every trial builds its own
+     env/stack and fault plane); merge tallies, summed counts and
+     violations over the results in trial order, so the report — and
+     which violation gets the shrinking budget — is identical at any
+     job count *)
+  let results =
+    Par.map ?jobs
+      (fun _ (points, tiny_staging) ->
+        Runner.run_trial ~tiny_staging kind w ~points)
+      trials
+  in
   let totals = Faults.counts (Faults.create ()) in
   let tallies = [| 0; 0; 0; 0 |] in
   let violations = ref [] in
-  List.iter
-    (fun (points, tiny_staging) ->
-      let t = Runner.run_trial ~tiny_staging kind w ~points in
+  List.iter2
+    (fun (points, tiny_staging) (t : Runner.trial) ->
       add_counts totals t.Runner.tcounts;
       (match t.Runner.outcome with
       | Runner.Untriggered -> tallies.(0) <- tallies.(0) + 1
@@ -575,7 +586,7 @@ let check_stack ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3) kind =
             }
             :: !violations)
         t.Runner.violations)
-    trials;
+    trials results;
   {
     s_stack = stack_name kind;
     s_trials = List.length trials;
@@ -587,9 +598,13 @@ let check_stack ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3) kind =
     s_violations = List.rev !violations;
   }
 
-(** The full campaign: every stack with the same budget. *)
-let run ?seed ?nops ?max_per_site () =
-  List.map (fun kind -> check_stack ?seed ?nops ?max_per_site kind) all_stacks
+(** The full campaign: every stack with the same budget. Each stack's
+    trials already fan over the shared pool, so stacks run sequentially
+    here — their reports print incrementally and the pool stays fed. *)
+let run ?seed ?nops ?max_per_site ?jobs () =
+  List.map
+    (fun kind -> check_stack ?seed ?nops ?max_per_site ?jobs kind)
+    all_stacks
 
 let clean reports = List.for_all (fun r -> r.s_violations = []) reports
 
@@ -601,20 +616,20 @@ let clean reports = List.for_all (fun r -> r.s_violations = []) reports
     (writes silently dropped instead of routed through the kernel) and
     check that the campaign's degraded-write trial flags it. Returns
     [true] when the oracle caught the injected bug. The switch is
-    restored on exit. *)
+    per-env ([Env.checks]), so no other trial — concurrent or later —
+    can observe it. *)
 let oracle_catches_dropped_writes ?(seed = 0xFA17) ?(nops = 24) () =
-  Splitfs.Usplit.honest_degraded_writes := false;
-  Fun.protect
-    ~finally:(fun () -> Splitfs.Usplit.honest_degraded_writes := true)
-    (fun () ->
-      let w = W.generate ~mode:Splitfs.Config.Sync ~seed ~scale:16 ~nops () in
-      let t =
-        Runner.run_trial ~tiny_staging:true (Splitfs Splitfs.Config.Sync) w
-          ~points:
-            [
-              Resource
-                (Faults.rfault ~origin:Faults.Staging_prealloc Faults.Alloc
-                   ~from:0 Faults.Sticky);
-            ]
-      in
-      t.Runner.violations <> [])
+  let checks =
+    { (Pmem.Env.default_checks ()) with Pmem.Env.honest_degraded_writes = false }
+  in
+  let w = W.generate ~mode:Splitfs.Config.Sync ~seed ~scale:16 ~nops () in
+  let t =
+    Runner.run_trial ~tiny_staging:true ~checks (Splitfs Splitfs.Config.Sync) w
+      ~points:
+        [
+          Resource
+            (Faults.rfault ~origin:Faults.Staging_prealloc Faults.Alloc ~from:0
+               Faults.Sticky);
+        ]
+  in
+  t.Runner.violations <> []

@@ -771,9 +771,9 @@ let resources ?(files = 500) ?(print = true) () =
     legal states the workload's persist-order journal admits, how many
     were visited (exhaustive when the space fits the budget, seeded
     sampling otherwise), and any differential violations found. *)
-let crashcheck ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) ?(print = true)
-    () =
-  let reports = Crashcheck.run ~samples ~seed ~nops () in
+let crashcheck ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) ?jobs
+    ?(print = true) () =
+  let reports = Crashcheck.run ~samples ~seed ~nops ?jobs () in
   if print then begin
     Runner.print_table ~title:"Crashcheck: crash states explored per mode"
       [ "mode"; "ops"; "crash points"; "legal states"; "explored"; "coverage"; "violations" ]
@@ -805,9 +805,9 @@ let crashcheck ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) ?(print = true)
 (** Per-stack summary of the {!Faultcheck} campaign: how every injected
     fault was absorbed (masked / retried / honest errno), plus the
     degradation-machinery counters, and any oracle violations found. *)
-let faultcheck ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3)
+let faultcheck ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3) ?jobs
     ?(print = true) () =
-  let reports = Faultcheck.run ~seed ~nops ~max_per_site () in
+  let reports = Faultcheck.run ~seed ~nops ~max_per_site ?jobs () in
   if print then begin
     Runner.print_table
       ~title:"Faultcheck: fault-injection outcomes per stack"
@@ -864,8 +864,10 @@ let faultcheck ?(seed = 0xFA17) ?(nops = 24) ?(max_per_site = 3)
     decide whether it is load-bearing (REQUIRED, with a shrunk
     counterexample) or covered by later ordering (REDUNDANT, an
     exhaustive proof relative to the corpus). *)
-let litmus ?(minimize = true) ?(print = true) () =
-  let runs = Crashcheck.Litmus.run_corpus () @ Crashcheck.Litmus.run_aux () in
+let litmus ?(minimize = true) ?jobs ?(print = true) () =
+  let runs =
+    Crashcheck.Litmus.run_corpus ?jobs () @ Crashcheck.Litmus.run_aux ?jobs ()
+  in
   if print then begin
     Runner.print_table
       ~title:"Litmus corpus: exhaustive crash-state exploration"
@@ -890,7 +892,7 @@ let litmus ?(minimize = true) ?(print = true) () =
           r.Crashcheck.Litmus.r_violations)
       runs
   end;
-  let verdicts = if minimize then Crashcheck.Minimize.run () else [] in
+  let verdicts = if minimize then Crashcheck.Minimize.run ?jobs () else [] in
   if print && minimize then begin
     Runner.print_table
       ~title:"Fence minimization: per-site verdicts (exhaustive elision)"
@@ -1274,11 +1276,24 @@ let scale_run spec ~nactors =
     software-overhead argument: U-Split keeps the data path in userspace
     while the sharded K-Split allocator and per-stream journal keep the
     kernel residue from serializing 10k actors. *)
-let scale ?(counts = scale_counts) ?(print = true) () =
+let scale ?(counts = scale_counts) ?jobs ?(print = true) () =
+  (* each (stack, N) cell is a self-contained simulation — own env, own
+     fleet — so the grid fans over the domain pool; regrouping by spec in
+     declaration order keeps the report independent of job count *)
+  let cells =
+    List.concat_map
+      (fun spec -> List.map (fun n -> (spec, n)) counts)
+      scale_specs
+  in
+  let cell_results =
+    Array.of_list
+      (Par.map ?jobs (fun _ (spec, n) -> scale_run spec ~nactors:n) cells)
+  in
+  let ncounts = List.length counts in
   let results =
-    List.map
-      (fun spec ->
-        (spec, List.map (fun n -> scale_run spec ~nactors:n) counts))
+    List.mapi
+      (fun si spec ->
+        (spec, List.mapi (fun ci _ -> cell_results.((si * ncounts) + ci)) counts))
       scale_specs
   in
   if print then begin
@@ -1391,3 +1406,83 @@ let dispatch_bench ?(nactors = 10_000) ?(ops = 4) ?(print = true) () =
         ];
       ];
   r
+
+(* ------------------------------------------------------------------ *)
+(* Parallel campaign speedup: wall time vs worker domains (§5j)         *)
+(* ------------------------------------------------------------------ *)
+
+type par_row = {
+  pb_campaign : string;
+  pb_jobs : int;
+  pb_wall_ns : float;  (** host wall-clock for the whole campaign *)
+}
+
+(** The four domain-parallel verification campaigns, at reduced budgets
+    where the default would dominate the sweep. Each closure is a full
+    campaign run at an explicit job count; results are ignored here —
+    job-count invariance is pinned by the determinism tests, this sweep
+    only measures wall time. *)
+let par_campaigns =
+  [
+    ( "crashcheck",
+      fun ~jobs -> ignore (Crashcheck.run ~samples:120 ~nops:24 ~jobs ()) );
+    ( "faultcheck",
+      fun ~jobs -> ignore (Faultcheck.run ~max_per_site:2 ~jobs ()) );
+    ( "litmus",
+      fun ~jobs ->
+        ignore (Crashcheck.Litmus.run_corpus ~jobs ());
+        ignore (Crashcheck.Litmus.run_aux ~jobs ()) );
+    ("minimize", fun ~jobs -> ignore (Crashcheck.Minimize.run ~jobs ()));
+  ]
+
+(** Host wall time of every verification campaign at each job count in
+    [jobs_list]: the headline evidence that fanning trials over domains
+    buys real wall-clock, and the input to the BENCH_PR*.json
+    [par/<campaign>/walltime-j<N>] trajectory entries. Wall time is
+    host-dependent; the speedup columns are what should be compared
+    across machines. *)
+let par_bench ?(jobs_list = [ 1; 2; 4; 8 ]) ?(print = true) () =
+  let rows =
+    List.concat_map
+      (fun (name, campaign) ->
+        List.map
+          (fun jobs ->
+            let t0 = Unix.gettimeofday () in
+            campaign ~jobs;
+            let wall = Unix.gettimeofday () -. t0 in
+            { pb_campaign = name; pb_jobs = jobs; pb_wall_ns = wall *. 1e9 })
+          jobs_list)
+      par_campaigns
+  in
+  if print then begin
+    let wall name jobs =
+      let r =
+        List.find (fun r -> r.pb_campaign = name && r.pb_jobs = jobs) rows
+      in
+      r.pb_wall_ns
+    in
+    Runner.print_table
+      ~title:
+        (Printf.sprintf
+           "Campaign wall time (ms) and speedup vs 1 job (%d cores \
+            recommended)"
+           (Domain.recommended_domain_count ()))
+      ("campaign"
+      :: List.concat_map
+           (fun j -> [ Printf.sprintf "j=%d" j; "speedup" ])
+           jobs_list)
+      (List.map
+         (fun (name, _) ->
+           let base = wall name (List.hd jobs_list) in
+           name
+           :: List.concat_map
+                (fun j ->
+                  let w = wall name j in
+                  [
+                    Runner.f1 (w /. 1e6);
+                    (if w > 0. then Runner.f2 (base /. w) else "-");
+                  ])
+                jobs_list)
+         par_campaigns)
+  end;
+  rows

@@ -88,33 +88,25 @@ exception Crashed
 (* of deleting that sfence/clwb from the source: no ordering commit, no  *)
 (* simulated-time charge, no stats — and lets exhaustive crash-state     *)
 (* exploration either prove the site redundant or exhibit a              *)
-(* counterexample. The registry is global (sites are source locations,   *)
-(* not per-device state); hit counters feed the coverage test.           *)
+(* counterexample. Site *names* are source locations, so the registry is *)
+(* global but immutable after module initialisation (every               *)
+(* [register_fence_site] call is a top-level binding, executed before    *)
+(* any campaign domain spawns); all run state — hit counters and the     *)
+(* elision mask — is per-device, so concurrent domains can elide         *)
+(* different sites without observing each other.                         *)
 (* ------------------------------------------------------------------ *)
 
-type fence_site = { fs_name : string; mutable fs_hits : int }
-
-let fence_site_registry : fence_site array ref = ref [||]
-let elided_fence_site : int ref = ref (-1)
+let fence_site_names : string array ref = ref [||]
 
 let register_fence_site name =
-  let id = Array.length !fence_site_registry in
-  fence_site_registry :=
-    Array.append !fence_site_registry [| { fs_name = name; fs_hits = 0 } |];
+  let id = Array.length !fence_site_names in
+  fence_site_names := Array.append !fence_site_names [| name |];
   id
 
 let fence_sites () =
-  Array.to_list (Array.mapi (fun i s -> (i, s.fs_name)) !fence_site_registry)
+  Array.to_list (Array.mapi (fun i n -> (i, n)) !fence_site_names)
 
-let fence_site_name i = !fence_site_registry.(i).fs_name
-let fence_site_hits i = !fence_site_registry.(i).fs_hits
-
-let reset_fence_site_hits () =
-  Array.iter (fun s -> s.fs_hits <- 0) !fence_site_registry
-
-let elide_fence_site i = elided_fence_site := i
-let clear_fence_elision () = elided_fence_site := -1
-let elided_site () = if !elided_fence_site < 0 then None else Some !elided_fence_site
+let fence_site_name i = !fence_site_names.(i)
 
 type t = {
   capacity : int;
@@ -156,6 +148,15 @@ type t = {
       (** device address of the line behind the most recent
           {!Faults.Poisoned}; lets layers that only see the translated
           EIO find the line to quarantine. -1 = none *)
+  (* --- per-device fence-site run state (PR 8) --- *)
+  mutable site_hits : int array;
+      (** executions per registered fence site on this device; grown on
+          demand so a device created before every module registered is
+          still safe *)
+  mutable elided_fence_site : int;
+      (** site id currently elided on this device; -1 = none. Per-device
+          so parallel minimizer domains can each elide a different
+          site. *)
 }
 
 let create ?(capacity = 64 * 1024 * 1024) ?faults ~clock ~timing ~stats () =
@@ -179,7 +180,17 @@ let create ?(capacity = 64 * 1024 * 1024) ?faults ~clock ~timing ~stats () =
     poison = Hashtbl.create 16;
     quarantined = Hashtbl.create 16;
     last_poison = -1;
+    site_hits = Array.make (Array.length !fence_site_names) 0;
+    elided_fence_site = -1;
   }
+
+let site_hits t i = if i < Array.length t.site_hits then t.site_hits.(i) else 0
+let reset_site_hits t = Array.fill t.site_hits 0 (Array.length t.site_hits) 0
+let elide_fence_site t i = t.elided_fence_site <- i
+let clear_fence_elision t = t.elided_fence_site <- -1
+
+let elided_site t =
+  if t.elided_fence_site < 0 then None else Some t.elided_fence_site
 
 let capacity t = t.capacity
 let check_range t addr len = addr >= 0 && len >= 0 && addr + len <= t.capacity
@@ -606,11 +617,15 @@ let store_nt t ~addr src ~off ~len =
     device is unwinding out of a chosen crash image). *)
 let site_hit site t =
   if site >= 0 && not t.halted then begin
-    let s = !fence_site_registry.(site) in
-    s.fs_hits <- s.fs_hits + 1
+    if site >= Array.length t.site_hits then begin
+      let grown = Array.make (Array.length !fence_site_names) 0 in
+      Array.blit t.site_hits 0 grown 0 (Array.length t.site_hits);
+      t.site_hits <- grown
+    end;
+    t.site_hits.(site) <- t.site_hits.(site) + 1
   end
 
-let site_elided site = site >= 0 && site = !elided_fence_site
+let site_elided site t = site >= 0 && site = t.elided_fence_site
 
 (** Flush (clwb) every dirty line intersecting [addr, addr+len): only set
     bits in the range are visited, clean words are skipped wholesale.
@@ -620,7 +635,7 @@ let site_elided site = site >= 0 && site = !elided_fence_site
 let flush ?(site = -1) t ~addr ~len =
   assert (check_range t addr len);
   site_hit site t;
-  if len > 0 && (not t.halted) && not (site_elided site) then begin
+  if len > 0 && (not t.halted) && not (site_elided site t) then begin
     j_flush t ~addr ~len;
     if t.dirty_count = 0 then
       t.stats.Stats.fast_path_hits <- t.stats.Stats.fast_path_hits + 1
@@ -663,7 +678,7 @@ let flush ?(site = -1) t ~addr ~len =
     exactly as if the sfence were deleted from the source. *)
 let fence ?(site = -1) t =
   site_hit site t;
-  if (not t.halted) && not (site_elided site) then begin
+  if (not t.halted) && not (site_elided site t) then begin
     (match t.journal with
     | None -> ()
     | Some j ->

@@ -43,33 +43,38 @@ val fence : ?site:int -> t -> unit
 
     Ordering instructions in the file-system layers register a named call
     site once (at module initialisation) and pass the id to [fence] and
-    [flush]. The registry is global — sites are source locations, not
-    per-device state. Eliding a site models deleting that sfence/clwb
-    from the source; {!Crashcheck} exploration then proves the site
-    redundant or exhibits a counterexample crash state. *)
+    [flush]. The name registry is global but immutable after module
+    initialisation — sites are source locations. All run state (hit
+    counters, the elision mask) is per-device, so campaign domains
+    running concurrently never observe each other. Eliding a site models
+    deleting that sfence/clwb from the source; {!Crashcheck} exploration
+    then proves the site redundant or exhibits a counterexample crash
+    state. *)
 
 val register_fence_site : string -> int
-(** Register a named call site; returns its id. *)
+(** Register a named call site; returns its id. Must only be called from
+    top-level module initialisers (single-domain program startup). *)
 
 val fence_sites : unit -> (int * string) list
 (** All registered sites, in registration order. *)
 
 val fence_site_name : int -> string
 
-val fence_site_hits : int -> int
-(** Executions of the site since the last {!reset_fence_site_hits}
-    (halted devices don't count; elided executions do). *)
+val site_hits : t -> int -> int
+(** Executions of the site on this device since its creation or the last
+    {!reset_site_hits} (halted devices don't count; elided executions
+    do). *)
 
-val reset_fence_site_hits : unit -> unit
+val reset_site_hits : t -> unit
 
-val elide_fence_site : int -> unit
-(** Suppress the given site everywhere until {!clear_fence_elision}. At
-    most one site is elided at a time (matching one-fence-at-a-time
-    minimization). *)
+val elide_fence_site : t -> int -> unit
+(** Suppress the given site on this device until {!clear_fence_elision}.
+    At most one site is elided at a time per device (matching
+    one-fence-at-a-time minimization). *)
 
-val clear_fence_elision : unit -> unit
+val clear_fence_elision : t -> unit
 
-val elided_site : unit -> int option
+val elided_site : t -> int option
 
 (** Load into [dst]; dirty lines are served from the cache at cache speed,
     the rest is charged PM media cost with sequential/random latency

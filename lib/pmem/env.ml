@@ -1,6 +1,21 @@
 (** An experiment environment: one PM device plus the clock, timing model and
     statistics shared by every layer of the stack. *)
 
+(** Per-environment verification knobs. These used to be process-global
+    [ref]s ([Oplog.verify_checksums], [Usplit.honest_degraded_writes]);
+    campaigns running concurrently on separate domains need to flip them
+    per stack, so they live on the env every layer already threads. *)
+type checks = {
+  mutable verify_checksums : bool;
+      (** CRC-check op-log entries on decode; campaigns clear it to prove
+          the oracle catches torn entries that slip past recovery *)
+  mutable honest_degraded_writes : bool;
+      (** degraded (kernel-path) writes really write; campaigns clear it
+          to prove the fault oracle catches acknowledge-but-drop bugs *)
+}
+
+let default_checks () = { verify_checksums = true; honest_degraded_writes = true }
+
 type t = {
   clock : Simclock.t;
   timing : Timing.t;
@@ -10,15 +25,18 @@ type t = {
   faults : Faults.t;
       (** fault-injection plane shared by every layer; disarmed (and
           charge-free) unless a faultcheck campaign arms it *)
+  checks : checks;
 }
 
-let create ?(capacity = 64 * 1024 * 1024) ?(timing = Timing.default) ?obs () =
+let create ?(capacity = 64 * 1024 * 1024) ?(timing = Timing.default) ?obs
+    ?checks () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
+  let checks = match checks with Some c -> c | None -> default_checks () in
   let clock = Simclock.create ~obs () in
   let stats = Stats.create () in
   let faults = Faults.create () in
   let dev = Device.create ~capacity ~faults ~clock ~timing ~stats () in
-  { clock; timing; stats; dev; obs; faults }
+  { clock; timing; stats; dev; obs; faults; checks }
 
 let now t = Simclock.now t.clock
 let advance t ns = Simclock.advance t.clock ns

@@ -1,6 +1,18 @@
 (** An experiment environment: one PM device plus the clock, timing model
     and statistics shared by every layer of the stack. *)
 
+(** Per-environment verification knobs (formerly process-global refs);
+    campaigns flip them per stack so concurrent domains can run different
+    configurations. *)
+type checks = {
+  mutable verify_checksums : bool;
+      (** CRC-check op-log entries on decode (default true) *)
+  mutable honest_degraded_writes : bool;
+      (** degraded kernel-path writes really write (default true) *)
+}
+
+val default_checks : unit -> checks
+
 type t = {
   clock : Simclock.t;
   timing : Timing.t;
@@ -10,10 +22,13 @@ type t = {
   faults : Faults.t;
       (** fault-injection plane shared by every layer; disarmed (and
           charge-free) unless a faultcheck campaign arms it *)
+  checks : checks;
 }
 
-(** Fresh device (default 64 MB) with zeroed stats and clock. *)
-val create : ?capacity:int -> ?timing:Timing.t -> ?obs:Obs.t -> unit -> t
+(** Fresh device (default 64 MB) with zeroed stats and clock; [checks]
+    default to all-on. *)
+val create :
+  ?capacity:int -> ?timing:Timing.t -> ?obs:Obs.t -> ?checks:checks -> unit -> t
 
 (** Current simulated time, in nanoseconds. *)
 val now : t -> float

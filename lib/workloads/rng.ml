@@ -24,3 +24,32 @@ let bool t = Int64.logand (next t) 1L = 1L
 
 (** Deterministic printable payload of [len] bytes. *)
 let payload t len = String.init len (fun _ -> Char.chr (33 + int t 94))
+
+(** Fill [buf[0..len)] with the printable payload stream — the
+    allocation-free twin of {!payload} for trial-setup hot paths that
+    reuse a scratch buffer. *)
+let fill_payload t buf len =
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set buf i (Char.unsafe_chr (33 + int t 94))
+  done
+
+(** [derive seed index] is a fresh seed for trial [index] of a campaign
+    keyed by [seed] — splitmix64's finalizer over the campaign seed XOR a
+    golden-ratio-scrambled trial index. It depends only on the pair, not
+    on any shared RNG state or partition shape, so a trial draws the same
+    stream no matter which domain (or how many) runs it. Kept
+    non-negative so derived seeds can be re-derived. *)
+let derive seed index =
+  let t =
+    {
+      state =
+        Int64.logxor (Int64.of_int seed)
+          (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L);
+    }
+  in
+  (* mask after the 63-bit truncation, not before: [Int64.to_int] keeps
+     only 63 bits, so an [Int64]-side mask could still go negative *)
+  Int64.to_int (next t) land max_int
+
+(** PRNG for trial [index] of campaign [seed]; see {!derive}. *)
+let create_derived seed index = create (derive seed index)

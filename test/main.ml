@@ -19,6 +19,7 @@ let () =
       ("faultplane", Test_faultplane.suite);
       ("process", Test_process.suite);
       ("experiments", Test_experiments.suite);
+      ("par", Test_par.suite);
       ("sched", Test_sched.suite);
       ("obs", Test_obs.suite);
     ]

@@ -206,17 +206,18 @@ let test_differential mode () =
 (* ------------------------------------------------------------------ *)
 
 let test_injected_bug_caught () =
-  Fun.protect
-    ~finally:(fun () -> Splitfs.Oplog.verify_checksums := true)
-    (fun () ->
-      Splitfs.Oplog.verify_checksums := false;
-      let r =
-        check_mode ~samples:200 ~seed:committed_seed ~nops:24
-          Splitfs.Config.Strict
-      in
-      Alcotest.(check bool)
-        "disabled checksum verification is caught by the sampler" true
-        (r.r_violations <> []))
+  (* per-env toggle: the broken configuration is confined to the trials
+     that opt into it — nothing to restore, no cross-trial leakage *)
+  let checks =
+    { (Pmem.Env.default_checks ()) with Pmem.Env.verify_checksums = false }
+  in
+  let r =
+    check_mode ~samples:200 ~seed:committed_seed ~nops:24 ~checks
+      Splitfs.Config.Strict
+  in
+  Alcotest.(check bool)
+    "disabled checksum verification is caught by the sampler" true
+    (r.r_violations <> [])
 
 let suite =
   [
