@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json crashcheck faultcheck litmus profile scale par-bench check
+.PHONY: all build test bench bench-json bench-diff crashcheck faultcheck litmus profile scale par-bench check
 
 all: build
 
@@ -18,11 +18,21 @@ bench:
 
 # Perf-trajectory point for this PR: host ns/op per experiment kernel
 # (bechamel) plus simulated ns/op per scaling configuration, plus the
-# domain-parallel campaign wall times (par/*). Diffable against the
-# BENCH_PR*.json of earlier PRs; the simulated-ns entries must be
-# bit-identical to BENCH_PR7.json (parallelism must not change results).
+# domain-parallel campaign wall times (par/*). Carries a meta block
+# (schema/seed/jobs/stacks) so bench-diff can refuse cross-schema
+# comparisons. The simulated-ns entries must be bit-identical to
+# BENCH_PR8.json (telemetry must not perturb results) — enforced by the
+# bench-diff gate below.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR8.json
+	dune exec bench/main.exe -- --json BENCH_PR9.json
+
+# Perf-regression sentinel: regenerate the deterministic (sim-only)
+# trajectory subset in fast mode and judge it against the last committed
+# snapshot. Sim-ns keys are compared exactly; --subset accepts that a
+# fast run carries no host-clock entries. Exits non-zero on regression.
+bench-diff:
+	dune exec bench/main.exe -- --fast --json BENCH_NEW_FAST.json
+	dune exec bin/splitfs_cli.exe -- bench-diff BENCH_PR8.json BENCH_NEW_FAST.json --subset
 
 # Scale-out serving tier smoke: the multi-tenant sweep up to N=1000
 # actors across all six stacks, plus the scheduler dispatch-overhead
@@ -34,12 +44,16 @@ scale:
 
 # Observability: the software-overhead attribution table (where every
 # simulated ns goes, per stack), latency percentiles per (stack x op),
-# and a Perfetto-loadable span trace of a 4-client SplitFS run.
+# a Perfetto-loadable span trace of a 4-client SplitFS run, and the
+# virtual-time telemetry export (OpenMetrics text + counter tracks
+# merged into a Perfetto trace) of a 1000-actor serving-tier run.
 profile:
 	dune exec bin/splitfs_cli.exe -- profile
 	dune exec bin/splitfs_cli.exe -- latency
 	dune exec bin/splitfs_cli.exe -- trace --fs splitfs-posix --clients 4 \
 	  --out trace.json
+	dune exec bin/splitfs_cli.exe -- timeline --fs splitfs-posix --actors 1000 \
+	  --out-metrics timeline.prom --out-trace timeline-trace.json
 
 # Crash-state exploration: sampled partial-persistence crash states per
 # mode, each recovered and checked against the reference oracle. Exits
@@ -82,4 +96,4 @@ check:
 	dune exec bin/splitfs_cli.exe -- litmus --jobs $(JOBS)
 	dune exec bin/splitfs_cli.exe -- scale --fast --jobs $(JOBS)
 	dune exec bin/splitfs_cli.exe -- par-bench
-	dune exec bench/main.exe -- --fast
+	$(MAKE) bench-diff

@@ -215,14 +215,31 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_trajectory path estimates =
+(* schema 2: trajectory files carry a meta block so `splitfs_cli
+   bench-diff` can refuse cross-schema comparisons instead of producing a
+   misleading table. Bump [schema_version] whenever key names or units
+   change meaning. *)
+let schema_version = 2
+let campaign_seed = 0x51ED
+
+let write_trajectory ?(mode = "full") path estimates =
   let tm = Unix.gmtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
       tm.Unix.tm_mday
   in
   let oc = open_out path in
-  output_string oc "{\n  \"tests\": {\n";
+  output_string oc "{\n  \"meta\": {\n";
+  Printf.fprintf oc "    \"schema\": %d,\n" schema_version;
+  Printf.fprintf oc "    \"mode\": \"%s\",\n" mode;
+  Printf.fprintf oc "    \"seed\": %d,\n" campaign_seed;
+  Printf.fprintf oc "    \"jobs\": %d,\n" (Par.resolve_jobs ());
+  Printf.fprintf oc "    \"stacks\": [%s]\n"
+    (String.concat ", "
+       (List.map
+          (fun s -> Printf.sprintf "\"%s\"" (Harness.Fs_config.name s))
+          Harness.Experiments.scale_specs));
+  output_string oc "  },\n  \"tests\": {\n";
   List.iteri
     (fun i (name, est) ->
       Printf.fprintf oc "    \"%s\": {\"ns_per_op\": %.1f}%s\n" (json_escape name)
@@ -466,7 +483,22 @@ let () =
      in --fast smoke runs, keep the corpus itself (it is the crash
      regression gate) *)
   let litmus, _verdicts = Harness.Experiments.litmus ~minimize:(not fast) () in
-  if not fast then begin
+  (* every entry below is simulated ns (or a deterministic count): cheap
+     to produce and exact to compare, so --fast runs now write a
+     trajectory point too — the sim-only subset the CI regression gate
+     diffs against the last committed full snapshot *)
+  let sim_estimates =
+    table1_sim_estimates table1 @ fig4_sim_estimates fig4
+    @ table6_sim_estimates table6 @ scaling_estimates scaling
+    @ profile_estimates profile @ latency_estimates latency
+    @ fault_estimates faultcheck @ degraded_estimates degraded
+    @ litmus_estimates litmus
+  in
+  if fast then
+    Option.iter
+      (fun path -> write_trajectory ~mode:"fast" path sim_estimates)
+      json_path
+  else begin
     let scale = Harness.Experiments.scale () in
     let dispatch = Harness.Experiments.dispatch_bench () in
     let par = Harness.Experiments.par_bench () in
@@ -474,11 +506,7 @@ let () =
     Option.iter
       (fun path ->
         write_trajectory path
-          (estimates @ table1_sim_estimates table1
-          @ fig4_sim_estimates fig4 @ table6_sim_estimates table6
-          @ scaling_estimates scaling @ profile_estimates profile
-          @ latency_estimates latency @ fault_estimates faultcheck
-          @ degraded_estimates degraded @ litmus_estimates litmus
+          (estimates @ sim_estimates
           @ scale_estimates scale dispatch @ par_estimates par))
       json_path
   end;

@@ -142,6 +142,61 @@ let run_trace fs_name nclients ops out sample syscalls =
     out (Obs.span_count obs) (Obs.overwritten obs) (List.length actors)
     r.Harness.Multiclient.makespan_ns
 
+(** [bench-diff]: the perf-regression sentinel. Exit codes: 0 clean,
+    1 regression (or non-subset missing keys), 2 a file failed to load or
+    the schemas refuse to compare. *)
+let run_bench_diff old_path new_path host_tol subset =
+  match
+    try Ok (Harness.Benchdiff.load old_path, Harness.Benchdiff.load new_path)
+    with Failure msg -> Error msg
+  with
+  | Error msg ->
+      Printf.eprintf "bench-diff: %s\n" msg;
+      exit 2
+  | Ok (old_f, new_f) -> (
+      match Harness.Benchdiff.diff ~host_tol ~subset old_f new_f with
+      | Error msg ->
+          Printf.eprintf "bench-diff: %s\n" msg;
+          exit 2
+      | Ok report ->
+          Harness.Benchdiff.print_report report;
+          if not (Harness.Benchdiff.ok report) then exit 1)
+
+(** [timeline]: one serving-tier run with the virtual-time sampler and
+    tail forensics on; print the warmup-vs-steady window table, export
+    the series as OpenMetrics text and as Perfetto counter tracks merged
+    into the span trace. *)
+let run_timeline fs_name nactors out_metrics out_trace =
+  let spec = Harness.Fs_config.of_name fs_name in
+  let env_ref = ref None in
+  let on_env (env : Pmem.Env.t) =
+    env_ref := Some env;
+    Obs.set_tracing env.Pmem.Env.obs true
+  in
+  let _windows, r =
+    Harness.Experiments.timeline_report ~spec ~nactors ~on_env ()
+  in
+  let env = Option.get !env_ref in
+  let tl = Option.get r.Harness.Multiclient.sr_timeline in
+  let oc = open_out out_metrics in
+  output_string oc (Obs.Timeline.openmetrics tl);
+  close_out oc;
+  let actors =
+    List.map
+      (fun a -> (a.Pmem.Simclock.aid, a.Pmem.Simclock.a_name))
+      (Pmem.Simclock.actors env.Pmem.Env.clock)
+  in
+  let oc = open_out out_trace in
+  output_string oc (Obs.chrome_json ~actors env.Pmem.Env.obs);
+  close_out oc;
+  Printf.printf
+    "wrote %s (%d series, %d samples) and %s (%d spans + counter tracks)\n"
+    out_metrics
+    (List.length (Obs.Timeline.series_names tl))
+    (Obs.Timeline.samples_taken tl)
+    out_trace
+    (Obs.span_count env.Pmem.Env.obs)
+
 let total_mb =
   Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"Total IO volume in MB.")
 
@@ -230,6 +285,54 @@ let scale_dispatch_n =
     value & opt int 10_000
     & info [ "dispatch-actors" ]
         ~doc:"Actor count for the dispatch-overhead microbenchmark.")
+
+let bd_old =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"OLD" ~doc:"Baseline trajectory point (BENCH_PR*.json).")
+
+let bd_new =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"NEW" ~doc:"Candidate trajectory point to judge.")
+
+let bd_host_tol =
+  Arg.(
+    value & opt float 0.5
+    & info [ "host-tol" ]
+        ~doc:
+          "Relative tolerance for host-clock keys (bechamel, wall times, \
+           dispatch overhead). Simulated-ns keys are always exact.")
+
+let bd_subset =
+  Arg.(
+    value & flag
+    & info [ "subset" ]
+        ~doc:
+          "Accept NEW covering only part of OLD's keys (a fast-mode run \
+           has no host entries).")
+
+let tl_fs =
+  Arg.(
+    value
+    & opt string "splitfs-posix"
+    & info [ "fs" ] ~doc:"File system stack to sample.")
+
+let tl_actors =
+  Arg.(value & opt int 1000 & info [ "actors" ] ~doc:"Serving-tier actor count.")
+
+let tl_out_metrics =
+  Arg.(
+    value & opt string "timeline.prom"
+    & info [ "out-metrics" ] ~doc:"Output path for the OpenMetrics text.")
+
+let tl_out_trace =
+  Arg.(
+    value & opt string "timeline-trace.json"
+    & info [ "out-trace" ]
+        ~doc:"Output path for the Perfetto trace (spans + counter tracks).")
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -332,6 +435,16 @@ let () =
               Term.(
                 const run_trace $ trace_fs $ trace_clients $ trace_ops
                 $ trace_out $ trace_sample $ trace_syscalls);
+            cmd "timeline"
+              "Sample the serving tier over virtual time; export OpenMetrics \
+               and Perfetto counter tracks, print warmup vs steady state."
+              Term.(
+                const run_timeline $ tl_fs $ tl_actors $ tl_out_metrics
+                $ tl_out_trace);
+            cmd "bench-diff"
+              "Compare two perf trajectory points; exit nonzero on regression."
+              Term.(
+                const run_bench_diff $ bd_old $ bd_new $ bd_host_tol $ bd_subset);
             smoke;
             all_cmd;
           ]))

@@ -1,0 +1,401 @@
+(** Perf-regression sentinel: diff two BENCH_PR*.json trajectory points.
+
+    Seven snapshots existed before anything checked them; this module is
+    the check. [load] parses a trajectory file (a hand-rolled parser —
+    the repo deliberately has no JSON dependency), [diff] classifies
+    every key common to both files as improved / regressed / unchanged
+    under per-key-class tolerances:
+
+    - {b sim keys} (simulated ns, crash-state counts, fault outcome
+      counts, SLO attainment) are deterministic by construction — the
+      tolerance is exact. Any drift in an exact-class key (litmus state
+      counts, fault outcome counts) is a regression in either direction:
+      the enumerated space silently changed. Sim latencies/ns may
+      legitimately improve; only increases regress.
+    - {b host keys} (bechamel estimates, campaign wall times, dispatch
+      overhead) vary with the machine — they get a relative tolerance
+      (default +-50%).
+
+    Direction matters: keys ending in [/slo] or containing [/speedup]
+    are better when higher.
+
+    Schema honesty: files written since PR 9 carry a [meta] block
+    (schema version, mode, seed, jobs, stacks). Two meta-bearing files
+    with different schema versions refuse to diff — an honest error
+    instead of a misleading table. Pre-PR-9 files have no meta and are
+    accepted as legacy (schema 1) with a warning note, so the CI gate
+    can compare against the last committed snapshot. *)
+
+(* --- minimal JSON ---------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              (* trajectory files are ASCII; keep it simple *)
+              if code < 128 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_char b '?'
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin incr pos; Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin incr pos; Arr [] end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elems (v :: acc)
+            | Some ']' ->
+                incr pos;
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elems [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+(* --- trajectory files ------------------------------------------------ *)
+
+type meta = {
+  m_schema : int;
+  m_mode : string;
+  m_seed : int option;
+  m_jobs : int option;
+  m_stacks : string list;
+}
+
+type file = {
+  f_path : string;
+  f_meta : meta option;  (** [None]: legacy pre-PR-9 snapshot (schema 1) *)
+  f_tests : (string * float) list;  (** key -> ns_per_op, file order *)
+}
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let j =
+    try parse body
+    with Parse_error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  in
+  let tests =
+    match member "tests" j with
+    | Some (Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            match member "ns_per_op" v with
+            | Some (Num f) -> (k, f)
+            | _ -> failwith (Printf.sprintf "%s: test %S has no ns_per_op" path k))
+          kvs
+    | _ -> failwith (Printf.sprintf "%s: no \"tests\" object" path)
+  in
+  let meta =
+    match member "meta" j with
+    | None -> None
+    | Some m ->
+        let int_field k =
+          match member k m with Some (Num f) -> Some (int_of_float f) | _ -> None
+        in
+        Some
+          {
+            m_schema =
+              (match int_field "schema" with
+              | Some v -> v
+              | None -> failwith (Printf.sprintf "%s: meta without schema" path));
+            m_mode =
+              (match member "mode" m with Some (Str s) -> s | _ -> "full");
+            m_seed = int_field "seed";
+            m_jobs = int_field "jobs";
+            m_stacks =
+              (match member "stacks" m with
+              | Some (Arr l) ->
+                  List.filter_map (function Str s -> Some s | _ -> None) l
+              | _ -> []);
+          }
+  in
+  { f_path = path; f_meta = meta; f_tests = tests }
+
+(* --- key classification ---------------------------------------------- *)
+
+let has_prefix p k =
+  String.length k >= String.length p && String.sub k 0 (String.length p) = p
+
+let has_suffix suf k =
+  let ls = String.length suf and lk = String.length k in
+  lk >= ls && String.sub k (lk - ls) ls = suf
+
+let contains sub k =
+  let ls = String.length sub and lk = String.length k in
+  let rec go i = i + ls <= lk && (String.sub k i ls = sub || go (i + 1)) in
+  go 0
+
+(** Host-clock keys: everything bechamel measures, campaign wall times
+    and speedups, and the dispatch-overhead microbenchmark. Sim keys are
+    the deterministic rest. *)
+let is_host key =
+  has_prefix "par/" key
+  || has_prefix "scale10k/dispatch/" key
+  || not
+       (List.exists
+          (fun p -> has_prefix p key)
+          [
+            "table1/sim/"; "fig4/sim/"; "table6/sim/"; "scaling/"; "lat/";
+            "profile/"; "faults/"; "litmus/"; "scale10k/";
+          ])
+
+(** Exact-count keys: deterministic enumerations where a change in
+    either direction means behaviour drifted (litmus crash-state counts,
+    faultcheck outcome counts — not the degraded-latency percentiles). *)
+let is_exact_count key =
+  has_prefix "litmus/" key
+  || (has_prefix "faults/" key && not (has_prefix "faults/degraded-lat/" key))
+
+let higher_is_better key = has_suffix "/slo" key || contains "/speedup" key
+
+(* --- diff ------------------------------------------------------------ *)
+
+type verdict =
+  | Unchanged
+  | Improved of float  (** relative delta, new vs old *)
+  | Regressed of float
+
+type entry = { e_key : string; e_old : float; e_new : float; e_verdict : verdict }
+
+type report = {
+  r_entries : entry list;  (** old-file key order *)
+  r_missing : string list;  (** keys in old absent from new *)
+  r_added : string list;  (** keys in new absent from old *)
+  r_notes : string list;  (** non-fatal meta warnings *)
+  r_subset : bool;
+}
+
+let rel_delta old_v new_v =
+  if old_v = new_v then 0.
+  else if old_v = 0. then Float.of_int (compare new_v 0.)
+  else (new_v -. old_v) /. Float.abs old_v
+
+let classify ~host_tol key old_v new_v =
+  let rel = rel_delta old_v new_v in
+  if is_exact_count key then if rel = 0. then Unchanged else Regressed rel
+  else begin
+    let tol = if is_host key then host_tol else 0. in
+    let signed = if higher_is_better key then -.rel else rel in
+    if signed > tol then Regressed rel
+    else if signed < -.tol then Improved rel
+    else Unchanged
+  end
+
+(** [diff ?host_tol ?subset old new_] — [Error] on a schema refusal,
+    otherwise the classified report. [subset] accepts a new file covering
+    only part of the old keys (the CI gate diffs a fast-mode run, which
+    has no host entries, against a full snapshot). *)
+let diff ?(host_tol = 0.5) ?(subset = false) (old_f : file) (new_f : file) =
+  match (old_f.f_meta, new_f.f_meta) with
+  | Some mo, Some mn when mo.m_schema <> mn.m_schema ->
+      Error
+        (Printf.sprintf
+           "schema mismatch: %s is schema %d, %s is schema %d — refusing to \
+            diff across schemas (regenerate the old point or compare \
+            like-for-like)"
+           old_f.f_path mo.m_schema new_f.f_path mn.m_schema)
+  | _ ->
+      let notes = ref [] in
+      let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+      (match (old_f.f_meta, new_f.f_meta) with
+      | None, _ -> note "%s has no meta block (legacy pre-PR-9 snapshot)" old_f.f_path
+      | _, None -> note "%s has no meta block (legacy pre-PR-9 snapshot)" new_f.f_path
+      | Some mo, Some mn ->
+          if mo.m_seed <> mn.m_seed then note "seeds differ: sim keys may drift legitimately";
+          if mo.m_stacks <> mn.m_stacks && mn.m_stacks <> [] && mo.m_stacks <> []
+          then note "stack lists differ";
+          if mo.m_mode <> mn.m_mode then
+            note "modes differ (%s vs %s): host keys may be absent" mo.m_mode mn.m_mode);
+      let new_tbl = Hashtbl.create 256 in
+      List.iter (fun (k, v) -> Hashtbl.replace new_tbl k v) new_f.f_tests;
+      let entries, missing =
+        List.fold_left
+          (fun (es, ms) (k, old_v) ->
+            match Hashtbl.find_opt new_tbl k with
+            | Some new_v ->
+                Hashtbl.remove new_tbl k;
+                ( { e_key = k; e_old = old_v; e_new = new_v;
+                    e_verdict = classify ~host_tol k old_v new_v }
+                  :: es,
+                  ms )
+            | None -> (es, k :: ms))
+          ([], []) old_f.f_tests
+      in
+      let added =
+        List.filter (fun (k, _) -> Hashtbl.mem new_tbl k) new_f.f_tests
+        |> List.map fst
+      in
+      Ok
+        {
+          r_entries = List.rev entries;
+          r_missing = List.rev missing;
+          r_added = added;
+          r_notes = List.rev !notes;
+          r_subset = subset;
+        }
+
+let regressed r =
+  List.filter (fun e -> match e.e_verdict with Regressed _ -> true | _ -> false) r.r_entries
+
+let improved r =
+  List.filter (fun e -> match e.e_verdict with Improved _ -> true | _ -> false) r.r_entries
+
+let unchanged_count r =
+  List.length r.r_entries - List.length (regressed r) - List.length (improved r)
+
+(** The gate: regressions always fail; missing keys fail unless the diff
+    was declared a subset comparison. *)
+let ok r = regressed r = [] && (r.r_subset || r.r_missing = [])
+
+let print_report r =
+  List.iter (fun s -> Printf.printf "note: %s\n" s) r.r_notes;
+  let pr tag es =
+    List.iter
+      (fun e ->
+        let rel =
+          match e.e_verdict with Improved d | Regressed d -> d | Unchanged -> 0.
+        in
+        Printf.printf "%-10s %-44s %14.1f -> %14.1f  (%+.1f%%%s)\n" tag e.e_key
+          e.e_old e.e_new (100. *. rel)
+          (if is_host e.e_key then Printf.sprintf ", host"
+           else if is_exact_count e.e_key then ", exact"
+           else ""))
+      es
+  in
+  pr "REGRESSED" (regressed r);
+  pr "improved" (improved r);
+  if r.r_missing <> [] then
+    Printf.printf "%s: %d key(s) in old absent from new%s\n"
+      (if r.r_subset then "subset" else "MISSING")
+      (List.length r.r_missing)
+      (if r.r_subset then " (accepted: --subset)" else "");
+  if r.r_added <> [] then
+    Printf.printf "added: %d new key(s)\n" (List.length r.r_added);
+  Printf.printf
+    "bench-diff: %d compared — %d regressed, %d improved, %d unchanged%s\n"
+    (List.length r.r_entries)
+    (List.length (regressed r))
+    (List.length (improved r))
+    (unchanged_count r)
+    (if ok r then " — OK" else " — FAIL")

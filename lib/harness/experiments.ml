@@ -1259,14 +1259,57 @@ let scale_counts = [ 16; 100; 1000; 10000 ]
     lifecycle. *)
 let scale_ops_for nactors = max 6 (60_000 / nactors)
 
-let scale_run spec ~nactors =
+let scale_run ?timeline ?forensics spec ~nactors =
   let cfg =
     {
       Workloads.Multitenant.default_cfg with
       Workloads.Multitenant.ops_per_actor = scale_ops_for nactors;
     }
   in
-  Multiclient.run_scale ~cfg spec ~nactors
+  Multiclient.run_scale ~cfg ?timeline ?forensics spec ~nactors
+
+(** "Why is p999 slow": for each (stack x op) with a captured tail
+    exemplar, decompose the single slowest op into the attribution
+    categories that paid for it. The rows answer the question a latency
+    percentile can't: not {i how} slow the tail is but {i where} the
+    nanoseconds of the worst op went. *)
+let print_forensics_table ~title stores =
+  let rows =
+    List.concat_map
+      (fun (fo : Obs.span Obs.Forensics.t) ->
+        List.filter_map
+          (fun key ->
+            match Obs.Forensics.exemplars fo key with
+            | [] -> None
+            | ex :: _ ->
+                (* top categories of the worst op, largest share first *)
+                let cats =
+                  List.mapi (fun i c -> (c, ex.Obs.Forensics.ex_cats.(i))) Obs.all_cats
+                  |> List.filter (fun (_, ns) -> ns > 0.)
+                  |> List.sort (fun (_, a) (_, b) -> compare b a)
+                in
+                let total = List.fold_left (fun acc (_, ns) -> acc +. ns) 0. cats in
+                let top =
+                  List.filteri (fun i _ -> i < 3) cats
+                  |> List.map (fun (c, ns) ->
+                         Printf.sprintf "%s %.0f%%" (Obs.cat_name c)
+                           (100. *. ns /. Float.max total 1e-9))
+                  |> String.concat ", "
+                in
+                Some
+                  [
+                    key;
+                    string_of_int (Obs.Forensics.total_ops fo key);
+                    Runner.f0 ex.Obs.Forensics.ex_lat_ns;
+                    top;
+                  ])
+          (Obs.Forensics.keys fo))
+      stores
+  in
+  if rows <> [] then
+    Runner.print_table ~title
+      [ "stack/op"; "ops"; "worst ns"; "where the ns went" ]
+      rows
 
 (** Multi-tenant serving tier at N in {16, 100, 1k, 10k} actors across the
     six stacks: Zipf-skewed YCSB-style reads/updates against per-tenant
@@ -1287,7 +1330,13 @@ let scale ?(counts = scale_counts) ?jobs ?(print = true) () =
   in
   let cell_results =
     Array.of_list
-      (Par.map ?jobs (fun _ (spec, n) -> scale_run spec ~nactors:n) cells)
+      (Par.map ?jobs
+         (fun _ (spec, n) ->
+           (* tail forensics at the serving-tier sizes only: the small
+              warm-up cells have no interesting tail and capture would
+              just add host-side noise to the grid *)
+           scale_run ~forensics:(n >= 1000) spec ~nactors:n)
+         cells)
   in
   let ncounts = List.length counts in
   let results =
@@ -1330,9 +1379,138 @@ let scale ?(counts = scale_counts) ?jobs ?(print = true) () =
              Runner.f2 r.Multiclient.sr_slo_attainment;
              string_of_int r.Multiclient.sr_alloc_steals;
            ])
-         results)
+         results);
+    let stores =
+      List.filter_map
+        (fun (_, rs) ->
+          match
+            List.find_opt
+              (fun (r : Multiclient.scale_result) ->
+                r.Multiclient.sr_nactors = nmax)
+              rs
+          with
+          | Some r -> r.Multiclient.sr_forensics
+          | None -> None)
+        results
+    in
+    print_forensics_table
+      ~title:
+        (Printf.sprintf
+           "Why is p999 slow: slowest-op decomposition at %d actors" nmax)
+      stores
   end;
   results
+
+(* ------------------------------------------------------------------ *)
+(* Timeline report: warmup vs steady state over virtual time (§5k)      *)
+(* ------------------------------------------------------------------ *)
+
+type timeline_window = {
+  tw_lo_ns : float;
+  tw_hi_ns : float;
+  tw_ops : float;  (** fleet ops completed inside the window *)
+  tw_kops_per_s : float;
+  tw_top_cats : (Obs.cat * float) list;  (** category ns, largest first *)
+}
+
+(** One serving-tier run with the virtual-time sampler on, folded into
+    [windows] equal slices of the run: per-window fleet throughput and the
+    categories that dominated each slice. This is the question a single
+    end-of-run number hides — whether the first slice (cold namespace,
+    empty journal, unwarmed allocator groups) behaves like the rest.
+    Returns the windows and the underlying [scale_result] (whose
+    [sr_timeline]/[sr_forensics] the CLI exports as OpenMetrics/Perfetto). *)
+let timeline_report ?spec ?(nactors = 1000) ?(windows = 4) ?on_env
+    ?(print = true) () =
+  let spec = match spec with Some s -> s | None -> List.hd scale_specs in
+  let cfg =
+    {
+      Workloads.Multitenant.default_cfg with
+      Workloads.Multitenant.ops_per_actor = scale_ops_for nactors;
+    }
+  in
+  let r =
+    Multiclient.run_scale ~cfg ?on_env ~timeline:true ~forensics:true spec
+      ~nactors
+  in
+  let tl =
+    match r.Multiclient.sr_timeline with
+    | Some tl -> tl
+    | None -> assert false (* ~timeline:true always attaches one *)
+  in
+  let series name = Obs.Timeline.samples tl name in
+  let tenant_series =
+    List.filter
+      (fun n -> String.length n >= 6 && String.sub n 0 6 = "tenant")
+      (Obs.Timeline.series_names tl)
+    |> List.map series
+  in
+  let cat_series = List.map (fun c -> (c, series ("cat/" ^ Obs.cat_name c))) Obs.all_cats in
+  (* window bounds span the retained samples; with widening on, that is
+     the whole run *)
+  let t_lo, t_hi =
+    match tenant_series with
+    | s :: _ when Array.length s > 0 ->
+        let t3 (t, _, _) = t in
+        (t3 s.(0), t3 s.(Array.length s - 1))
+    | _ -> (0., 0.)
+  in
+  let span = Float.max (t_hi -. t_lo) 1e-9 in
+  let win_of t =
+    min (windows - 1)
+      (max 0 (int_of_float (float_of_int windows *. (t -. t_lo) /. span)))
+  in
+  let sum_into acc samples =
+    Array.iter (fun (t, delta, _) -> acc.(win_of t) <- acc.(win_of t) +. delta) samples
+  in
+  let ops_w = Array.make windows 0. in
+  List.iter (sum_into ops_w) tenant_series;
+  let cats_w = Array.make_matrix windows Obs.ncats 0. in
+  List.iter
+    (fun (c, samples) ->
+      let i = Obs.cat_index c in
+      Array.iter
+        (fun (t, delta, _) ->
+          let w = win_of t in
+          cats_w.(w).(i) <- cats_w.(w).(i) +. delta)
+        samples)
+    cat_series;
+  let result =
+    List.init windows (fun w ->
+        let lo = t_lo +. (span *. float_of_int w /. float_of_int windows) in
+        let hi = t_lo +. (span *. float_of_int (w + 1) /. float_of_int windows) in
+        let top =
+          List.map (fun c -> (c, cats_w.(w).(Obs.cat_index c))) Obs.all_cats
+          |> List.filter (fun (_, ns) -> ns > 0.)
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+        in
+        {
+          tw_lo_ns = lo;
+          tw_hi_ns = hi;
+          tw_ops = ops_w.(w);
+          tw_kops_per_s = ops_w.(w) /. Float.max (hi -. lo) 1e-9 *. 1e6;
+          tw_top_cats = top;
+        })
+  in
+  if print then
+    Runner.print_table
+      ~title:
+        (Printf.sprintf "Timeline: %s at %d actors, %d virtual-time windows"
+           (name spec) nactors windows)
+      [ "window"; "virtual ns"; "ops"; "kops/s"; "dominant categories" ]
+      (List.mapi
+         (fun w tw ->
+           [
+             (if w = 0 then "0 (warmup)" else string_of_int w);
+             Printf.sprintf "%.0f-%.0f" tw.tw_lo_ns tw.tw_hi_ns;
+             Runner.f0 tw.tw_ops;
+             Runner.f1 tw.tw_kops_per_s;
+             (List.filteri (fun i _ -> i < 3) tw.tw_top_cats
+             |> List.map (fun (c, ns) -> Printf.sprintf "%s %.0f" (Obs.cat_name c) ns)
+             |> String.concat ", ");
+           ])
+         result);
+  (result, r)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch overhead: event-heap vs reference min-scan (§5h)            *)

@@ -6,9 +6,16 @@
     enabled, an [op:<name>] span is emitted on the calling actor's track.
     Purely observational: the wrapper charges no simulated time, so a
     wrapped stack produces bit-identical results. Stacks that are not
-    wrapped pay nothing — instrumentation is opt-in by construction. *)
+    wrapped pay nothing — instrumentation is opt-in by construction.
 
-let fs ?key (env : Pmem.Env.t) (inner : Fsapi.Fs.t) : Fsapi.Fs.t =
+    With [?forensics], every op additionally opens a tail-forensics
+    capture ([Obs.Forensics]): the attribution snapshot is diffed across
+    the op, and if the op lands in its key's top-k slowest the complete
+    span list (the [op:<name>] span last) is retained as the exemplar
+    explaining the outlier. The caller is responsible for routing the
+    [Obs.set_capture] hook into the same store. Still host-side only. *)
+
+let fs ?key ?forensics (env : Pmem.Env.t) (inner : Fsapi.Fs.t) : Fsapi.Fs.t =
   let obs = env.Pmem.Env.obs in
   let clock = env.Pmem.Env.clock in
   let prefix =
@@ -18,13 +25,28 @@ let fs ?key (env : Pmem.Env.t) (inner : Fsapi.Fs.t) : Fsapi.Fs.t =
    fun op f ->
     let a = Pmem.Simclock.current clock in
     let t0 = a.Pmem.Simclock.a_now in
-    let x = f () in
-    let t1 = a.Pmem.Simclock.a_now in
-    Obs.record_latency obs (prefix ^ op) (t1 -. t0);
-    if Obs.tracing obs then
-      Obs.emit obs ~name:("op:" ^ op) ~cat:Obs.App ~actor:a.Pmem.Simclock.aid
-        ~t0 ~t1;
-    x
+    (match forensics with
+    | Some fo ->
+        Obs.Forensics.op_begin fo ~key:(prefix ^ op)
+          ~actor:a.Pmem.Simclock.aid ~t0 ~cats:(Obs.snapshot obs)
+    | None -> ());
+    match f () with
+    | x ->
+        let t1 = a.Pmem.Simclock.a_now in
+        Obs.record_latency obs (prefix ^ op) (t1 -. t0);
+        if Obs.tracing obs then
+          Obs.emit obs ~name:("op:" ^ op) ~cat:Obs.App
+            ~actor:a.Pmem.Simclock.aid ~t0 ~t1;
+        (* close after the op span so the exemplar includes it (last) *)
+        (match forensics with
+        | Some fo -> Obs.Forensics.op_end fo ~t1 ~cats:(Obs.snapshot obs)
+        | None -> ());
+        x
+    | exception e ->
+        (match forensics with
+        | Some fo -> Obs.Forensics.op_abort fo
+        | None -> ());
+        raise e
   in
   {
     inner with

@@ -181,6 +181,10 @@ type scale_result = {
   sr_alloc_steals : int;  (** cross-shard allocator steals (K-Split stacks) *)
   sr_dispatches : int;
   sr_host_run_s : float;
+  sr_timeline : Obs.Timeline.t option;
+      (** virtual-time telemetry of the run, when [~timeline:true] *)
+  sr_forensics : Obs.span Obs.Forensics.t option;
+      (** top-k slowest-op exemplars per op, when [~forensics:true] *)
 }
 
 (** Tenant count for an actor fleet: one tenant per 8 actors, capped so
@@ -265,7 +269,8 @@ let build_scale spec ~nactors ~tenants ~shards env =
     experiment uses. Fully deterministic in simulated time; host wall
     time inside the scheduler is reported separately. *)
 let run_scale ?(cfg = Workloads.Multitenant.default_cfg) ?(slo_ns = 100_000.)
-    ?capacity ?tenants ?shards ?on_env spec ~nactors =
+    ?capacity ?tenants ?shards ?on_env ?(timeline = false) ?(forensics = false)
+    spec ~nactors =
   let capacity =
     match capacity with Some c -> c | None -> scale_capacity nactors
   in
@@ -274,14 +279,47 @@ let run_scale ?(cfg = Workloads.Multitenant.default_cfg) ?(slo_ns = 100_000.)
   in
   let shards = match shards with Some s -> max 1 s | None -> min 16 tenants in
   let env = Pmem.Env.create ~capacity () in
+  let tl =
+    if timeline then
+      match Obs.timeline env.Pmem.Env.obs with
+      | Some tl -> Some tl  (* SPLITFS_TIMELINE already attached one *)
+      | None -> Some (Pmem.Env.enable_timeline env)
+    else Obs.timeline env.Pmem.Env.obs
+  in
+  let fo =
+    if forensics then Some (Obs.Forensics.create ~ncats:Obs.ncats ())
+    else None
+  in
+  (match fo with
+  | Some fo ->
+      Obs.set_capture env.Pmem.Env.obs
+        (Some (fun s -> Obs.Forensics.on_span fo s))
+  | None -> ());
   (match on_env with Some f -> f env | None -> ());
   let raw_fss, kfs = build_scale spec ~nactors ~tenants ~shards env in
+  (* kernel-side telemetry: cross-shard allocator steals and the fill
+     level of every journal stream (the per-shard serialization KucoFS
+     warns about is visible as one stream's depth running hot) *)
+  (match (tl, kfs) with
+  | Some tl, Some kfs ->
+      Obs.Timeline.add_source tl ~name:"alloc/steals" (fun () ->
+          float_of_int (Kernelfs.Alloc.steals (Kernelfs.Ext4.allocator kfs)));
+      Array.iteri
+        (fun k (st : Kernelfs.Journal.stream) ->
+          Obs.Timeline.add_source tl
+            ~name:(Printf.sprintf "journal/stream%d/bytes" k)
+            (fun () -> float_of_int st.Kernelfs.Journal.head))
+        (Kernelfs.Ext4.journal kfs).Kernelfs.Journal.streams
+  | _ -> ());
   (* setup through the raw views: tenant roots and preallocated data files
      must not pollute the serving-path latency histograms *)
   Array.iteri
     (fun k fs -> Workloads.Multitenant.setup_tenant fs ~cfg ~tenant:k)
     raw_fss;
-  let fss = Array.map (Instrument.fs ~key:(Fs_config.name spec) env) raw_fss in
+  let fss =
+    Array.map (Instrument.fs ~key:(Fs_config.name spec) ?forensics:fo env)
+      raw_fss
+  in
   let zipf =
     Workloads.Zipf.create ~theta:cfg.Workloads.Multitenant.zipf_theta
       cfg.Workloads.Multitenant.data_records
@@ -299,9 +337,40 @@ let run_scale ?(cfg = Workloads.Multitenant.default_cfg) ?(slo_ns = 100_000.)
          ~name:(Printf.sprintf "t%d-a%d" tenant a)
          ~step:(fun _ i -> Workloads.Multitenant.step cfg st i))
   done;
+  (* per-tenant throughput series: one source per tenant summing its
+     actors' completed ops — a (stack x tenant) time series at <= 32
+     tenants, readable mid-run without touching the simulated clock *)
+  (match tl with
+  | Some tl ->
+      let all = Sched.clients s in
+      for k = 0 to tenants - 1 do
+        let mine =
+          Array.of_list
+            (List.filter (fun (c : Sched.client) -> c.Sched.c_id mod tenants = k) all)
+        in
+        Obs.Timeline.add_source tl ~name:(Printf.sprintf "tenant%d/ops" k)
+          (fun () ->
+            Array.fold_left
+              (fun acc (c : Sched.client) ->
+                acc +. float_of_int c.Sched.ops_done)
+              0. mine)
+      done
+  | None -> ());
   let t0 = Sys.time () in
   Sched.run s;
   let host_run_s = Sys.time () -. t0 in
+  (* close the books at the fleet's absolute end time (sample times are
+     absolute actor clocks, makespan is relative to the first spawn) *)
+  (match tl with
+  | Some tl ->
+      let end_ns =
+        List.fold_left
+          (fun acc (c : Sched.client) ->
+            Float.max acc c.Sched.actor.Pmem.Simclock.a_now)
+          (Pmem.Env.now env) (Sched.clients s)
+      in
+      Obs.Timeline.flush tl ~now:end_ns
+  | None -> ());
   let merged = Obs.Hist.create () in
   let prefix = Fs_config.name spec ^ "/" in
   List.iter
@@ -333,4 +402,6 @@ let run_scale ?(cfg = Workloads.Multitenant.default_cfg) ?(slo_ns = 100_000.)
       | None -> 0);
     sr_dispatches = Sched.dispatches s;
     sr_host_run_s = host_run_s;
+    sr_timeline = tl;
+    sr_forensics = fo;
   }

@@ -133,6 +133,7 @@ let with_ilock t inode f = Env.with_lock t.env (ilock t inode) f
 let block_addr t phys = t.data_start + (phys * block_size)
 let env t = t.env
 let allocator t = t.alloc
+let journal t = t.journal
 let root_inode t = t.root
 
 (* ------------------------------------------------------------------ *)

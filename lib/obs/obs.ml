@@ -33,6 +33,8 @@
     make them overlap foreground spans on the same track. *)
 
 module Hist = Hist
+module Timeline = Timeline
+module Forensics = Forensics
 
 type cat =
   | Media  (** time the PM media itself is busy with a transfer *)
@@ -117,7 +119,15 @@ type t = {
   mutable ring_pos : int;  (** next write slot *)
   mutable overwritten : int;  (** sampled-in spans lost to ring wrap *)
   mutable on_event : (span -> unit) option;
+  mutable capture : (span -> unit) option;
+      (** sees every span regardless of [trace_on]/sampling — the tail-
+          forensics hook; [tracing] is true while one is installed *)
   hists : (string, Hist.t) Hashtbl.t;
+  (* --- virtual-time telemetry (PR 9) --- *)
+  mutable next_sample : float;
+      (** next timeline boundary in simulated ns; [infinity] when the
+          timeline is off, so the funnel's check is one float compare *)
+  mutable tl : Timeline.t option;
 }
 
 let empty_span =
@@ -145,7 +155,10 @@ let create () =
     ring_pos = 0;
     overwritten = 0;
     on_event = None;
+    capture = None;
     hists = Hashtbl.create 16;
+    next_sample = infinity;
+    tl = None;
   }
 
 (* --- attribution --- *)
@@ -197,24 +210,31 @@ let set_tracing ?(sample = 1) ?(ring = 65536) t on =
   t.overwritten <- 0;
   if on && Array.length t.ring <> ring then t.ring <- Array.make ring empty_span
 
-let tracing t = t.trace_on && t.background = 0
+let tracing t = (t.trace_on || t.capture <> None) && t.background = 0
 let set_on_event t f = t.on_event <- f
+
+(** Install/remove the capture hook (tail forensics): sees every span the
+    instrumented regions emit, independent of the ring and sampling. *)
+let set_capture t f = t.capture <- f
 let span_count t = t.ring_len
 let overwritten t = t.overwritten
 
 let emit ?arg t ~name ~cat ~actor ~t0 ~t1 =
-  if t.trace_on && t.background = 0 then begin
+  if (t.trace_on || t.capture <> None) && t.background = 0 then begin
     let s = { e_name = name; e_cat = cat; e_actor = actor; e_t0 = t0; e_t1 = t1; e_arg = arg } in
-    (match t.on_event with Some f -> f s | None -> ());
-    let seq = t.seq in
-    t.seq <- seq + 1;
-    if seq mod t.sample = 0 then begin
-      let cap = Array.length t.ring in
-      if cap > 0 then begin
-        t.ring.(t.ring_pos) <- s;
-        t.ring_pos <- (t.ring_pos + 1) mod cap;
-        if t.ring_len < cap then t.ring_len <- t.ring_len + 1
-        else t.overwritten <- t.overwritten + 1
+    (match t.capture with Some f -> f s | None -> ());
+    if t.trace_on then begin
+      (match t.on_event with Some f -> f s | None -> ());
+      let seq = t.seq in
+      t.seq <- seq + 1;
+      if seq mod t.sample = 0 then begin
+        let cap = Array.length t.ring in
+        if cap > 0 then begin
+          t.ring.(t.ring_pos) <- s;
+          t.ring_pos <- (t.ring_pos + 1) mod cap;
+          if t.ring_len < cap then t.ring_len <- t.ring_len + 1
+          else t.overwritten <- t.overwritten + 1
+        end
       end
     end
   end
@@ -224,6 +244,29 @@ let spans t =
   let cap = Array.length t.ring in
   let first = if t.ring_len < cap then 0 else t.ring_pos in
   List.init t.ring_len (fun i -> t.ring.((first + i) mod cap))
+
+(* --- virtual-time telemetry --- *)
+
+(** Attach a {!Timeline}: from now on, the first clock advance past each
+    period boundary takes a sample ([Simclock.advance] compares against
+    [next_sample] — one float compare on the disabled path). *)
+let set_timeline t tl =
+  t.tl <- Some tl;
+  t.next_sample <- Timeline.next_boundary tl
+
+let timeline t = t.tl
+
+(** Boundary crossing, called from the clock funnel. Samples are
+    suppressed inside background extents: the pending rewind would make
+    their times non-monotone and double-count the background interval. *)
+let timeline_tick t now =
+  match t.tl with
+  | None -> ()
+  | Some tl ->
+      if t.background = 0 then begin
+        Timeline.sample tl ~now;
+        t.next_sample <- Timeline.next_boundary tl
+      end
 
 (* --- latency histograms --- *)
 
@@ -262,7 +305,10 @@ let add_json_string b s =
 (** [chrome_json ?actors t] renders the retained spans as a Chrome
     trace-event JSON document: one complete ("ph":"X") event per span,
     timestamps in microseconds of simulated time, one track (tid) per
-    actor. [actors] supplies (id, name) pairs for thread-name metadata. *)
+    actor. [actors] supplies (id, name) pairs for thread-name metadata.
+    When a {!Timeline} is attached its series are merged in as Perfetto
+    counter tracks ("ph":"C" events, cumulative values), so spans and
+    counters line up in one UI. *)
 let chrome_json ?(actors = []) t =
   let b = Buffer.create 65536 in
   Buffer.add_string b "{\"traceEvents\":[";
@@ -302,5 +348,21 @@ let chrome_json ?(actors = []) t =
       | None -> ());
       Buffer.add_string b "}")
     (spans t);
+  (match t.tl with
+  | None -> ()
+  | Some tl ->
+      List.iter
+        (fun name ->
+          Array.iter
+            (fun (time, _delta, cum) ->
+              sep ();
+              Buffer.add_string b "{\"name\":";
+              add_json_string b name;
+              Buffer.add_string b
+                (Printf.sprintf
+                   ",\"ph\":\"C\",\"ts\":%.4f,\"pid\":0,\"args\":{\"value\":%.6g}}"
+                   (time /. 1000.) cum))
+            (Timeline.samples tl name))
+        (Timeline.series_names tl));
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"}\n";
   Buffer.contents b

@@ -28,6 +28,47 @@ type t = {
   checks : checks;
 }
 
+(** [enable_timeline t] attaches a virtual-time {!Obs.Timeline} to the
+    environment and registers the env-level counter sources: the 12
+    attribution categories, the contention/journal/staging stats, and
+    the fault-plane outcome counters. Harness layers register their own
+    sources on top (allocator steals, journal-stream depth, per-tenant
+    throughput). Returns the timeline for exports and further sources.
+    Host-side only: sampling never charges simulated time. *)
+let enable_timeline ?capacity ?period_ns ?widen t =
+  let tl = Obs.Timeline.create ?capacity ?period_ns ?widen () in
+  List.iter
+    (fun c ->
+      let i = Obs.cat_index c in
+      Obs.Timeline.add_source tl
+        ~name:("cat/" ^ Obs.cat_name c)
+        (fun () -> t.obs.Obs.attr.(i)))
+    Obs.all_cats;
+  let stats = t.stats in
+  Obs.Timeline.add_source tl ~name:"stats/media-ns" (fun () ->
+      stats.Stats.media_ns);
+  Obs.Timeline.add_source tl ~name:"stats/lock-wait-ns" (fun () ->
+      stats.Stats.lock_wait_ns);
+  Obs.Timeline.add_source tl ~name:"stats/bw-wait-ns" (fun () ->
+      stats.Stats.bw_wait_ns);
+  Obs.Timeline.add_source tl ~name:"stats/background-ns" (fun () ->
+      stats.Stats.background_ns);
+  Obs.Timeline.add_source tl ~name:"stats/journal-bytes" (fun () ->
+      float_of_int stats.Stats.journal_bytes);
+  Obs.Timeline.add_source tl ~name:"stats/staged-bytes" (fun () ->
+      float_of_int stats.Stats.staged_bytes);
+  let fc = Faults.counts t.faults in
+  Obs.Timeline.add_source tl ~name:"faults/injected" (fun () ->
+      float_of_int fc.Faults.injected);
+  Obs.Timeline.add_source tl ~name:"faults/media" (fun () ->
+      float_of_int fc.Faults.media);
+  Obs.Timeline.add_source tl ~name:"faults/quarantined-lines" (fun () ->
+      float_of_int fc.Faults.quarantined_lines);
+  Obs.Timeline.add_source tl ~name:"faults/scrub-migrations" (fun () ->
+      float_of_int fc.Faults.scrub_migrations);
+  Obs.set_timeline t.obs tl;
+  tl
+
 let create ?(capacity = 64 * 1024 * 1024) ?(timing = Timing.default) ?obs
     ?checks () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
@@ -36,7 +77,11 @@ let create ?(capacity = 64 * 1024 * 1024) ?(timing = Timing.default) ?obs
   let stats = Stats.create () in
   let faults = Faults.create () in
   let dev = Device.create ~capacity ~faults ~clock ~timing ~stats () in
-  { clock; timing; stats; dev; obs; faults; checks }
+  let t = { clock; timing; stats; dev; obs; faults; checks } in
+  (match (Obs.Timeline.timeline_everything, Obs.timeline obs) with
+  | true, None -> ignore (enable_timeline t)
+  | _ -> ());
+  t
 
 let now t = Simclock.now t.clock
 let advance t ns = Simclock.advance t.clock ns
@@ -130,6 +175,14 @@ let check_identity t =
          attributed accountable
          (attributed -. accountable)
          tol);
+  (* timeline leg: close the books with a final sample, then verify for
+     every series evicted + sum(sampled deltas) = final cumulative value
+     minus the value at registration — same 1e-8 relative tolerance *)
+  (match Obs.timeline t.obs with
+  | None -> ()
+  | Some tl ->
+      Obs.Timeline.flush tl ~now:(Simclock.now t.clock);
+      ignore (Obs.Timeline.check tl));
   (attributed, accountable)
 
 (* --- actors (multi-client support) --- *)

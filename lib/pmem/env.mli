@@ -26,9 +26,19 @@ type t = {
 }
 
 (** Fresh device (default 64 MB) with zeroed stats and clock; [checks]
-    default to all-on. *)
+    default to all-on. [SPLITFS_TIMELINE=1] attaches a default timeline
+    (see {!enable_timeline}). *)
 val create :
   ?capacity:int -> ?timing:Timing.t -> ?obs:Obs.t -> ?checks:checks -> unit -> t
+
+(** Attach a virtual-time telemetry timeline ({!Obs.Timeline}) and
+    register the env-level counter sources (attribution categories,
+    contention/journal/staging stats, fault-plane counters). Sampling is
+    driven by the clock funnel at deterministic virtual-ns boundaries;
+    host time only. Returns the timeline for exports and for harness
+    layers to add their own sources. *)
+val enable_timeline :
+  ?capacity:int -> ?period_ns:float -> ?widen:bool -> t -> Obs.Timeline.t
 
 (** Current simulated time, in nanoseconds. *)
 val now : t -> float

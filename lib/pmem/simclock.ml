@@ -56,11 +56,17 @@ let obs t = t.obs
 
 (** [advance t ns] charges [ns] nanoseconds to the current actor. Every
     simulated charge in the system funnels through here, so attributing
-    at this single point makes the profiler's categories exhaustive. *)
+    at this single point makes the profiler's categories exhaustive —
+    and a single float compare against the next timeline boundary is all
+    the telemetry costs when it is off ([next_sample] is [infinity]; the
+    disabled path allocates nothing beyond the clock update itself,
+    pinned by test). *)
 let advance t ns =
   assert (ns >= 0.);
   Obs.attribute t.obs ns;
-  t.current.a_now <- t.current.a_now +. ns
+  let a = t.current in
+  a.a_now <- a.a_now +. ns;
+  if a.a_now >= t.obs.Obs.next_sample then Obs.timeline_tick t.obs a.a_now
 
 (** Rewind/set the current actor's clock (background-work accounting). *)
 let set_now t ns = t.current.a_now <- ns

@@ -190,7 +190,10 @@ let run_reference t =
   in
   loop ()
 
+(** Live clients in spawn order — the telemetry layer reads [ops_done]
+    through this to build per-tenant throughput series. *)
 let clients t = Array.to_list (Array.sub t.clients 0 t.nclients)
+
 let trace_hash t = t.trace_hash
 let dispatches t = t.dispatches
 

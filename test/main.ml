@@ -22,4 +22,5 @@ let () =
       ("par", Test_par.suite);
       ("sched", Test_sched.suite);
       ("obs", Test_obs.suite);
+      ("benchdiff", Test_benchdiff.suite);
     ]

@@ -434,6 +434,316 @@ let test_latency_experiment () =
           r.Harness.Experiments.lat_op)
     rows
 
+(* --- virtual-time timeline (PR 9) ------------------------------------ *)
+
+(** The timeline leg of the accounting identity: with a timeline attached,
+    every stack's sampled per-series deltas must sum to the final
+    cumulative counters ([Timeline.check], invoked by [check_identity]
+    after a flush). *)
+let test_timeline_identity_all_stacks () =
+  List.iter
+    (fun spec ->
+      let stack = Harness.Fs_config.make spec in
+      let tl = Pmem.Env.enable_timeline stack.Harness.Fs_config.env in
+      let (_ : int) =
+        Harness.Experiments.profile_workload stack.Harness.Fs_config.fs
+      in
+      let (_ : float * float) =
+        Pmem.Env.check_identity stack.Harness.Fs_config.env
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: timeline sampled" (Harness.Fs_config.name spec))
+        true
+        (Obs.Timeline.samples_taken tl > 0
+        && List.length (Obs.Timeline.series_names tl) >= Obs.ncats))
+    Harness.Fs_config.all
+
+(** Newest-window mode: a series longer than capacity keeps exactly the
+    newest [capacity] samples, and the evicted deltas stay in the
+    identity. *)
+let test_timeline_ring_wraparound () =
+  let tl = Obs.Timeline.create ~capacity:8 ~period_ns:10. ~widen:false () in
+  let counter = ref 0. in
+  Obs.Timeline.add_source tl ~name:"c" (fun () -> !counter);
+  let nsamples = 30 in
+  for i = 1 to nsamples do
+    counter := !counter +. float_of_int i;
+    (* monotone sample times; values 1, 1+2, ... cumulative *)
+    Obs.Timeline.sample tl ~now:(10. *. float_of_int i)
+  done;
+  Alcotest.(check int) "retained = capacity" 8 (Obs.Timeline.length tl);
+  Alcotest.(check int) "taken counts evicted too" nsamples
+    (Obs.Timeline.samples_taken tl);
+  let samples = Obs.Timeline.samples tl "c" in
+  (* newest window: samples 23..30, oldest first *)
+  Array.iteri
+    (fun i (time, delta, _cum) ->
+      let j = nsamples - 8 + 1 + i in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "sample %d time" i)
+        (10. *. float_of_int j)
+        time;
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "sample %d delta" i)
+        (float_of_int j) delta)
+    samples;
+  let (_, _, newest_cum) = samples.(7) in
+  Alcotest.(check (float 0.)) "newest cumulative = counter" !counter newest_cum;
+  (* evicted + retained = final - cum0, verified by check *)
+  Alcotest.(check int) "identity holds across the wrap" 1 (Obs.Timeline.check tl)
+
+(** Widen mode: when the buffer fills, adjacent samples pair-merge and the
+    period doubles — and because compaction depends only on the sample
+    count, the whole history is reproducible byte-for-byte. *)
+let test_timeline_widen_determinism () =
+  let run () =
+    let tl = Obs.Timeline.create ~capacity:8 ~period_ns:10. ~widen:true () in
+    let counter = ref 0. in
+    Obs.Timeline.add_source tl ~name:"c" (fun () -> !counter);
+    for i = 1 to 100 do
+      counter := !counter +. float_of_int (i mod 7);
+      Obs.Timeline.sample tl ~now:(10. *. float_of_int i)
+    done;
+    (tl, !counter)
+  in
+  let tl, final = run () in
+  Alcotest.(check bool) "compaction happened" true (Obs.Timeline.doublings tl > 0);
+  Alcotest.(check bool) "retained below capacity" true
+    (Obs.Timeline.length tl <= 8);
+  Alcotest.(check bool) "period doubled" true (Obs.Timeline.period_ns tl > 10.);
+  (* no evicted bucket in widen mode: retained deltas alone cover the run *)
+  let retained =
+    Array.fold_left (fun acc (_, d, _) -> acc +. d) 0.
+      (Obs.Timeline.samples tl "c")
+  in
+  Alcotest.(check (float 1e-9)) "retained deltas = final - cum0" final retained;
+  Alcotest.(check int) "identity" 1 (Obs.Timeline.check tl);
+  let tl2, _ = run () in
+  Alcotest.(check string) "two identical runs export identical bytes"
+    (Obs.Timeline.openmetrics tl)
+    (Obs.Timeline.openmetrics tl2)
+
+(** Zero perturbation, end to end: a serving-tier run with the timeline
+    sampler and tail forensics on must produce bit-identical simulated
+    results (makespan, interleaving fingerprint) to the same run with
+    both off. *)
+let test_timeline_bit_identical () =
+  let cfg =
+    { Workloads.Multitenant.default_cfg with
+      Workloads.Multitenant.ops_per_actor = 40 }
+  in
+  List.iter
+    (fun spec ->
+      let plain =
+        Harness.Multiclient.run_scale ~cfg spec ~nactors:32
+      in
+      let observed =
+        Harness.Multiclient.run_scale ~cfg ~timeline:true ~forensics:true spec
+          ~nactors:32
+      in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "%s: makespan identical with telemetry on"
+           (Harness.Fs_config.name spec))
+        plain.Harness.Multiclient.sr_makespan_ns
+        observed.Harness.Multiclient.sr_makespan_ns;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: interleaving identical with telemetry on"
+           (Harness.Fs_config.name spec))
+        plain.Harness.Multiclient.sr_trace_hash
+        observed.Harness.Multiclient.sr_trace_hash;
+      (* and the telemetry actually observed something *)
+      (match observed.Harness.Multiclient.sr_timeline with
+      | Some tl ->
+          Alcotest.(check bool) "samples taken" true
+            (Obs.Timeline.samples_taken tl > 0)
+      | None -> Alcotest.fail "no timeline attached");
+      match observed.Harness.Multiclient.sr_forensics with
+      | Some fo ->
+          Alcotest.(check bool) "exemplars captured" true
+            (Obs.Forensics.keys fo <> [])
+      | None -> Alcotest.fail "no forensics attached")
+    [ Harness.Fs_config.Ext4_dax; Harness.Fs_config.Splitfs_posix ]
+
+(** The obs-disabled fast path in the clock funnel must stay
+    allocation-free apart from the boxed float store on the actor clock:
+    no closures, tuples or options per advance. Native-only — bytecode
+    does not unbox float compares. *)
+let test_advance_alloc_free () =
+  match Sys.backend_type with
+  | Sys.Native ->
+      let env = Util.make_env () in
+      let clock = env.Pmem.Env.clock in
+      for _ = 1 to 1000 do Pmem.Simclock.advance clock 1. done;
+      let iters = 100_000 in
+      let w0 = Gc.minor_words () in
+      for _ = 1 to iters do Pmem.Simclock.advance clock 1. done;
+      let per_iter = (Gc.minor_words () -. w0) /. float_of_int iters in
+      if per_iter > 4. then
+        Alcotest.failf
+          "Simclock.advance allocates %.2f words/iter with obs disabled \
+           (budget: 4 — the one boxed a_now store plus rounding)"
+          per_iter
+  | _ -> ()
+
+(* --- tail forensics --------------------------------------------------- *)
+
+let test_forensics_topk () =
+  let fo = Obs.Forensics.create ~k:2 ~ncats:3 () in
+  let op ~lat ~media =
+    Obs.Forensics.op_begin fo ~key:"fs/pwrite" ~actor:0 ~t0:0.
+      ~cats:[| 0.; 0.; 0. |];
+    Obs.Forensics.op_end fo ~t1:lat ~cats:[| media; lat -. media; 0. |]
+  in
+  List.iter (fun l -> op ~lat:l ~media:(l /. 2.)) [ 50.; 300.; 100.; 200.; 300. ];
+  Alcotest.(check (list string)) "keys" [ "fs/pwrite" ] (Obs.Forensics.keys fo);
+  Alcotest.(check int) "population counted" 5
+    (Obs.Forensics.total_ops fo "fs/pwrite");
+  let exs = Obs.Forensics.exemplars fo "fs/pwrite" in
+  Alcotest.(check int) "capped at k" 2 (List.length exs);
+  (match exs with
+  | [ a; b ] ->
+      Alcotest.(check (float 0.)) "slowest first" 300. a.Obs.Forensics.ex_lat_ns;
+      Alcotest.(check (float 0.)) "runner-up" 300. b.Obs.Forensics.ex_lat_ns;
+      Alcotest.(check (list int)) "provenance: both 300s retained" [ 1; 4 ]
+        (List.sort compare [ a.Obs.Forensics.ex_seq; b.Obs.Forensics.ex_seq ]);
+      (* category decomposition is the snapshot delta *)
+      Alcotest.(check (float 0.)) "cats sum to latency" 300.
+        (Array.fold_left ( +. ) 0. a.Obs.Forensics.ex_cats)
+  | _ -> Alcotest.fail "expected exactly two exemplars");
+  (* a tie against a full list loses: the incumbent keeps its slot *)
+  op ~lat:300. ~media:10.;
+  Alcotest.(check (list int)) "tie rejected, incumbents stay" [ 1; 4 ]
+    (List.sort compare
+       (List.map
+          (fun e -> e.Obs.Forensics.ex_seq)
+          (Obs.Forensics.exemplars fo "fs/pwrite")));
+  (* nested instrumented ops fold into the outermost capture *)
+  Obs.Forensics.op_begin fo ~key:"fs/outer" ~actor:1 ~t0:0. ~cats:[| 0.; 0.; 0. |];
+  Obs.Forensics.op_begin fo ~key:"fs/inner" ~actor:1 ~t0:1. ~cats:[| 0.; 0.; 0. |];
+  Obs.Forensics.op_end fo ~t1:5. ~cats:[| 1.; 0.; 0. |];
+  Obs.Forensics.op_end fo ~t1:10. ~cats:[| 2.; 0.; 0. |];
+  Alcotest.(check (list string)) "inner op folded into outer"
+    [ "fs/outer" ]
+    (List.filter
+       (fun k -> k = "fs/outer" || k = "fs/inner")
+       (Obs.Forensics.keys fo))
+
+(** Through the real capture hook: exemplars carry the op's inner spans,
+    with the op's own span last — without the trace ring being on. *)
+let test_forensics_span_capture () =
+  let cfg =
+    { Workloads.Multitenant.default_cfg with
+      Workloads.Multitenant.ops_per_actor = 20 }
+  in
+  let r =
+    Harness.Multiclient.run_scale ~cfg ~forensics:true
+      Harness.Fs_config.Splitfs_posix ~nactors:8
+  in
+  let fo = Option.get r.Harness.Multiclient.sr_forensics in
+  let checked = ref 0 in
+  List.iter
+    (fun key ->
+      List.iter
+        (fun ex ->
+          match List.rev ex.Obs.Forensics.ex_spans with
+          | last :: _ ->
+              incr checked;
+              let n = last.Obs.e_name in
+              if not (String.length n > 3 && String.sub n 0 3 = "op:") then
+                Alcotest.failf "%s: exemplar's last span is %S, not the op span"
+                  key n
+          | [] -> Alcotest.failf "%s: exemplar without spans" key)
+        (Obs.Forensics.exemplars fo key))
+    (Obs.Forensics.keys fo);
+  Alcotest.(check bool) "some exemplars checked" true (!checked > 0)
+
+(* --- exporters -------------------------------------------------------- *)
+
+let test_openmetrics_export () =
+  let tl = Obs.Timeline.create ~capacity:8 ~period_ns:10. () in
+  let c = ref 0. in
+  Obs.Timeline.add_source tl ~name:"cat/media" (fun () -> !c);
+  c := 42.;
+  Obs.Timeline.sample tl ~now:10.;
+  let text = Obs.Timeline.openmetrics tl in
+  let has sub =
+    let nl = String.length text and ns = String.length sub in
+    let rec go i = i + ns <= nl && (String.sub text i ns = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "metric name sanitized" true
+    (has "splitfs_cat_media{series=\"cat/media\"} 42");
+  Alcotest.(check bool) "HELP and TYPE rendered" true
+    (has "# TYPE splitfs_cat_media gauge");
+  Alcotest.(check bool) "ends with the OpenMetrics EOF marker" true
+    (has "# EOF\n"
+    && String.sub text (String.length text - 6) 6 = "# EOF\n")
+
+(** Counter tracks ride along in the Chrome trace: with a timeline
+    attached, [chrome_json] emits ["ph":"C"] events carrying the sampled
+    values next to the spans. *)
+let test_chrome_counter_tracks () =
+  let env_ref = ref None in
+  let (_ : Harness.Multiclient.scale_result) =
+    Harness.Multiclient.run_scale
+      ~cfg:
+        { Workloads.Multitenant.default_cfg with
+          Workloads.Multitenant.ops_per_actor = 20 }
+      ~timeline:true
+      ~on_env:(fun e ->
+        env_ref := Some e;
+        Obs.set_tracing e.Pmem.Env.obs true)
+      Harness.Fs_config.Splitfs_posix ~nactors:8
+  in
+  let env = Option.get !env_ref in
+  let doc = json_parse (Obs.chrome_json env.Pmem.Env.obs) in
+  let events =
+    match jfield "traceEvents" doc with
+    | Some (Jarr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let counters =
+    List.filter (fun e -> jfield "ph" e = Some (Jstr "C")) events
+  in
+  Alcotest.(check bool) "counter events present" true (List.length counters > 0);
+  List.iter
+    (fun e ->
+      (match jfield "name" e with
+      | Some (Jstr _) -> ()
+      | _ -> Alcotest.fail "counter without name");
+      match jfield "args" e with
+      | Some (Jobj kvs) when List.mem_assoc "value" kvs -> ()
+      | _ -> Alcotest.fail "counter without args.value")
+    counters;
+  Alcotest.(check bool) "span events still present" true
+    (List.exists (fun e -> jfield "ph" e = Some (Jstr "X")) events)
+
+(* --- histogram merge -------------------------------------------------- *)
+
+let test_hist_merge () =
+  let a = Obs.Hist.create () and b = Obs.Hist.create () in
+  for i = 1 to 500 do Obs.Hist.record a (float_of_int i) done;
+  for i = 501 to 1000 do Obs.Hist.record b (float_of_int i) done;
+  let whole = Obs.Hist.create () in
+  for i = 1 to 1000 do Obs.Hist.record whole (float_of_int i) done;
+  Obs.Hist.merge ~into:a b;
+  Alcotest.(check int) "merged count" (Obs.Hist.n whole) (Obs.Hist.n a);
+  Alcotest.(check (float 0.)) "merged sum" (Obs.Hist.sum whole) (Obs.Hist.sum a);
+  Alcotest.(check (float 0.)) "merged min" (Obs.Hist.min_v whole) (Obs.Hist.min_v a);
+  Alcotest.(check (float 0.)) "merged max" (Obs.Hist.max_v whole) (Obs.Hist.max_v a);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "merged p%g = whole-population p%g" p p)
+        (Obs.Hist.percentile whole p)
+        (Obs.Hist.percentile a p))
+    [ 50.; 90.; 99.; 99.9 ];
+  (* merging an empty histogram is the identity *)
+  let before = Obs.Hist.percentile a 50. in
+  Obs.Hist.merge ~into:a (Obs.Hist.create ());
+  Alcotest.(check (float 0.)) "merge with empty is identity" before
+    (Obs.Hist.percentile a 50.)
+
 let suite =
   [
     tc "identity: every stack" `Quick test_identity_all_stacks;
@@ -448,4 +758,15 @@ let suite =
     tc "stats table and delta printers" `Quick test_stats_printers;
     tc "profile experiment shape" `Quick test_profile_experiment;
     tc "latency experiment shape" `Quick test_latency_experiment;
+    tc "timeline identity: every stack" `Quick test_timeline_identity_all_stacks;
+    tc "timeline ring wraparound" `Quick test_timeline_ring_wraparound;
+    tc "timeline widen determinism" `Quick test_timeline_widen_determinism;
+    tc "telemetry leaves simulated ns bit-identical" `Quick
+      test_timeline_bit_identical;
+    tc "clock funnel alloc-free with obs off" `Quick test_advance_alloc_free;
+    tc "forensics top-k" `Quick test_forensics_topk;
+    tc "forensics span capture" `Quick test_forensics_span_capture;
+    tc "openmetrics export" `Quick test_openmetrics_export;
+    tc "chrome counter tracks" `Quick test_chrome_counter_tracks;
+    tc "histogram merge" `Quick test_hist_merge;
   ]
