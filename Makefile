@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-diff crashcheck faultcheck litmus profile scale par-bench check
+.PHONY: all build test bench bench-json bench-diff crashcheck faultcheck litmus fams profile scale par-bench check
 
 all: build
 
@@ -20,19 +20,21 @@ bench:
 # (bechamel) plus simulated ns/op per scaling configuration, plus the
 # domain-parallel campaign wall times (par/*). Carries a meta block
 # (schema/seed/jobs/stacks) so bench-diff can refuse cross-schema
-# comparisons. The simulated-ns entries must be bit-identical to
-# BENCH_PR8.json (telemetry must not perturb results) — enforced by the
-# bench-diff gate below.
+# comparisons. The existing simulated-ns entries must be bit-identical
+# to BENCH_PR9.json (the fams mode must not perturb the other stacks) —
+# enforced by the bench-diff gate below.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR9.json
+	dune exec bench/main.exe -- --json BENCH_PR10.json
 
 # Perf-regression sentinel: regenerate the deterministic (sim-only)
 # trajectory subset in fast mode and judge it against the last committed
 # snapshot. Sim-ns keys are compared exactly; --subset accepts that a
-# fast run carries no host-clock entries. Exits non-zero on regression.
+# fast run carries no host-clock entries; --strict-meta refuses a
+# baseline without a meta block (every snapshot since PR 9 carries one).
+# Exits non-zero on regression.
 bench-diff:
 	dune exec bench/main.exe -- --fast --json BENCH_NEW_FAST.json
-	dune exec bin/splitfs_cli.exe -- bench-diff BENCH_PR8.json BENCH_NEW_FAST.json --subset
+	dune exec bin/splitfs_cli.exe -- bench-diff BENCH_PR9.json BENCH_NEW_FAST.json --subset --strict-meta
 
 # Scale-out serving tier smoke: the multi-tenant sweep up to N=1000
 # actors across all six stacks, plus the scheduler dispatch-overhead
@@ -79,6 +81,15 @@ faultcheck:
 litmus:
 	dune exec bin/splitfs_cli.exe -- litmus --jobs $(JOBS)
 
+# Failure-atomic msync: the two fams litmus patterns (msync-publish,
+# snapshot-cow) exhaustively on every stack, the torn-msync canary (with
+# the commit record disabled the corpus MUST flag a violation), the fams
+# faultcheck leg (staging starvation answers honest ENOSPC), and the
+# FAMS-vs-WAL experiment table. Exits non-zero if a contract is violated
+# or the canary fails to catch the injected bug. (~3s)
+fams:
+	dune exec bin/splitfs_cli.exe -- fams --jobs $(JOBS)
+
 # Campaign wall time at 1/2/4/8 worker domains. On hosts with >= 4
 # recommended domains this is also a gate: litmus and minimize must be
 # >= 2x faster at 4 jobs than at 1; single-core hosts skip the gate.
@@ -94,6 +105,7 @@ check:
 	dune exec bin/splitfs_cli.exe -- crashcheck --jobs $(JOBS)
 	dune exec bin/splitfs_cli.exe -- faultcheck --jobs $(JOBS)
 	dune exec bin/splitfs_cli.exe -- litmus --jobs $(JOBS)
+	dune exec bin/splitfs_cli.exe -- fams --jobs $(JOBS)
 	dune exec bin/splitfs_cli.exe -- scale --fast --jobs $(JOBS)
 	dune exec bin/splitfs_cli.exe -- par-bench
 	$(MAKE) bench-diff

@@ -381,6 +381,23 @@ let litmus_estimates runs =
         float_of_int r.Crashcheck.Litmus.r_states ))
     runs
 
+(* FAMS-vs-WAL: per-commit simulated latency of the mmap-native page
+   store on failure-atomic msync against the WAL pager everywhere else,
+   plus the simulated crash-to-consistent-reopen time. *)
+let fams_estimates rows =
+  List.concat_map
+    (fun (r : Harness.Experiments.fams_row) ->
+      let base =
+        Printf.sprintf "fams/%s"
+          (Harness.Fs_config.name r.Harness.Experiments.fw_spec)
+      in
+      [
+        (base ^ "/p50", r.Harness.Experiments.fw_p50_ns);
+        (base ^ "/p99", r.Harness.Experiments.fw_p99_ns);
+        (base ^ "/recovery-ms", r.Harness.Experiments.fw_recovery_ms);
+      ])
+    rows
+
 let table1_sim_estimates rows =
   List.map
     (fun (r : Harness.Experiments.table1_row) ->
@@ -479,6 +496,7 @@ let () =
   let latency = Harness.Experiments.latency () in
   let faultcheck = Harness.Experiments.faultcheck () in
   let degraded = Harness.Experiments.degraded_latency () in
+  let fams = Harness.Experiments.fams_vs_wal () in
   (* the minimizer re-explores the corpus once per fence site; skip it
      in --fast smoke runs, keep the corpus itself (it is the crash
      regression gate) *)
@@ -492,7 +510,7 @@ let () =
     @ table6_sim_estimates table6 @ scaling_estimates scaling
     @ profile_estimates profile @ latency_estimates latency
     @ fault_estimates faultcheck @ degraded_estimates degraded
-    @ litmus_estimates litmus
+    @ fams_estimates fams @ litmus_estimates litmus
   in
   if fast then
     Option.iter

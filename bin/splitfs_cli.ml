@@ -48,6 +48,63 @@ let run_litmus no_minimize jobs =
       runs
   then exit 1
 
+(** [fams]: the failure-atomic-msync verification leg. Four parts:
+    - the two fams-specific litmus patterns (msync-publish, snapshot-cow)
+      exhaustively on every stack;
+    - the canary: with the commit record disabled the same exploration
+      MUST flag a torn msync — a harness that stays green with the
+      protocol broken is vouching for nothing;
+    - faultcheck on the fams stack (staging starvation must surface an
+      honest ENOSPC, never a mangled file);
+    - the FAMS-vs-WAL experiment table. *)
+let run_fams jobs =
+  let pats =
+    List.filter
+      (fun (p : Crashcheck.Litmus.pattern) ->
+        List.mem p.Crashcheck.Litmus.p_name [ "msync-publish"; "snapshot-cow" ])
+      Crashcheck.Litmus.corpus
+  in
+  let combos =
+    List.concat_map
+      (fun p ->
+        List.map (fun s -> (p, s)) Crashcheck.Litmus.all_stacks)
+      pats
+  in
+  let runs =
+    Par.map ?jobs
+      (fun _ (p, s) -> Crashcheck.Litmus.run_pattern p s)
+      combos
+  in
+  List.iter (fun r -> Fmt.pr "%a@." Crashcheck.Litmus.pp_run r) runs;
+  let failed = ref false in
+  if
+    List.exists
+      (fun (r : Crashcheck.Litmus.run) ->
+        r.Crashcheck.Litmus.r_violations <> [])
+      runs
+  then begin
+    Printf.eprintf "fams: litmus contract violation\n";
+    failed := true
+  end;
+  if Crashcheck.Litmus.catches_torn_msync () then
+    print_endline
+      "canary: torn-msync bug (commit record disabled) caught, as it must be"
+  else begin
+    Printf.eprintf
+      "fams: canary FAILED — corpus did not flag the broken publish protocol\n";
+    failed := true
+  end;
+  let report =
+    Faultcheck.check_stack ?jobs (Faultcheck.Splitfs Splitfs.Config.Fams)
+  in
+  Fmt.pr "%a@." Faultcheck.pp_stack_report report;
+  if report.Faultcheck.s_violations <> [] then begin
+    Printf.eprintf "fams: faultcheck violation on splitfs-fams\n";
+    failed := true
+  end;
+  ignore (Harness.Experiments.fams_vs_wal ());
+  if !failed then exit 1
+
 let run_ablations total_mb = ignore (Harness.Experiments.ablations ~total_mb ())
 let run_resources () = ignore (Harness.Experiments.resources ())
 let run_scaling () = ignore (Harness.Experiments.scaling ())
@@ -145,7 +202,7 @@ let run_trace fs_name nclients ops out sample syscalls =
 (** [bench-diff]: the perf-regression sentinel. Exit codes: 0 clean,
     1 regression (or non-subset missing keys), 2 a file failed to load or
     the schemas refuse to compare. *)
-let run_bench_diff old_path new_path host_tol subset =
+let run_bench_diff old_path new_path host_tol subset strict_meta =
   match
     try Ok (Harness.Benchdiff.load old_path, Harness.Benchdiff.load new_path)
     with Failure msg -> Error msg
@@ -154,7 +211,9 @@ let run_bench_diff old_path new_path host_tol subset =
       Printf.eprintf "bench-diff: %s\n" msg;
       exit 2
   | Ok (old_f, new_f) -> (
-      match Harness.Benchdiff.diff ~host_tol ~subset old_f new_f with
+      match
+        Harness.Benchdiff.diff ~host_tol ~subset ~strict_meta old_f new_f
+      with
       | Error msg ->
           Printf.eprintf "bench-diff: %s\n" msg;
           exit 2
@@ -314,6 +373,14 @@ let bd_subset =
           "Accept NEW covering only part of OLD's keys (a fast-mode run \
            has no host entries).")
 
+let bd_strict_meta =
+  Arg.(
+    value & flag
+    & info [ "strict-meta" ]
+        ~doc:
+          "Refuse (exit 2) a trajectory file without a \"meta\" block \
+           instead of warning about the legacy snapshot.")
+
 let tl_fs =
   Arg.(
     value
@@ -410,6 +477,10 @@ let () =
               "Exhaustive litmus corpus (Ferrite patterns and more) plus \
                fence minimization."
               Term.(const run_litmus $ lm_no_minimize $ jobs_arg);
+            cmd "fams"
+              "Failure-atomic msync: litmus legs, torn-msync canary, \
+               faultcheck, FAMS-vs-WAL experiment."
+              Term.(const run_fams $ jobs_arg);
             cmd "ablations" "Design-choice ablations (DRAM staging, huge pages, mmap size)."
               Term.(const run_ablations $ total_mb);
             cmd "resources" "U-Split resource consumption."
@@ -444,7 +515,8 @@ let () =
             cmd "bench-diff"
               "Compare two perf trajectory points; exit nonzero on regression."
               Term.(
-                const run_bench_diff $ bd_old $ bd_new $ bd_host_tol $ bd_subset);
+                const run_bench_diff $ bd_old $ bd_new $ bd_host_tol $ bd_subset
+                $ bd_strict_meta);
             smoke;
             all_cmd;
           ]))

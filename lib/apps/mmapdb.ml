@@ -1,0 +1,83 @@
+(** Mmap-native page store: the kyotocabinet-style application the
+    paper's failure-atomic msync targets.
+
+    Unlike {!Pager}, there is no write-ahead log and no double write:
+    pages are updated in place in the database file and a transaction
+    commits with a single [msync] (= [fsync] in this simulation — the
+    U-Split file *is* the mapped region). On a file system with
+    failure-atomic msync the commit is atomic — a crash recovers to the
+    last msync image, never a torn mix — so the WAL's write
+    amplification and its replay-on-open both disappear. On any other
+    stack this layout is only as safe as that stack's msync, which is
+    exactly the contrast the FAMS-vs-WAL experiment measures.
+
+    Reads are served from a page cache over pread; the cache never holds
+    data the file does not, because every update goes straight to the
+    file. Recovery is [open_] itself: no log to scan, just an fstat. *)
+
+let page_size = 4096
+
+type t = {
+  fs : Fsapi.Fs.t;
+  path : string;
+  fd : Fsapi.Fs.fd;
+  cache : (int, Bytes.t) Hashtbl.t;
+  mutable npages : int;
+  mutable commits : int;
+}
+
+let open_ (fs : Fsapi.Fs.t) path =
+  let fd = fs.open_ path Fsapi.Flags.create_rw in
+  {
+    fs;
+    path;
+    fd;
+    cache = Hashtbl.create 1024;
+    npages = (fs.fstat fd).Fsapi.Fs.st_size / page_size;
+    commits = 0;
+  }
+
+let npages t = t.npages
+
+(** Grow the file to [n] zero pages and make the size durable — the
+    mmap-native equivalent of ftruncate + msync before mapping. *)
+let preallocate t n =
+  if n > t.npages then begin
+    t.fs.ftruncate t.fd (n * page_size);
+    t.fs.fsync t.fd;
+    t.npages <- n
+  end
+
+let read_page t page_id =
+  match Hashtbl.find_opt t.cache page_id with
+  | Some img -> img
+  | None ->
+      let img = Bytes.make page_size '\000' in
+      if page_id < t.npages then
+        ignore
+          (t.fs.pread t.fd ~buf:img ~boff:0 ~len:page_size
+             ~at:(page_id * page_size));
+      Hashtbl.replace t.cache page_id img;
+      img
+
+(** In-place store through the map: dirties the page in the file itself.
+    Not durable (and on a failure-atomic stack not even visible to
+    recovery) until the next {!commit}. *)
+let write_page t page_id img =
+  if Bytes.length img <> page_size then invalid_arg "mmapdb: page size";
+  if page_id >= t.npages then t.npages <- page_id + 1;
+  Hashtbl.replace t.cache page_id (Bytes.copy img);
+  ignore
+    (t.fs.pwrite t.fd ~buf:img ~boff:0 ~len:page_size ~at:(page_id * page_size))
+
+(** msync: one call makes every store since the last commit durable — on
+    a failure-atomic stack, atomically. *)
+let commit t =
+  t.fs.fsync t.fd;
+  t.commits <- t.commits + 1
+
+let commits t = t.commits
+
+let close t =
+  commit t;
+  t.fs.close t.fd

@@ -9,11 +9,17 @@ type mode =
   | Sync  (** + synchronous data and metadata operations — like PMFS /
               NOVA-relaxed *)
   | Strict  (** + atomic data operations — like NOVA-strict / Strata *)
+  | Fams
+      (** failure-atomic msync: stores stage in shadow extents and stay
+          invisible to crash recovery until [fsync]/msync publishes them
+          atomically (oplog commit record + relink). A mid-publish crash
+          recovers to the pre- or post-msync image, never a torn one. *)
 
 let mode_to_string = function
   | Posix -> "posix"
   | Sync -> "sync"
   | Strict -> "strict"
+  | Fams -> "fams"
 
 type t = {
   mode : mode;
@@ -53,5 +59,6 @@ let default =
 let posix = default
 let sync = { default with mode = Sync }
 let strict = { default with mode = Strict }
+let fams = { default with mode = Fams }
 
 let with_mode mode = { default with mode }

@@ -9,6 +9,11 @@ type mode =
   | Sync  (** + synchronous data and metadata operations — like PMFS /
               NOVA-relaxed *)
   | Strict  (** + atomic data operations — like NOVA-strict / Strata *)
+  | Fams
+      (** failure-atomic msync: stores stage in shadow extents, invisible
+          to crash recovery until [fsync]/msync publishes them atomically
+          (oplog commit record + relink); a mid-publish crash recovers to
+          the pre- or post-msync image, never a torn one *)
 
 val mode_to_string : mode -> string
 
@@ -39,4 +44,5 @@ val default : t
 val posix : t
 val sync : t
 val strict : t
+val fams : t
 val with_mode : mode -> t

@@ -45,6 +45,16 @@ type entry =
   | Unlink of { ino : int }
   | Rename of { ino : int }
   | Truncate of { ino : int; size : int }
+  | Fams_append of data_op
+      (** fams-staged append: invisible to recovery until a later
+          [Msync_commit] for the same inode promotes it *)
+  | Fams_overwrite of data_op  (** fams-staged overwrite, same contract *)
+  | Msync_commit of { target_ino : int }
+      (** the msync commit record: every fams-staged entry for
+          [target_ino] logged before this point is now published *)
+  | Snapshot of { target_ino : int; snap_ino : int }
+      (** a snapshot of [target_ino] was published into [snap_ino]
+          (kernel-atomic extent clone); a barrier marker like [Create] *)
 
 (* --- codec --- *)
 
@@ -56,24 +66,31 @@ let kind_of_entry = function
   | Unlink _ -> 5
   | Rename _ -> 6
   | Truncate _ -> 7
+  | Fams_append _ -> 8
+  | Fams_overwrite _ -> 9
+  | Msync_commit _ -> 10
+  | Snapshot _ -> 11
 
 let encode entry =
   let b = Bytes.make entry_size '\000' in
   Bytes.set_uint8 b 0 (kind_of_entry entry);
   let set_ino i = Bytes.set_int64_le b 8 (Int64.of_int i) in
   (match entry with
-  | Append op | Overwrite op ->
+  | Append op | Overwrite op | Fams_append op | Fams_overwrite op ->
       set_ino op.target_ino;
       Bytes.set_int64_le b 16 (Int64.of_int op.file_off);
       Bytes.set_int64_le b 24 (Int64.of_int op.staging_ino);
       Bytes.set_int64_le b 32 (Int64.of_int op.staging_off);
       Bytes.set_int64_le b 40 (Int64.of_int op.len);
       Bytes.set_int32_le b 48 (Int32.of_int op.data_crc)
-  | Relinked { target_ino } -> set_ino target_ino
+  | Relinked { target_ino } | Msync_commit { target_ino } -> set_ino target_ino
   | Create { ino } | Unlink { ino } | Rename { ino } -> set_ino ino
   | Truncate { ino; size } ->
       set_ino ino;
-      Bytes.set_int64_le b 16 (Int64.of_int size));
+      Bytes.set_int64_le b 16 (Int64.of_int size)
+  | Snapshot { target_ino; snap_ino } ->
+      set_ino target_ino;
+      Bytes.set_int64_le b 16 (Int64.of_int snap_ino));
   let crc = Crc32.bytes b in
   Bytes.set_int32_le b 4 (Int32.of_int crc);
   b
@@ -115,6 +132,10 @@ let decode ?(verify = true) b ~off =
       | 5 -> Valid (Unlink { ino = geti 8 })
       | 6 -> Valid (Rename { ino = geti 8 })
       | 7 -> Valid (Truncate { ino = geti 8; size = geti 16 })
+      | 8 -> Valid (Fams_append (data_op ()))
+      | 9 -> Valid (Fams_overwrite (data_op ()))
+      | 10 -> Valid (Msync_commit { target_ino = geti 8 })
+      | 11 -> Valid (Snapshot { target_ino = geti 8; snap_ino = geti 16 })
       | _ -> Torn
     end
   end

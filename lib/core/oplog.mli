@@ -33,6 +33,16 @@ type entry =
   | Unlink of { ino : int }
   | Rename of { ino : int }
   | Truncate of { ino : int; size : int }
+  | Fams_append of data_op
+      (** fams-staged append: invisible to recovery until a later
+          [Msync_commit] for the same inode promotes it *)
+  | Fams_overwrite of data_op  (** fams-staged overwrite, same contract *)
+  | Msync_commit of { target_ino : int }
+      (** the msync commit record: every fams-staged entry for
+          [target_ino] logged before this point is now published *)
+  | Snapshot of { target_ino : int; snap_ino : int }
+      (** a snapshot of [target_ino] was published into [snap_ino]
+          (kernel-atomic extent clone); a barrier marker like [Create] *)
 
 (** Serialise to a 64-byte slot (checksum filled in). *)
 val encode : entry -> Bytes.t

@@ -33,35 +33,65 @@ type report = {
   replay_ns : float;  (** simulated time spent replaying *)
 }
 
-(** Pending staged ops per target inode, reconstructed in log order. *)
+(** Pending staged ops per target inode, reconstructed in log order.
+
+    Fams-staged entries are collected separately: they stay invisible
+    until their inode's [Msync_commit] record promotes them to pending —
+    everything still uncommitted when the scan ends is dropped, which is
+    exactly the failure-atomic msync contract (the pre-msync image
+    survives). A commit record is only ever appended after the fence that
+    made the staged entries and their data durable, so promoted ops never
+    need the torn-data check the per-op-fenced kinds get. *)
 let collect entries =
   let pending : (int, Oplog.data_op list ref) Hashtbl.t = Hashtbl.create 64 in
-  let touch ino =
-    match Hashtbl.find_opt pending ino with
+  let uncommitted : (int, Oplog.data_op list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let touch tbl ino =
+    match Hashtbl.find_opt tbl ino with
     | Some l -> l
     | None ->
         let l = ref [] in
-        Hashtbl.replace pending ino l;
+        Hashtbl.replace tbl ino l;
         l
+  in
+  let trim_ops size ops =
+    List.filter_map
+      (fun (op : Oplog.data_op) ->
+        if op.Oplog.file_off >= size then None
+        else if op.Oplog.file_off + op.Oplog.len <= size then Some op
+        else Some { op with Oplog.len = size - op.Oplog.file_off })
+      ops
   in
   List.iter
     (fun entry ->
       match entry with
       | Oplog.Append op | Oplog.Overwrite op ->
-          let l = touch op.Oplog.target_ino in
+          let l = touch pending op.Oplog.target_ino in
           l := op :: !l
+      | Oplog.Fams_append op | Oplog.Fams_overwrite op ->
+          let l = touch uncommitted op.Oplog.target_ino in
+          l := op :: !l
+      | Oplog.Msync_commit { target_ino } -> (
+          match Hashtbl.find_opt uncommitted target_ino with
+          | Some u ->
+              Hashtbl.remove uncommitted target_ino;
+              (* promoted ops are newer than anything already pending for
+                 the inode; both lists are newest-first *)
+              let p = touch pending target_ino in
+              p := !u @ !p
+          | None -> ())
       | Oplog.Relinked { target_ino } -> Hashtbl.remove pending target_ino
-      | Oplog.Unlink { ino } -> Hashtbl.remove pending ino
+      | Oplog.Unlink { ino } ->
+          Hashtbl.remove pending ino;
+          Hashtbl.remove uncommitted ino
       | Oplog.Truncate { ino; size } ->
-          let l = touch ino in
-          l :=
-            List.filter_map
-              (fun (op : Oplog.data_op) ->
-                if op.Oplog.file_off >= size then None
-                else if op.Oplog.file_off + op.Oplog.len <= size then Some op
-                else Some { op with Oplog.len = size - op.Oplog.file_off })
-              !l
-      | Oplog.Create _ | Oplog.Rename _ -> ())
+          let l = touch pending ino in
+          l := trim_ops size !l;
+          (match Hashtbl.find_opt uncommitted ino with
+          | Some u -> u := trim_ops size !u
+          | None -> ())
+      | Oplog.Create _ | Oplog.Rename _ | Oplog.Snapshot _ -> ())
     entries;
   pending
 

@@ -86,6 +86,8 @@ let site_strict_write = Device.register_fence_site "usplit:strict-write"
 let site_sync_write = Device.register_fence_site "usplit:sync-write"
 let site_strict_truncate = Device.register_fence_site "usplit:strict-truncate"
 let site_strict_unlink = Device.register_fence_site "usplit:strict-unlink"
+let site_msync_pre = Device.register_fence_site "usplit:msync-pre"
+let site_msync_publish = Device.register_fence_site "usplit:msync-publish"
 
 (** Run a write-side operation under the §3.5 per-file lock. The take /
     release CPU cost only exists in multi-client runs; the single-client
@@ -121,7 +123,7 @@ let scratch_buf t len =
 let logs_ops t =
   match t.cfg.Config.mode with
   | Config.Posix -> false
-  | Config.Sync | Config.Strict -> true
+  | Config.Sync | Config.Strict | Config.Fams -> true
 
 (** Margin of log slots kept free so the checkpoint itself can finish. *)
 let checkpoint_slack = 8
@@ -319,8 +321,21 @@ let write_inplace t st ~at buf ~boff ~len =
         match Kernelfs.Ext4.translate (kfs t) m ~max:!remaining ~file_off:!pos with
         | Some (addr, run) ->
             let n = min run !remaining in
-            Device.store_nt t.env.Env.dev ~addr buf ~off:!src ~len:n;
-            continue_at n
+            if Kernelfs.Ext4.range_shared (kfs t) ~addr ~len:n then begin
+              (* snapshot-shared blocks: route through the kernel so the
+                 write breaks the share (copy-on-write) instead of storing
+                 through the alias and corrupting the snapshot *)
+              let n =
+                Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff:!src ~len:n
+                  ~at:!pos
+              in
+              refresh_mappings t st;
+              continue_at n
+            end
+            else begin
+              Device.store_nt t.env.Env.dev ~addr buf ~off:!src ~len:n;
+              continue_at n
+            end
         | None ->
             (* hole: kernel allocates and writes this block, then the
                cached mappings learn about the fresh block *)
@@ -347,6 +362,13 @@ let write_inplace t st ~at buf ~boff ~len =
     kernel — faultcheck must flag the resulting corruption. *)
 let degraded_write t st ~at buf ~boff ~len =
   uspan t "u:degraded-write" @@ fun () ->
+  (* fams cannot degrade to an in-place kernel write: published-before-
+     commit data would break msync atomicity, so resource exhaustion
+     surfaces as an honest ENOSPC instead of silently weakening the
+     contract *)
+  if t.cfg.Config.mode = Config.Fams then
+    Fsapi.Errno.(
+      error ENOSPC "fams: staging exhausted (failure-atomic msync needs staging)");
   let faults = t.env.Env.faults in
   Faults.new_epoch faults;
   Faults.note_degraded_write faults;
@@ -386,6 +408,11 @@ let rec stage_write t st ~at buf ~boff ~len =
          configurations with a shrunken pool): route straight through
          the kernel instead of relinking forever *)
       degraded_write t st ~at buf ~boff ~len
+  | None when t.cfg.Config.mode = Config.Fams ->
+      (* relinking here would publish staged data mid-window; surface the
+         full staging file as an honest ENOSPC instead of silently
+         weakening the msync granularity *)
+      Fsapi.Errno.(error ENOSPC "fams: staging file full before msync")
   | None ->
       (* staging file exhausted: relink now to free it, then retry on a
          fresh handle *)
@@ -408,7 +435,13 @@ let rec stage_write t st ~at buf ~boff ~len =
             data_crc = Crc32.bytes buf ~off:boff ~len;
           }
         in
-        log_entry t (if grew then Oplog.Append op else Oplog.Overwrite op)
+        log_entry t
+          (match t.cfg.Config.mode with
+          | Config.Fams ->
+              (* fams kinds: invisible to recovery until the inode's
+                 msync commit record promotes them *)
+              if grew then Oplog.Fams_append op else Oplog.Fams_overwrite op
+          | _ -> if grew then Oplog.Append op else Oplog.Overwrite op)
       end
 
 (* ------------------------------------------------------------------ *)
@@ -564,12 +597,40 @@ and relink_file t st =
         fence ~site:site_relink_publish t
       end)
 
-(** Checkpoint: relink every file with staged data, then clear the log
-    (runs when the operation log fills up, §3.3). *)
+(** The failure-atomic msync publish. In fams mode the staged bytes and
+    their log entries are made durable first, then the msync commit
+    record is appended and made durable before the target mutates via
+    relink: recovery replays fams-staged entries only when their commit
+    record made it, so a crash anywhere in here resolves to the pre- or
+    post-msync image, never a torn one. Other modes publish via plain
+    [relink_file]. [Env.checks.fams_commit_record] is the injected-bug
+    switch for the crash oracle's self-test: when cleared, the relink
+    publishes without the commit barrier and a mid-publish crash can tear
+    the file — crashcheck must flag it. *)
+let publish_file t st =
+  if
+    t.cfg.Config.mode = Config.Fams
+    && (not (Kernelfs.Extent_tree.is_empty st.shadow))
+    && t.env.Env.checks.Env.fams_commit_record
+  then begin
+    (* staged data and fams entries before the record, the record before
+       any relink mutation of the target: two orderings, two fences *)
+    fence ~site:site_msync_pre t;
+    log_entry t (Oplog.Msync_commit { target_ino = st.f_ino });
+    fence ~site:site_msync_publish t
+  end;
+  relink_file t st
+
+(** Checkpoint: publish every file with staged data, then clear the log
+    (runs when the operation log fills up, §3.3). In fams mode each file
+    goes through the commit-record protocol, so the checkpoint stays
+    failure-atomic per file — it publishes earlier than the application's
+    msync asked for, but never tears (experiments size the log so this
+    backstop does not fire mid-window). *)
 let relink_all t =
   Hashtbl.iter
     (fun _ st ->
-      if not (Kernelfs.Extent_tree.is_empty st.shadow) then relink_file t st)
+      if not (Kernelfs.Extent_tree.is_empty st.shadow) then publish_file t st)
     t.files_by_ino;
   match t.oplog with Some log -> Oplog.clear log | None -> ()
 
@@ -586,9 +647,11 @@ let do_pwrite t od ~buf ~boff ~len ~at =
   if len = 0 then 0
   else
     with_file_lock t st @@ fun () ->
-    (if at > st.usize then begin
+    (if at > st.usize && t.cfg.Config.mode <> Config.Fams then begin
        (* write beyond EOF creating a hole: settle staged state first, then
-          let the kernel produce the sparse file *)
+          let the kernel produce the sparse file (not in fams — settling
+          would publish staged data mid-window; the shadow tree handles
+          the sparse layout and reads zero-fill the hole instead) *)
        relink_file t st;
        let n = Kernelfs.Syscall.pwrite t.sys st.f_kfd ~buf ~boff ~len ~at in
        assert (n = len);
@@ -621,6 +684,12 @@ let do_pwrite t od ~buf ~boff ~len ~at =
            (* atomic data ops: everything is staged and logged *)
            stage_write t st ~at buf ~boff ~len;
            fence ~site:site_strict_write t
+       | Config.Fams ->
+           (* failure-atomic msync: every store — append, overwrite, even
+              beyond EOF — stages in shadow extents, invisible to
+              recovery until msync publishes it; no per-store fence, the
+              ordering cost moves entirely to msync *)
+           stage_write t st ~at buf ~boff ~len
        | Config.Posix | Config.Sync ->
            let overwrite_len = max 0 (min len (st.ksize - at)) in
            (* in-place part, below the kernel size and not shadowed *)
@@ -808,8 +877,15 @@ let close t fd =
   let st = od.st in
   Hashtbl.remove t.fds fd;
   st.open_count <- st.open_count - 1;
-  if (not st.unlinked) && not (Kernelfs.Extent_tree.is_empty st.shadow) then
-    (* paper §3.4: staged data is relinked on fsync or close *)
+  if
+    (not st.unlinked)
+    && (not (Kernelfs.Extent_tree.is_empty st.shadow))
+    && t.cfg.Config.mode <> Config.Fams
+  then
+    (* paper §3.4: staged data is relinked on fsync or close — except in
+       fams, where close is not an msync: unpublished stores stay staged
+       (readable through this instance, gone after a crash) until the
+       application publishes them *)
     relink_file t st;
   if od.od_kfd <> st.f_kfd then Kernelfs.Syscall.close t.sys od.od_kfd;
   if st.unlinked && st.open_count = 0 then cleanup_state t st
@@ -828,7 +904,8 @@ let fsync t fd =
   bookkeeping t;
   let od = fd_entry t fd in
   with_file_lock t od.st @@ fun () ->
-  relink_file t od.st;
+  (* in fams mode fsync IS msync: the atomic publication point *)
+  publish_file t od.st;
   Kernelfs.Syscall.fsync t.sys od.st.f_kfd
 
 let ftruncate t fd size =
@@ -855,7 +932,8 @@ let ftruncate t fd size =
   end;
   if logs_ops t then begin
     log_entry t (Oplog.Truncate { ino = st.f_ino; size });
-    if t.cfg.Config.mode = Config.Strict then fence ~site:site_strict_truncate t
+    if t.cfg.Config.mode = Config.Strict || t.cfg.Config.mode = Config.Fams
+    then fence ~site:site_strict_truncate t
   end
 
 let stat_of_state st =
@@ -888,7 +966,8 @@ let unlink t path =
       Kernelfs.Syscall.unlink t.sys path;
       if logs_ops t then begin
         log_entry t (Oplog.Unlink { ino = st.f_ino });
-        if t.cfg.Config.mode = Config.Strict then fence ~site:site_strict_unlink t
+        if t.cfg.Config.mode = Config.Strict || t.cfg.Config.mode = Config.Fams
+        then fence ~site:site_strict_unlink t
       end;
       if st.open_count = 0 then cleanup_state t st
   | _ -> Kernelfs.Syscall.unlink t.sys path)
@@ -928,6 +1007,86 @@ let rmdir t path =
 let readdir t path =
   bookkeeping t;
   Kernelfs.Syscall.readdir t.sys path
+
+(* ------------------------------------------------------------------ *)
+(* Instant snapshots                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Snapshot one file: publish its staged data (an msync, commit-record
+    protected in fams mode), then clone its extent map block-for-block
+    into [snap_path] in a single kernel journal transaction — O(extents),
+    no data copied. The shared blocks break copy-on-write on the next
+    in-place store through either owner. *)
+let snapshot_file t src_path snap_path =
+  uspan t "u:snapshot" @@ fun () ->
+  (* the snapshot captures the published image: staged-but-unpublished
+     stores stay invisible to it, exactly as they are to a crash *)
+  (match Hashtbl.find_opt t.files_by_path src_path with
+  | Some st when not st.unlinked ->
+      with_file_lock t st @@ fun () -> publish_file t st
+  | _ -> ());
+  let src_kfd, close_src =
+    match Hashtbl.find_opt t.files_by_path src_path with
+    | Some st when not st.unlinked -> (st.f_kfd, false)
+    | _ -> (Kernelfs.Syscall.open_ t.sys src_path Fsapi.Flags.rdonly, true)
+  in
+  let dst_kfd = Kernelfs.Syscall.open_ t.sys snap_path Fsapi.Flags.create_rw in
+  Fun.protect ~finally:(fun () ->
+      Kernelfs.Syscall.close t.sys dst_kfd;
+      if close_src then Kernelfs.Syscall.close t.sys src_kfd)
+  @@ fun () ->
+  Kernelfs.Syscall.ioctl_clone_extents t.sys ~src_fd:src_kfd ~dst_fd:dst_kfd;
+  (* a cached state for the snapshot path (re-snapshot over an earlier
+     one) is stale in every dimension: drop its staged data and mappings,
+     re-learn the size from the kernel *)
+  (match Hashtbl.find_opt t.files_by_path snap_path with
+  | Some dst when not dst.unlinked ->
+      (match dst.staging with
+      | Some h ->
+          dst.staging <- None;
+          Staging.release t.staging_pool h
+      | None -> ());
+      Kernelfs.Extent_tree.clear dst.shadow;
+      dst.mmaps <- [];
+      invalidate_mmap_index dst;
+      let kstat = Kernelfs.Syscall.fstat t.sys dst.f_kfd in
+      dst.ksize <- kstat.Fsapi.Fs.st_size;
+      dst.usize <- kstat.Fsapi.Fs.st_size
+  | _ -> ());
+  if logs_ops t then begin
+    (* a barrier marker like [Create]: replays to nothing (the clone was
+       journalled by K-Split), so it needs no fence of its own *)
+    let src_ino = (Kernelfs.Syscall.fstat t.sys src_kfd).Fsapi.Fs.st_ino in
+    let snap_ino = (Kernelfs.Syscall.fstat t.sys dst_kfd).Fsapi.Fs.st_ino in
+    log_entry t (Oplog.Snapshot { target_ino = src_ino; snap_ino })
+  end
+
+(** Snapshot a directory tree (the per-tenant case: [snapshot /t3 /snap]):
+    every regular file is published and cloned, subdirectories recurse.
+    The destination tree is skipped if it lives inside the source. *)
+let rec snapshot_dir t src_dir snap_dir =
+  (match Kernelfs.Syscall.stat t.sys snap_dir with
+  | (_ : Fsapi.Fs.stat) -> ()
+  | exception Fsapi.Errno.Error (Fsapi.Errno.ENOENT, _) ->
+      Kernelfs.Syscall.mkdir t.sys snap_dir);
+  List.iter
+    (fun name ->
+      let s = Filename.concat src_dir name in
+      let d = Filename.concat snap_dir name in
+      if s <> snap_dir then
+        match (stat t s).Fsapi.Fs.st_kind with
+        | Fsapi.Fs.Directory -> snapshot_dir t s d
+        | Fsapi.Fs.Regular -> snapshot_file t s d)
+    (Kernelfs.Syscall.readdir t.sys src_dir)
+
+(** [snapshot t src dst] — instant snapshot of a file or a directory
+    tree: publication is O(metadata) (one extent-map clone per file), the
+    data is shared copy-on-write. *)
+let snapshot t src dst =
+  bookkeeping t;
+  match (stat t src).Fsapi.Fs.st_kind with
+  | Fsapi.Fs.Directory -> snapshot_dir t src dst
+  | Fsapi.Fs.Regular -> snapshot_file t src dst
 
 (* ------------------------------------------------------------------ *)
 (* fd-offset wrappers                                                   *)
@@ -978,7 +1137,7 @@ let mount ?(cfg = Config.default) ~sys ~env ~instance () =
   let oplog =
     match cfg.Config.mode with
     | Config.Posix -> None
-    | Config.Sync | Config.Strict ->
+    | Config.Sync | Config.Strict | Config.Fams ->
         Some
           (Oplog.create ~sys ~env ~path:(oplog_path instance)
              ~size:cfg.Config.oplog_size)

@@ -6,17 +6,20 @@
     and, in strict mode, overwrites — are staged and then logically moved
     to the target file by the relink primitive on fsync or close.
 
-    Each mounted instance has its own mode (POSIX / sync / strict),
-    staging pool and operation log, so concurrent applications can pick
-    different guarantees (§3.2). *)
+    Each mounted instance has its own mode (POSIX / sync / strict /
+    fams), staging pool and operation log, so concurrent applications can
+    pick different guarantees (§3.2). In fams mode every store stages
+    with no per-store fence and stays invisible to crash recovery until
+    fsync (= msync) publishes it atomically behind an op-log commit
+    record. *)
 
 type t
 
 (** Mount a U-Split instance over the kernel file system reachable through
     [sys]. [instance] names the per-process staging directory and
     operation log (a real deployment would use the pid). Pre-allocates the
-    staging pool and, in sync/strict modes, the zero-initialised operation
-    log. *)
+    staging pool and, in sync/strict/fams modes, the zero-initialised
+    operation log. *)
 val mount :
   ?cfg:Config.t ->
   sys:Kernelfs.Syscall.t ->
@@ -38,6 +41,15 @@ val oplog : t -> Oplog.t option
     that runs when the operation log fills (§3.3). Also useful in tests
     and before process handoffs. *)
 val relink_all : t -> unit
+
+(** [snapshot t src dst] — instant snapshot of a file or directory tree:
+    [src]'s staged data is published first (an msync, commit-record
+    protected in fams mode), then its extent map is cloned block-for-block
+    into [dst] in one kernel journal transaction — O(metadata), no data
+    copied. Cloned blocks are shared copy-on-write: the next in-place
+    store through either owner breaks the share. A directory [src]
+    snapshots every regular file beneath it (the per-tenant case). *)
+val snapshot : t -> string -> string -> unit
 
 (** Approximate DRAM footprint of the instance's bookkeeping (fd table,
     attribute cache, collection of mmaps, shadow maps) — the §5.10

@@ -52,6 +52,23 @@ let check mode ~(pre : View.t) ~(post : View.t) recovered =
              (Bytes.length pre.View.cur)
              (Bytes.length post.View.cur)
              (Bytes.length recovered))
+  | Splitfs.Config.Fams ->
+      (* failure-atomic msync: exactly the pre- or the post-msync image —
+         unpublished stores must be invisible (no [stable_ow]: fams never
+         writes in place), published ones complete; truncate is a
+         metadata operation, durable immediately, and the oracle's stable
+         views resize with it *)
+      if Bytes.equal recovered pre.View.stable
+         || Bytes.equal recovered post.View.stable
+      then None
+      else
+        Some
+          (Fmt.str
+             "content is neither the pre- nor the post-msync image \
+              (pre=%dB post=%dB got=%dB)"
+             (Bytes.length pre.View.stable)
+             (Bytes.length post.View.stable)
+             (Bytes.length recovered))
   | Splitfs.Config.Sync -> (
       match
         check_size recovered

@@ -23,7 +23,10 @@
     - POSIX: only fsync'd data is promised. The size is a stable
       (last-fsync) size and bytes below the smallest stable size are
       explained by a stable view, optionally with post-fsync in-place
-      overwrites applied; everything beyond is unconstrained.
+      overwrites applied; everything beyond is unconstrained;
+    - fams: recovered content is exactly the pre- or post-msync image —
+      stores between msyncs must be invisible, a published msync must be
+      complete (failure-atomic msync).
 
     Ferrite-style exhaustive enumeration is kept for small traces (a
     unit test asserts the exact state count on a hand-built trace);
@@ -437,11 +440,13 @@ let check_mode ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) ?jobs ?checks
           List.map (fun svs -> (p, svs)) (Explore.enumerate p.pending))
         points
     else begin
-      let rng = Workloads.Rng.create (seed lxor 0x5EED5EED) in
+      (* partition-independent sampling: trial [i]'s crash state is a
+         function of (seed, i) alone, never of shared RNG state — the
+         sampled multiset is identical at any job count or budget split *)
       let parr = Array.of_list points in
-      List.init samples (fun _ ->
-          let p = parr.(Workloads.Rng.int rng (Array.length parr)) in
-          (p, Explore.sample rng p.Explore.pending))
+      List.init samples (fun i ->
+          Explore.sample_point_indexed ~seed:(seed lxor 0x5EED5EED) ~index:i
+            parr)
     end
   in
   let results =
@@ -481,11 +486,16 @@ let check_mode ?(samples = 200) ?(seed = 0x51ED) ?(nops = 24) ?jobs ?checks
     r_violations = List.rev !violations;
   }
 
-(** All three modes with the same budget. *)
+(** All four modes with the same budget. *)
 let run ?samples ?seed ?nops ?jobs () =
   List.map
     (fun mode -> check_mode ?samples ?seed ?nops ?jobs mode)
-    [ Splitfs.Config.Posix; Splitfs.Config.Sync; Splitfs.Config.Strict ]
+    [
+      Splitfs.Config.Posix;
+      Splitfs.Config.Sync;
+      Splitfs.Config.Strict;
+      Splitfs.Config.Fams;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Concurrent crashcheck: two interleaved clients (PR 3)                *)
@@ -677,12 +687,11 @@ module Concurrent = struct
       |]
     in
     let points = profile ws in
-    let rng = Workloads.Rng.create (seed lxor 0x5EED5EED) in
     let parr = Array.of_list points in
     let trials =
-      List.init samples (fun _ ->
-          let p = parr.(Workloads.Rng.int rng (Array.length parr)) in
-          (p, Explore.sample rng p.Explore.pending))
+      List.init samples (fun i ->
+          Explore.sample_point_indexed ~seed:(seed lxor 0x5EED5EED) ~index:i
+            parr)
     in
     let results =
       Par.map ?jobs

@@ -84,3 +84,13 @@ let sample rng (pending : Pmem.Device.pending_line array) =
     states as one sequential pass over indices [0..m-1]. *)
 let sample_indexed ~seed ~index (pending : Pmem.Device.pending_line array) =
   sample (Workloads.Rng.create_derived seed index) pending
+
+(** [sample_point_indexed ~seed ~index points] is {!sample_indexed} for a
+    whole campaign trial: both the crash point and its survivor vector
+    are drawn from the [(seed, index)]-derived PRNG, so trial [index] is
+    the same crash state no matter how the budget is partitioned across
+    domains or how many trials precede it. *)
+let sample_point_indexed ~seed ~index (points : point array) =
+  let rng = Workloads.Rng.create_derived seed index in
+  let p = points.(Workloads.Rng.int rng (Array.length points)) in
+  (p, sample rng p.pending)

@@ -1,5 +1,5 @@
 (** Litmus corpus: small named crash-consistency workloads explored in
-    exhaustive reordering mode across six persistent-memory stacks
+    exhaustive reordering mode across seven persistent-memory stacks
     (DESIGN.md §5i).
 
     Where {!Crashcheck} samples the crash-state space of long random
@@ -9,10 +9,11 @@
     fence is replayed, recovered and checked. The patterns are the
     classic application idioms from the Ferrite line of work
     (create-then-rename, unfenced double append, the Chrome
-    append-and-rename profile, replace-via-truncate) plus two shapes
-    specific to this code base: a WAL commit with log rotation and the
+    append-and-rename profile, replace-via-truncate) plus four shapes
+    specific to this code base: a WAL commit with log rotation, the
     staged-append/relink-publish sequence that SplitFS strict mode lives
-    on.
+    on, the failure-atomic msync publish, and the snapshot
+    copy-on-write idiom.
 
     Enumerability depends on [Pmem.Device.journal_begin ~dedup:true]:
     jbd2 journal blocks and fresh-block zeroing write all-zero content
@@ -22,7 +23,8 @@
     Each stack is checked against the strongest contract it claims
     (paper Table 3): SplitFS strict is atomic, SplitFS sync and the
     kernel file systems are synchronous-but-tearable, SplitFS POSIX
-    promises only fsync'd data. On top of the per-file differential
+    promises only fsync'd data, and SplitFS fams promises exactly the
+    pre- or post-msync image. On top of the per-file differential
     check every pattern carries a claim — a cross-file safety property
     ("the destination of the rename always exists") evaluated on every
     recovered crash state. *)
@@ -38,9 +40,18 @@ type stack_id =
   | Splitfs_posix
   | Splitfs_sync
   | Splitfs_strict
+  | Splitfs_fams
 
 let all_stacks =
-  [ Ext4_dax; Pmfs; Nova_relaxed; Splitfs_posix; Splitfs_sync; Splitfs_strict ]
+  [
+    Ext4_dax;
+    Pmfs;
+    Nova_relaxed;
+    Splitfs_posix;
+    Splitfs_sync;
+    Splitfs_strict;
+    Splitfs_fams;
+  ]
 
 let stack_name = function
   | Ext4_dax -> "ext4-dax"
@@ -49,6 +60,7 @@ let stack_name = function
   | Splitfs_posix -> "splitfs-posix"
   | Splitfs_sync -> "splitfs-sync"
   | Splitfs_strict -> "splitfs-strict"
+  | Splitfs_fams -> "splitfs-fams"
 
 (** What a recovered file may legally look like.
 
@@ -60,12 +72,13 @@ let stack_name = function
     data stores were lost reads back as zeros (or stale freed content),
     which is exactly the non-atomic ext4-DAX behaviour the paper's
     strict mode exists to fix. *)
-type contract = Atomic | Syncd | Posixd | Sync_dax
+type contract = Atomic | Syncd | Posixd | Sync_dax | Fams
 
 let contract_of = function
   | Splitfs_strict -> Atomic
   | Splitfs_sync -> Syncd
   | Splitfs_posix -> Posixd
+  | Splitfs_fams -> Fams
   | Ext4_dax | Pmfs | Nova_relaxed -> Sync_dax
 
 let contract_name = function
@@ -73,6 +86,7 @@ let contract_name = function
   | Syncd -> "sync"
   | Posixd -> "posix"
   | Sync_dax -> "sync-dax"
+  | Fams -> "fams"
 
 (* ------------------------------------------------------------------ *)
 (* Patterns                                                             *)
@@ -86,6 +100,10 @@ type op =
   | Rename of { src : string; dst : string }
   | Unlink of { path : string }
   | Checkpoint  (** relink_all on SplitFS, no-op on the kernel stacks *)
+  | Snapshot of { src : string; dst : string }
+      (** native extent-map clone on SplitFS (publish + reflink, one
+          journal transaction); fsync-src + read + write + fsync-dst
+          copy fallback on the kernel stacks and the oracle *)
 
 (** Same deterministic content formula as {!Crashcheck.Workload} (the
     modules are siblings inside the wrapped library, so the definition
@@ -258,10 +276,88 @@ let relink_publish =
     p_claim = (fun _ lookup -> must_exist "/data" "file lost" lookup);
   }
 
+(** Overlay a write on top of [base], growing it if the write lands past
+    the end — the oracle-side image algebra the fams claims are stated
+    in. *)
+let overlay base ~at ~len ~seed =
+  let size = max (Bytes.length base) (at + len) in
+  let b = Bytes.make size '\000' in
+  Bytes.blit base 0 b 0 (Bytes.length base);
+  Bytes.blit (payload ~seed len) 0 b at len;
+  b
+
+(** The failure-atomic msync idiom: unfenced stores (overwrite crossing
+    EOF, then a pure append), an msync publishing both atomically, an
+    in-place overwrite published by a second msync, and a trailing store
+    no msync ever publishes. Under the fams contract every crash state
+    must recover to exactly one of the three msync images — the trailing
+    store must never be visible, a half-published msync never survives. *)
+let msync_publish =
+  let img0 = payload ~seed:20 96 in
+  let img1 =
+    overlay (overlay img0 ~at:64 ~len:96 ~seed:21) ~at:160 ~len:64 ~seed:22
+  in
+  let img2 = overlay img1 ~at:0 ~len:48 ~seed:23 in
+  {
+    p_name = "msync-publish";
+    p_doc = "unfenced fams stores, atomic msync publish, unpublished tail";
+    p_initial = [ ("/db", 96, 20) ];
+    p_paths = [ "/db" ];
+    p_ops =
+      [
+        Write { slot = 0; at = 64; len = 96; seed = 21 };
+        Write { slot = 0; at = 160; len = 64; seed = 22 };
+        Fsync { slot = 0 };
+        Write { slot = 0; at = 0; len = 48; seed = 23 };
+        Fsync { slot = 0 };
+        Write { slot = 0; at = 224; len = 32; seed = 24 };
+      ];
+    p_claim =
+      (fun contract lookup ->
+        match (contract, lookup "/db") with
+        | _, None -> Some "/db lost"
+        | Fams, Some b ->
+            if List.exists (Bytes.equal b) [ img0; img1; img2 ] then None
+            else Some "/db is not one of the three msync images"
+        | _ -> None);
+  }
+
+(** Snapshot copy-on-write: stage a write, snapshot the file (publish +
+    extent-map clone), then overwrite the source over the now-shared
+    blocks and publish that too. The snapshot must keep the published
+    image it captured — an in-place store through the source that fails
+    to break the share corrupts it. *)
+let snapshot_cow =
+  let img_pub = overlay (payload ~seed:30 160) ~at:64 ~len:64 ~seed:31 in
+  {
+    p_name = "snapshot-cow";
+    p_doc = "write, snapshot (publish + clone), overwrite source, fsync";
+    p_initial = [ ("/src", 160, 30) ];
+    p_paths = [ "/src"; "/snap" ];
+    p_ops =
+      [
+        Write { slot = 0; at = 64; len = 64; seed = 31 };
+        Snapshot { src = "/src"; dst = "/snap" };
+        Write { slot = 0; at = 0; len = 96; seed = 32 };
+        Fsync { slot = 0 };
+      ];
+    p_claim =
+      (fun contract lookup ->
+        match contract with
+        | Fams | Atomic -> (
+            match lookup "/snap" with
+            | None -> None (* crash before the clone committed *)
+            | Some b ->
+                if Bytes.length b = 0 || Bytes.equal b img_pub then None
+                else Some "/snap is neither empty nor the published image")
+        | _ -> None);
+  }
+
 (** The four Ferrite-style application patterns. *)
 let ferrite = [ create_rename; two_appends; chrome; replace_truncate ]
 
-let corpus = ferrite @ [ wal_commit; relink_publish ]
+let corpus =
+  ferrite @ [ wal_commit; relink_publish; msync_publish; snapshot_cow ]
 
 let find_pattern name = List.find_opt (fun p -> p.p_name = name) corpus
 
@@ -276,6 +372,7 @@ type built = {
   b_env : Pmem.Env.t;
   b_fs : Fsapi.Fs.t;
   b_checkpoint : unit -> unit;
+  b_snapshot : string -> string -> unit;
   b_recover : unit -> unit;
   b_read : unit -> Fsapi.Fs.t;
 }
@@ -285,8 +382,30 @@ type builder = unit -> built
 (** Small and fast: every enumerated crash state rebuilds one of these. *)
 let env_capacity = 4 * 1024 * 1024
 
-let build_splitfs ?(tweak = fun c -> c) mode () =
-  let env = Pmem.Env.create ~capacity:env_capacity () in
+(** Fallback snapshot for stacks without the native extent-map clone
+    (and for the oracle): fsync the source first — the native snapshot
+    publishes staged data before cloning — then copy its content into
+    [dst] and fsync that. *)
+let copy_snapshot (fs : Fsapi.Fs.t) src dst =
+  let sfd = fs.Fsapi.Fs.open_ src Fsapi.Flags.rdonly in
+  let dfd = fs.Fsapi.Fs.open_ dst Fsapi.Flags.create_rw in
+  Fun.protect
+    ~finally:(fun () ->
+      fs.Fsapi.Fs.close dfd;
+      fs.Fsapi.Fs.close sfd)
+    (fun () ->
+      fs.Fsapi.Fs.fsync sfd;
+      let size = (fs.Fsapi.Fs.stat src).Fsapi.Fs.st_size in
+      let buf = Bytes.create size in
+      let got =
+        if size = 0 then 0 else fs.Fsapi.Fs.pread sfd ~buf ~boff:0 ~len:size ~at:0
+      in
+      fs.Fsapi.Fs.ftruncate dfd 0;
+      if got > 0 then ignore (fs.Fsapi.Fs.pwrite dfd ~buf ~boff:0 ~len:got ~at:0);
+      fs.Fsapi.Fs.fsync dfd)
+
+let build_splitfs ?(tweak = fun c -> c) ?checks mode () =
+  let env = Pmem.Env.create ~capacity:env_capacity ?checks () in
   let kfs = Kernelfs.Ext4.mkfs ~journal_len:(256 * 1024) env in
   let sys = Kernelfs.Syscall.make kfs in
   let cfg =
@@ -303,6 +422,7 @@ let build_splitfs ?(tweak = fun c -> c) mode () =
     b_env = env;
     b_fs = Splitfs.Usplit.as_fsapi u;
     b_checkpoint = (fun () -> Splitfs.Usplit.relink_all u);
+    b_snapshot = (fun src dst -> Splitfs.Usplit.snapshot u src dst);
     b_recover =
       (fun () -> ignore (Splitfs.Recovery.recover ~sys ~env ~instance:0));
     b_read = (fun () -> Kernelfs.Syscall.as_fsapi sys);
@@ -317,6 +437,7 @@ let build_ext4 () =
     b_env = env;
     b_fs = fs;
     b_checkpoint = ignore;
+    b_snapshot = copy_snapshot fs;
     b_recover = ignore;
     b_read = (fun () -> fs);
   }
@@ -329,6 +450,7 @@ let build_pmfs () =
     b_env = env;
     b_fs = fs;
     b_checkpoint = ignore;
+    b_snapshot = copy_snapshot fs;
     b_recover = ignore;
     b_read = (fun () -> fs);
   }
@@ -342,6 +464,7 @@ let build_nova () =
     b_env = env;
     b_fs = fs;
     b_checkpoint = ignore;
+    b_snapshot = copy_snapshot fs;
     b_recover = ignore;
     b_read = (fun () -> fs);
   }
@@ -353,6 +476,7 @@ let builder_of : stack_id -> builder = function
   | Splitfs_posix -> build_splitfs Splitfs.Config.Posix
   | Splitfs_sync -> build_splitfs Splitfs.Config.Sync
   | Splitfs_strict -> build_splitfs Splitfs.Config.Strict
+  | Splitfs_fams -> build_splitfs Splitfs.Config.Fams
 
 (* ------------------------------------------------------------------ *)
 (* Auxiliary configurations (fence-site coverage)                       *)
@@ -392,7 +516,7 @@ type aux = {
   x_pattern : pattern;
 }
 
-(** Configurations exercising fence sites the six main stacks never
+(** Configurations exercising fence sites the seven main stacks never
     reach: the degraded kernel-passthrough write and the Figure-3
     split-without-staging ablation. *)
 let aux_combos =
@@ -430,7 +554,7 @@ let slot_count p =
         | Fsync { slot }
         | Truncate { slot; _ } ->
             max a slot
-        | Rename _ | Unlink _ | Checkpoint -> a)
+        | Rename _ | Unlink _ | Checkpoint | Snapshot _ -> a)
       (List.length p.p_initial - 1)
       p.p_ops
   in
@@ -455,7 +579,7 @@ let fdx slots i =
   | Some fd -> fd
   | None -> invalid_arg "litmus: op on a slot no Create filled"
 
-let apply (fs : Fsapi.Fs.t) ~checkpoint slots op =
+let apply (fs : Fsapi.Fs.t) ~checkpoint ~snapshot slots op =
   match op with
   | Create { slot; path } ->
       slots.(slot) <- Some (fs.Fsapi.Fs.open_ path Fsapi.Flags.create_rw)
@@ -468,6 +592,7 @@ let apply (fs : Fsapi.Fs.t) ~checkpoint slots op =
   | Rename { src; dst } -> fs.Fsapi.Fs.rename src dst
   | Unlink { path } -> fs.Fsapi.Fs.unlink path
   | Checkpoint -> checkpoint ()
+  | Snapshot { src; dst } -> snapshot src dst
 
 (** The oracle has no relink: checkpoint makes everything durable. *)
 let oracle_checkpoint (ofs : Fsapi.Fs.t) oslots () =
@@ -491,7 +616,9 @@ let profile (builder : builder) p =
       (Pmem.Device.fence_sites ())
   in
   Pmem.Device.journal_begin ~dedup:true dev;
-  List.iter (apply b.b_fs ~checkpoint:b.b_checkpoint slots) p.p_ops;
+  List.iter
+    (apply b.b_fs ~checkpoint:b.b_checkpoint ~snapshot:b.b_snapshot slots)
+    p.p_ops;
   let nf = Pmem.Device.fence_count dev in
   let points =
     List.init nf (fun i ->
@@ -527,7 +654,9 @@ let site_coverage ?jobs () =
         let slots = setup p b.b_fs in
         let dev = b.b_env.Pmem.Env.dev in
         Pmem.Device.journal_begin ~dedup:true dev;
-        List.iter (apply b.b_fs ~checkpoint:b.b_checkpoint slots) p.p_ops;
+        List.iter
+          (apply b.b_fs ~checkpoint:b.b_checkpoint ~snapshot:b.b_snapshot slots)
+          p.p_ops;
         Pmem.Device.journal_stop dev;
         List.map (fun (i, _) -> Pmem.Device.site_hits dev i)
           (Pmem.Device.fence_sites ()))
@@ -573,6 +702,7 @@ let read_back (fs : Fsapi.Fs.t) path =
 let check_content contract ~pre ~post recovered =
   match contract with
   | Atomic -> Check.check Splitfs.Config.Strict ~pre ~post recovered
+  | Fams -> Check.check Splitfs.Config.Fams ~pre ~post recovered
   | Syncd -> Check.check Splitfs.Config.Sync ~pre ~post recovered
   | Posixd -> Check.check Splitfs.Config.Posix ~pre ~post recovered
   | Sync_dax -> (
@@ -627,6 +757,7 @@ let run_trial (builder : builder) p contract ~(point : Explore.point)
   Pmem.Device.journal_begin ~dedup:true dev;
   Pmem.Device.arm_crash dev ~fence:point.Explore.fence ~survivors;
   let ocp = oracle_checkpoint ofs oslots in
+  let osnap = copy_snapshot ofs in
   let pre = ref [] and post = ref [] and crashed_at = ref None in
   let rec go k = function
     | [] ->
@@ -635,14 +766,17 @@ let run_trial (builder : builder) p contract ~(point : Explore.point)
         post := !pre;
         Pmem.Device.crash_partial dev ~survivors
     | op :: rest -> (
-        match apply b.b_fs ~checkpoint:b.b_checkpoint slots op with
+        match
+          apply b.b_fs ~checkpoint:b.b_checkpoint ~snapshot:b.b_snapshot slots
+            op
+        with
         | () ->
-            apply ofs ~checkpoint:ocp oslots op;
+            apply ofs ~checkpoint:ocp ~snapshot:osnap oslots op;
             go (k + 1) rest
         | exception Pmem.Device.Crashed ->
             crashed_at := Some k;
             pre := snap oracle p.p_paths;
-            apply ofs ~checkpoint:ocp oslots op;
+            apply ofs ~checkpoint:ocp ~snapshot:osnap oslots op;
             post := snap oracle p.p_paths)
   in
   go 0 p.p_ops;
@@ -747,7 +881,7 @@ let run_pattern ?builder ?config ?contract p stack =
     r_violations = List.rev !violations;
   }
 
-(** The whole corpus across all six stacks, exhaustively. The 36
+(** The whole corpus across all seven stacks, exhaustively. The 56
     (pattern × stack) combos are independent — each [run_pattern] builds
     its own stacks — so they fan over the {!Par} domain pool; results
     come back in combo order, identical at any job count. Exploration
@@ -767,6 +901,26 @@ let run_aux ?jobs () =
       run_pattern ~builder:x.x_builder ~config:x.x_name ~contract:x.x_contract
         x.x_pattern x.x_stack)
     aux_combos
+
+(** Harness self-test: break the fams publish protocol (no commit record
+    before the relink — [Env.checks.fams_commit_record]) and re-explore
+    the msync pattern exhaustively. Mid-publish crash states must then
+    recover to a torn image and violate the fams contract; returns [true]
+    when the corpus caught the injected bug. A harness that stays green
+    with the commit record deleted would be vouching for nothing. *)
+let catches_torn_msync () =
+  let checks =
+    {
+      (Pmem.Env.default_checks ()) with
+      Pmem.Env.fams_commit_record = false;
+    }
+  in
+  let builder = build_splitfs ~checks Splitfs.Config.Fams in
+  let r =
+    run_pattern ~builder ~config:"splitfs-fams-nocommit" msync_publish
+      Splitfs_fams
+  in
+  r.r_violations <> []
 
 let pp_violation ppf v =
   Fmt.pf ppf "@[<v2>fence %d%a%a: %s@,survivors: @[%a@]@]" v.vl_fence

@@ -70,14 +70,34 @@ let all_combos () =
         })
       Litmus.aux_combos
 
-(** Combos in whose crash window [site] fires, from one un-elided
-    profiling pass per combo. *)
-let firing_combos combos site =
-  List.filter
-    (fun c ->
+(** One un-elided profiling pass per combo, returning the set of sites
+    that fire inside its crash window. Profiling is deterministic, so a
+    single pass serves every site's classification — the alternative
+    (re-profiling all combos for each of the registered sites) multiplies
+    the costliest loop of the suite by the site count for no information
+    gain. *)
+let profile_combos ?jobs combos =
+  Par.map ?jobs
+    (fun _ c ->
       let _, hits = Litmus.profile c.c_builder c.c_pattern in
-      List.mem_assoc site hits)
+      (c, List.map fst hits))
     combos
+
+(** Combos in whose crash window [site] fires. [profiled] (from
+    {!profile_combos}) shares one profiling pass across all sites; when
+    absent each call profiles the combos itself. *)
+let firing_combos ?profiled combos site =
+  match profiled with
+  | Some pcs ->
+      List.filter_map
+        (fun (c, sites) -> if List.mem site sites then Some c else None)
+        pcs
+  | None ->
+      List.filter
+        (fun c ->
+          let _, hits = Litmus.profile c.c_builder c.c_pattern in
+          List.mem_assoc site hits)
+        combos
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking a counterexample                                           *)
@@ -180,9 +200,9 @@ let elided_combo c site =
   { c with c_builder = builder }
 
 (** Classify one site against [combos] (default: everything). *)
-let classify ?combos site =
+let classify ?combos ?profiled site =
   let combos = match combos with Some c -> c | None -> all_combos () in
-  match firing_combos combos site with
+  match firing_combos ?profiled combos site with
   | [] -> Unexercised
   | firing ->
       let states = ref 0 in
@@ -210,9 +230,10 @@ let classify ?combos site =
     pool, one task per site, reports merged in registration order. *)
 let run ?combos ?jobs () =
   let combos = match combos with Some c -> c | None -> all_combos () in
+  let profiled = profile_combos ?jobs combos in
   Par.map ?jobs
     (fun _ (site, name) ->
-      { s_site = site; s_name = name; s_verdict = classify ~combos site })
+      { s_site = site; s_name = name; s_verdict = classify ~combos ~profiled site })
     (Pmem.Device.fence_sites ())
 
 let verdict_name = function

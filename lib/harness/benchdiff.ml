@@ -257,7 +257,7 @@ let is_host key =
           (fun p -> has_prefix p key)
           [
             "table1/sim/"; "fig4/sim/"; "table6/sim/"; "scaling/"; "lat/";
-            "profile/"; "faults/"; "litmus/"; "scale10k/";
+            "profile/"; "faults/"; "fams/"; "litmus/"; "scale10k/";
           ])
 
 (** Exact-count keys: deterministic enumerations where a change in
@@ -302,12 +302,27 @@ let classify ~host_tol key old_v new_v =
     else Unchanged
   end
 
-(** [diff ?host_tol ?subset old new_] — [Error] on a schema refusal,
-    otherwise the classified report. [subset] accepts a new file covering
-    only part of the old keys (the CI gate diffs a fast-mode run, which
-    has no host entries, against a full snapshot). *)
-let diff ?(host_tol = 0.5) ?(subset = false) (old_f : file) (new_f : file) =
+(** [diff ?host_tol ?subset ?strict_meta old new_] — [Error] on a schema
+    refusal, otherwise the classified report. [subset] accepts a new file
+    covering only part of the old keys (the CI gate diffs a fast-mode
+    run, which has no host entries, against a full snapshot).
+    [strict_meta] upgrades the legacy-snapshot warning to a refusal: a
+    file without a [meta] block is an [Error] naming the file, instead
+    of a note. Use it once every committed snapshot carries meta. *)
+let diff ?(host_tol = 0.5) ?(subset = false) ?(strict_meta = false)
+    (old_f : file) (new_f : file) =
+  let missing_meta =
+    List.filter_map
+      (fun f -> if f.f_meta = None then Some f.f_path else None)
+      [ old_f; new_f ]
+  in
   match (old_f.f_meta, new_f.f_meta) with
+  | _ when strict_meta && missing_meta <> [] ->
+      Error
+        (Printf.sprintf
+           "--strict-meta: %s has no \"meta\" block (legacy pre-PR-9 \
+            snapshot); regenerate it with the current bench harness"
+           (String.concat " and " missing_meta))
   | Some mo, Some mn when mo.m_schema <> mn.m_schema ->
       Error
         (Printf.sprintf

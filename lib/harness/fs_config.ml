@@ -8,6 +8,7 @@ type spec =
   | Splitfs_posix
   | Splitfs_sync
   | Splitfs_strict
+  | Splitfs_fams  (** failure-atomic msync: staged stores, atomic publish *)
   | Splitfs_split_only  (** Fig. 3 ablation: no staging, no relink *)
   | Splitfs_staging_only  (** Fig. 3 ablation: staging but copy on fsync *)
   | Pmfs
@@ -21,6 +22,7 @@ let all =
     Splitfs_posix;
     Splitfs_sync;
     Splitfs_strict;
+    Splitfs_fams;
     Splitfs_split_only;
     Splitfs_staging_only;
     Pmfs;
@@ -34,6 +36,7 @@ let name = function
   | Splitfs_posix -> "splitfs-posix"
   | Splitfs_sync -> "splitfs-sync"
   | Splitfs_strict -> "splitfs-strict"
+  | Splitfs_fams -> "splitfs-fams"
   | Splitfs_split_only -> "splitfs-split-only"
   | Splitfs_staging_only -> "splitfs-staging-only"
   | Pmfs -> "pmfs"
@@ -98,6 +101,7 @@ let make ?(capacity = 256 * 1024 * 1024) ?timing ?splitfs_cfg spec =
   | Splitfs_posix -> splitfs (splitfs_experiment_cfg Splitfs.Config.Posix)
   | Splitfs_sync -> splitfs (splitfs_experiment_cfg Splitfs.Config.Sync)
   | Splitfs_strict -> splitfs (splitfs_experiment_cfg Splitfs.Config.Strict)
+  | Splitfs_fams -> splitfs (splitfs_experiment_cfg Splitfs.Config.Fams)
   | Splitfs_split_only ->
       splitfs
         {

@@ -18,6 +18,7 @@ let block_size = 4096
 (* Registered fence sites (fence minimization, crashcheck litmus). *)
 let site_pwrite = Device.register_fence_site "ext4:pwrite"
 let site_fsync_fast = Device.register_fence_site "ext4:fsync-fast"
+let site_cow_unshare = Device.register_fence_site "ext4:cow-unshare"
 let blocks_per_huge = 512 (* 2 MB *)
 
 type inode = {
@@ -64,6 +65,13 @@ type t = {
           re-derives their page arrays after migrating blocks, the way the
           kernel would fix up page tables, so cached user-space mappings
           never point at retired blocks *)
+  shared : (int, int) Hashtbl.t;
+      (** physical blocks referenced by more than one inode after a
+          [clone_extents] snapshot: block -> number of co-owners beyond
+          the first. Absent means sole ownership. Owners release a shared
+          block by decrementing; only the last release frees it, and any
+          in-place store to a shared block breaks the share first
+          (copy-on-write) *)
 }
 
 (** jbd2 commits a large running transaction from its own thread. *)
@@ -118,6 +126,7 @@ let mkfs ?(journal_len = 8 * 1024 * 1024) ?(alloc_shards = 1)
             Pmem.Lock.create (Printf.sprintf "inode-stripe:%d" i));
       running_meta = Array.make (Journal.nstreams journal) 0;
       live_maps = [];
+      shared = Hashtbl.create 64;
     }
   in
   Hashtbl.replace t.inodes root.ino root;
@@ -173,9 +182,40 @@ let lookup_parent t path =
 (* Inode lifecycle                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(** Release [len] physical blocks at [start], honouring snapshot
+    sharing: a co-owned block is released by decrementing its share
+    count; only the last owner returns it to the allocator. The batch
+    fast path keeps the pre-snapshot cost when no clones exist. *)
+let free_blocks t ~start ~len =
+  if Hashtbl.length t.shared = 0 then Alloc.free_extent t.alloc ~start ~len
+  else
+    for i = 0 to len - 1 do
+      let b = start + i in
+      match Hashtbl.find_opt t.shared b with
+      | Some n when n > 1 -> Hashtbl.replace t.shared b (n - 1)
+      | Some _ -> Hashtbl.remove t.shared b
+      | None -> Alloc.free_extent t.alloc ~start:b ~len:1
+    done
+
+(** Does any block under the device range [addr, addr+len) carry a
+    snapshot share? U-Split asks before storing through its mmaps so an
+    in-place write never lands on an aliased block; the [shared]-empty
+    fast path keeps the pre-snapshot hot path at one table-length load. *)
+let range_shared t ~addr ~len =
+  Hashtbl.length t.shared > 0
+  && begin
+       let first = (addr - t.data_start) / block_size in
+       let last = (addr + len - 1 - t.data_start) / block_size in
+       let hit = ref false in
+       for b = first to last do
+         if Hashtbl.mem t.shared b then hit := true
+       done;
+       !hit
+     end
+
 let free_inode_blocks t inode =
   Extent_tree.iter
-    (fun e -> Alloc.free_extent t.alloc ~start:e.Extent_tree.physical ~len:e.Extent_tree.len)
+    (fun e -> free_blocks t ~start:e.Extent_tree.physical ~len:e.Extent_tree.len)
     inode.extents;
   ignore (Extent_tree.remove_range inode.extents ~logical:0 ~len:max_int)
 
@@ -334,11 +374,51 @@ let stat t path = stat_of_inode (namei t path)
 (* Block mapping and data IO                                            *)
 (* ------------------------------------------------------------------ *)
 
+(** Copy-on-write break before an in-place store: if [phys] (backing
+    logical block [lblk] of [inode]) is co-owned by a snapshot, move this
+    inode onto a fresh block carrying a copy of the old contents and
+    release our share of the old one. Returns the block that is now safe
+    to store through. *)
+let unshare_block t inode ~lblk ~phys =
+  if not (Hashtbl.mem t.shared phys) then phys
+  else begin
+    cpu_cat t Obs.Alloc (timing t).Timing.ext4_alloc_cpu;
+    let fresh, _ = Alloc.alloc_extent t.alloc ~goal:(-1) ~len:1 in
+    let buf = Bytes.create block_size in
+    Device.load t.env.Env.dev ~addr:(block_addr t phys) buf ~off:0
+      ~len:block_size;
+    Device.store_nt t.env.Env.dev ~addr:(block_addr t fresh) buf ~off:0
+      ~len:block_size;
+    (* the copy must be durable before the extent switch makes the fresh
+       block this inode's truth: a torn copy behind a committed switch
+       reads back as zeros after recovery *)
+    Device.fence ~site:site_cow_unshare t.env.Env.dev;
+    ignore (Extent_tree.remove_range inode.extents ~logical:lblk ~len:1);
+    Extent_tree.insert inode.extents ~logical:lblk ~physical:fresh ~len:1;
+    cpu t (timing t).Timing.ext4_extent_cpu;
+    (match Hashtbl.find_opt t.shared phys with
+    | Some n when n > 1 -> Hashtbl.replace t.shared phys (n - 1)
+    | Some _ -> Hashtbl.remove t.shared phys
+    | None -> ());
+    (* fix up live user-space mappings of the moved page, the way the
+       kernel would shoot down and refault the PTE *)
+    List.iter
+      (fun m ->
+        if m.m_ino = inode.ino then begin
+          let idx = lblk - (m.m_off / block_size) in
+          if idx >= 0 && idx < Array.length m.pages && m.pages.(idx) = phys
+          then m.pages.(idx) <- fresh
+        end)
+      t.live_maps;
+    fresh
+  end
+
 (** Map logical block [lblk], allocating if absent. Returns the physical
-    block and whether an allocation happened. *)
+    block and whether an allocation happened. In-place writes to a
+    snapshot-shared block break the share first (copy-on-write). *)
 let get_or_alloc_block t inode lblk =
   match Extent_tree.find inode.extents lblk with
-  | Some (phys, _) -> (phys, false)
+  | Some (phys, _) -> (unshare_block t inode ~lblk ~phys, false)
   | None ->
       cpu_cat t Obs.Alloc (timing t).Timing.ext4_alloc_cpu;
       let goal =
@@ -502,15 +582,16 @@ let truncate t inode size =
       in
       List.iter
         (fun e ->
-          Alloc.free_extent t.alloc ~start:e.Extent_tree.physical
-            ~len:e.Extent_tree.len)
+          free_blocks t ~start:e.Extent_tree.physical ~len:e.Extent_tree.len)
         removed
     end;
     (* zero the now-unused tail of the last kept block so a later size
        extension reads zeros, not the truncated bytes *)
     if size mod block_size <> 0 then
-      match Extent_tree.find inode.extents (size / block_size) with
+      let lblk = size / block_size in
+      match Extent_tree.find inode.extents lblk with
       | Some (phys, _) ->
+          let phys = unshare_block t inode ~lblk ~phys in
           let in_block = size mod block_size in
           Device.store_nt t.env.Env.dev
             ~addr:(block_addr t phys + in_block)
@@ -521,8 +602,10 @@ let truncate t inode size =
     (* zero the tail of the last partial block so stale bytes never leak *)
     let last = inode.size in
     if last mod block_size <> 0 then
-      match Extent_tree.find inode.extents (last / block_size) with
+      let lblk = last / block_size in
+      match Extent_tree.find inode.extents lblk with
       | Some (phys, _) ->
+          let phys = unshare_block t inode ~lblk ~phys in
           let in_block = last mod block_size in
           let n = min (size - last) (block_size - in_block) in
           Device.store_nt t.env.Env.dev
@@ -596,8 +679,7 @@ let relink t ~src ~src_blk ~dst ~dst_blk ~nblks ~dst_size =
   let replaced = Extent_tree.remove_range dst.extents ~logical:dst_blk ~len:nblks in
   List.iter
     (fun e ->
-      Alloc.free_extent t.alloc ~start:e.Extent_tree.physical
-        ~len:e.Extent_tree.len)
+      free_blocks t ~start:e.Extent_tree.physical ~len:e.Extent_tree.len)
     replaced;
   let moved = Extent_tree.remove_range src.extents ~logical:src_blk ~len:nblks in
   List.iter
@@ -623,8 +705,7 @@ let dealloc_range t inode ~blk ~nblks =
   let removed = Extent_tree.remove_range inode.extents ~logical:blk ~len:nblks in
   List.iter
     (fun e ->
-      Alloc.free_extent t.alloc ~start:e.Extent_tree.physical
-        ~len:e.Extent_tree.len)
+      free_blocks t ~start:e.Extent_tree.physical ~len:e.Extent_tree.len)
     removed;
   cpu t ((timing t).Timing.ext4_extent_cpu *. float_of_int (1 + List.length removed));
   Journal.commit t.journal ~meta_blocks:2
@@ -634,6 +715,42 @@ let set_size t inode size =
   cpu t (timing t).Timing.ext4_inode_cpu;
   inode.size <- size;
   Journal.commit t.journal ~meta_blocks:1
+
+(** [clone_extents t ~src ~dst] publishes an instant snapshot: [dst]'s
+    mapping becomes a block-for-block alias of [src]'s inside one journal
+    transaction — no data moves, no flushes, O(extents) metadata. Every
+    cloned block is marked shared; subsequent in-place stores through any
+    owner break the share with a copy-on-write, and frees release shares
+    instead of blocks until the last owner lets go. *)
+let clone_extents t ~src ~dst =
+  if src.ino = dst.ino then Fsapi.Errno.(error EINVAL "clone_extents: self");
+  if Faults.check t.env.Env.faults Faults.Swap then
+    Fsapi.Errno.(error EIO "k-split: clone_extents injected EIO");
+  with_ilock t src @@ fun () ->
+  with_ilock t dst @@ fun () ->
+  let old = Extent_tree.remove_range dst.extents ~logical:0 ~len:max_int in
+  List.iter
+    (fun e -> free_blocks t ~start:e.Extent_tree.physical ~len:e.Extent_tree.len)
+    old;
+  let cloned = ref 0 in
+  Extent_tree.iter
+    (fun e ->
+      Extent_tree.insert dst.extents ~logical:e.Extent_tree.logical
+        ~physical:e.Extent_tree.physical ~len:e.Extent_tree.len;
+      for i = 0 to e.Extent_tree.len - 1 do
+        let b = e.Extent_tree.physical + i in
+        Hashtbl.replace t.shared b
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.shared b))
+      done;
+      incr cloned)
+    src.extents;
+  dst.size <- src.size;
+  cpu t
+    ((timing t).Timing.ext4_extent_cpu *. float_of_int (2 + !cloned));
+  (* both inodes' extent updates in one transaction, like relink *)
+  Journal.commit t.journal ~meta_blocks:2;
+  let stats = t.env.Env.stats in
+  stats.Stats.relinks <- stats.Stats.relinks + 1
 
 (* ------------------------------------------------------------------ *)
 (* Media-fault support: address translation and the scrubber (PR 5)     *)
@@ -820,7 +937,12 @@ let scrub t ~wear_limit =
               Extent_tree.insert inode.extents ~logical:lblk ~physical:fresh
                 ~len:1;
               cpu t (timing t).Timing.ext4_extent_cpu;
-              Alloc.retire t.alloc ~start:phys ~len:1;
+              (* a snapshot-shared bad block is only retired by its last
+                 owner; earlier owners just drop their share and move on *)
+              (match Hashtbl.find_opt t.shared phys with
+              | Some n when n > 1 -> Hashtbl.replace t.shared phys (n - 1)
+              | Some _ -> Hashtbl.remove t.shared phys
+              | None -> Alloc.retire t.alloc ~start:phys ~len:1);
               Faults.note_scrub_migration faults;
               incr migrated)
         (List.rev !bad);

@@ -231,6 +231,16 @@ let ioctl_swap_extents t ~src_fd ~src_blk ~dst_fd ~dst_blk ~nblks =
     ~dst:(inode_of_fd t dst_fd)
     ~dst_blk ~nblks
 
+(** The snapshot ioctl: make [dst_fd]'s extent map a copy-on-write alias
+    of [src_fd]'s in one trap, one transaction (reflink). *)
+let ioctl_clone_extents t ~src_fd ~dst_fd =
+  kcall t "ioctl_clone_extents"
+    (fun () -> Printf.sprintf "%d -> %d" src_fd dst_fd)
+    r0
+  @@ fun () ->
+  Ext4.clone_extents t.kfs ~src:(inode_of_fd t src_fd)
+    ~dst:(inode_of_fd t dst_fd)
+
 let dealloc_range t fd ~blk ~nblks =
   kcall t "dealloc_range"
     (fun () -> Printf.sprintf "%d, %d+%d" fd blk nblks)

@@ -12,9 +12,15 @@ type checks = {
   mutable honest_degraded_writes : bool;
       (** degraded (kernel-path) writes really write; campaigns clear it
           to prove the fault oracle catches acknowledge-but-drop bugs *)
+  mutable fams_commit_record : bool;
+      (** fams msync appends its commit record before publishing;
+          campaigns clear it to prove the crash oracle catches a torn
+          msync (staged data published without the commit barrier) *)
 }
 
-let default_checks () = { verify_checksums = true; honest_degraded_writes = true }
+let default_checks () =
+  { verify_checksums = true; honest_degraded_writes = true;
+    fams_commit_record = true }
 
 type t = {
   clock : Simclock.t;

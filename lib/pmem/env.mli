@@ -9,6 +9,10 @@ type checks = {
       (** CRC-check op-log entries on decode (default true) *)
   mutable honest_degraded_writes : bool;
       (** degraded kernel-path writes really write (default true) *)
+  mutable fams_commit_record : bool;
+      (** fams msync appends its commit record before publishing (default
+          true); campaigns clear it to prove the crash oracle catches a
+          torn msync *)
 }
 
 val default_checks : unit -> checks

@@ -366,6 +366,50 @@ let test_waldb_transaction_atomicity () =
         (Apps.Waldb.get db2 ~table:"acct" "bob");
       Apps.Waldb.close db2)
 
+(* --- mmapdb (the mmap-native store failure-atomic msync targets) --- *)
+
+let test_mmapdb_basic () =
+  with_stack ~mode:Splitfs.Config.Fams (fun _env _sys fs ->
+      let db = Apps.Mmapdb.open_ fs "/mdb" in
+      Apps.Mmapdb.preallocate db 8;
+      Alcotest.(check int) "preallocated" 8 (Apps.Mmapdb.npages db);
+      let page c = Bytes.make Apps.Mmapdb.page_size c in
+      Apps.Mmapdb.write_page db 3 (page 'x');
+      Apps.Mmapdb.write_page db 5 (page 'y');
+      Apps.Mmapdb.commit db;
+      Apps.Mmapdb.write_page db 3 (page 'z');
+      Apps.Mmapdb.commit db;
+      Alcotest.(check int) "commits counted" 2 (Apps.Mmapdb.commits db);
+      Alcotest.(check char) "page 3 overwritten in place" 'z'
+        (Bytes.get (Apps.Mmapdb.read_page db 3) 0);
+      Apps.Mmapdb.close db;
+      (* a fresh open is the whole recovery protocol: no log to scan *)
+      let db2 = Apps.Mmapdb.open_ fs "/mdb" in
+      Alcotest.(check int) "size recovered from fstat" 8
+        (Apps.Mmapdb.npages db2);
+      Alcotest.(check char) "page 5 durable" 'y'
+        (Bytes.get (Apps.Mmapdb.read_page db2 5) 0);
+      Alcotest.(check char) "page 0 still zero" '\000'
+        (Bytes.get (Apps.Mmapdb.read_page db2 0) 0))
+
+(* On the fams stack an uncommitted in-place page store is invisible to
+   recovery: a crash recovers the last msync image, never a torn mix. *)
+let test_mmapdb_crash_recovers_last_commit () =
+  with_stack ~mode:Splitfs.Config.Fams (fun env sys fs ->
+      let db = Apps.Mmapdb.open_ fs "/mdb" in
+      Apps.Mmapdb.preallocate db 4;
+      let page c = Bytes.make Apps.Mmapdb.page_size c in
+      Apps.Mmapdb.write_page db 1 (page 'a');
+      Apps.Mmapdb.commit db;
+      Apps.Mmapdb.write_page db 1 (page 'b');
+      (* no commit: crash *)
+      Pmem.Device.crash env.Pmem.Env.dev;
+      ignore (Splitfs.Recovery.recover ~sys ~env ~instance:0);
+      let db2 = Apps.Mmapdb.open_ (Kernelfs.Syscall.as_fsapi sys) "/mdb" in
+      Alcotest.(check char) "uncommitted store rolled back to msync image"
+        'a'
+        (Bytes.get (Apps.Mmapdb.read_page db2 1) 0))
+
 let suite =
   [
     tc "bloom filter" `Quick test_bloom;
@@ -385,6 +429,10 @@ let suite =
     tc "btree persistence" `Quick test_btree_persistence;
     tc "btree scan and delete" `Quick test_btree_scan_delete;
     tc "waldb transaction atomicity" `Quick test_waldb_transaction_atomicity;
+    tc "mmapdb basic: in-place pages, one-fsync commit" `Quick
+      test_mmapdb_basic;
+    tc "mmapdb on fams: crash recovers the last msync image" `Quick
+      test_mmapdb_crash_recovers_last_commit;
     QCheck_alcotest.to_alcotest prop_lsm_matches_map;
     QCheck_alcotest.to_alcotest prop_btree_matches_map;
   ]

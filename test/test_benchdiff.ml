@@ -164,6 +164,28 @@ let test_schema_refusal () =
       Alcotest.(check bool) "legacy noted" true (r.Harness.Benchdiff.r_notes <> [])
   | Error msg -> Alcotest.failf "legacy file refused: %s" msg
 
+(* --strict-meta upgrades the legacy-snapshot warning to a refusal (the
+   CLI exits 2 on it) naming the file without the meta block; two
+   meta-bearing files still diff normally under the flag. *)
+let test_strict_meta () =
+  let with_meta = Harness.Benchdiff.load (trajectory ~meta:meta2 base_tests) in
+  let legacy = Harness.Benchdiff.load (trajectory base_tests) in
+  (match Harness.Benchdiff.diff ~strict_meta:true legacy with_meta with
+  | Error msg ->
+      Alcotest.(check bool) "refusal names the legacy file" true
+        (Harness.Benchdiff.contains legacy.Harness.Benchdiff.f_path msg);
+      Alcotest.(check bool) "refusal names the missing meta block" true
+        (Harness.Benchdiff.contains "meta" msg)
+  | Ok _ -> Alcotest.fail "--strict-meta accepted a file without meta");
+  (match Harness.Benchdiff.diff ~strict_meta:true with_meta legacy with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "--strict-meta accepted a new file without meta");
+  match Harness.Benchdiff.diff ~strict_meta:true with_meta with_meta with
+  | Ok r ->
+      Alcotest.(check bool) "meta-bearing files still diff" true
+        (Harness.Benchdiff.ok r)
+  | Error msg -> Alcotest.failf "meta-bearing files refused: %s" msg
+
 (* A fast-mode run carries no host entries: without --subset the missing
    keys fail the gate, with it they are accepted. Keys only in the new
    file are never a failure. *)
@@ -222,6 +244,7 @@ let suite =
     tc "slo and speedup are higher-better" `Quick test_higher_is_better;
     tc "exact counts regress both ways" `Quick test_exact_counts_both_ways;
     tc "schema mismatch refused, legacy accepted" `Quick test_schema_refusal;
+    tc "--strict-meta refuses legacy files" `Quick test_strict_meta;
     tc "subset semantics" `Quick test_subset;
     tc "load errors and the committed snapshot" `Quick test_load_errors;
   ]

@@ -126,6 +126,70 @@ let test_replay_is_idempotent () =
   Alcotest.(check bool) "first replayed" true (r1.Splitfs.Recovery.entries_replayed > 0);
   Util.check_int "second recovery found clean log" 0 r2.Splitfs.Recovery.entries_scanned
 
+(* Satellite: recovery idempotence at EVERY crash state of a publish
+   window. The recovery process can itself die and re-run, so a double
+   replay of the surviving op-log must land on the same bytes as a
+   single replay — including the states where the crash hits mid-publish
+   (fams: commit record persisted, relink not). Each state runs the
+   workload on a fresh stack, crashes into it, recovers, crashes the
+   recovered-but-idle device again, recovers once more and compares. *)
+let test_double_replay_idempotent mode () =
+  let module R = Crashcheck.Runner in
+  let module E = Crashcheck.Explore in
+  let w =
+    {
+      Crashcheck.Workload.mode;
+      nfiles = 1;
+      initial = [| 64 |];
+      ops =
+        [
+          Crashcheck.Workload.Write { file = 0; at = 0; len = 256; seed = 7 };
+          Crashcheck.Workload.Fsync { file = 0 };
+          Crashcheck.Workload.Write { file = 0; at = 64; len = 128; seed = 8 };
+        ];
+    }
+  in
+  let trial ~(point : E.point) ~survivors =
+    let st = R.build mode in
+    let fds = R.setup w st.R.fs in
+    let dev = st.R.env.Pmem.Env.dev in
+    Pmem.Device.journal_begin dev;
+    Pmem.Device.arm_crash dev ~fence:point.E.fence ~survivors;
+    let cp () = Splitfs.Usplit.relink_all st.R.u in
+    (try
+       List.iter (R.apply ~checkpoint:cp st.R.fs fds) w.Crashcheck.Workload.ops;
+       (* armed fence past the last one: crash at end of trace *)
+       Pmem.Device.crash_partial dev ~survivors
+     with Pmem.Device.Crashed -> ());
+    Pmem.Device.resume dev;
+    Pmem.Device.journal_stop dev;
+    ignore (Splitfs.Recovery.recover ~sys:st.R.sys ~env:st.R.env ~instance:0);
+    let after1 = R.read_back st.R.sys 0 in
+    Pmem.Device.crash dev;
+    let r2 = Splitfs.Recovery.recover ~sys:st.R.sys ~env:st.R.env ~instance:0 in
+    let after2 = R.read_back st.R.sys 0 in
+    (after1, r2, after2)
+  in
+  let rng = Workloads.Rng.create 0x1DE8 in
+  List.iter
+    (fun (p : E.point) ->
+      let states =
+        if E.state_count p.E.pending <= 512 then E.enumerate p.E.pending
+        else List.init 64 (fun _ -> E.sample rng p.E.pending)
+      in
+      List.iter
+        (fun survivors ->
+          let after1, r2, after2 = trial ~point:p ~survivors in
+          Alcotest.(check bool)
+            (Printf.sprintf "fence %d: double replay = single replay" p.E.fence)
+            true (after1 = after2);
+          Util.check_int
+            (Printf.sprintf "fence %d: second recovery finds a settled log"
+               p.E.fence)
+            0 r2.Splitfs.Recovery.entries_replayed)
+        states)
+    (R.profile w)
+
 let test_torn_tail_entry_skipped () =
   let env, _kfs, sys, _u, fs = Util.make_splitfs ~mode:Splitfs.Config.Strict () in
   let fd = fs.open_ "/torn" Fsapi.Flags.create_rw in
@@ -196,6 +260,10 @@ let suite =
     tc "truncate bounds replay" `Quick test_truncate_bounds_replay;
     tc "unlink cancels replay" `Quick test_unlink_cancels_replay;
     tc "replay is idempotent" `Quick test_replay_is_idempotent;
+    tc "strict: double replay = single, every crash state" `Quick
+      (test_double_replay_idempotent Splitfs.Config.Strict);
+    tc "fams: double replay = single, incl. mid-publish states" `Quick
+      (test_double_replay_idempotent Splitfs.Config.Fams);
     tc "torn tail entry skipped" `Quick test_torn_tail_entry_skipped;
     tc "fresh mount after recovery" `Quick test_remount_after_recovery;
     QCheck_alcotest.to_alcotest prop_strict_crash_recovers_everything;

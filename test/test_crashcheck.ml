@@ -233,6 +233,8 @@ let suite =
       (test_differential Splitfs.Config.Sync);
     tc "differential vs ref_fs oracle, strict (200 sampled states)" `Quick
       (test_differential Splitfs.Config.Strict);
+    tc "differential vs ref_fs oracle, fams (200 sampled states)" `Quick
+      (test_differential Splitfs.Config.Fams);
     tc "injected bug: unverified op-log checksums are caught" `Quick
       test_injected_bug_caught;
   ]

@@ -12,19 +12,23 @@ module M = Crashcheck.Minimize
 (* ---- exhaustive state counts, pinned per (pattern, stack) ----------- *)
 
 (* Counts in [all_stacks] order: ext4-dax, pmfs, nova-relaxed,
-   splitfs-posix, splitfs-sync, splitfs-strict. These are the *entire*
-   crash spaces — any change to fence placement, journal traffic or the
-   persist-order model drifts a count here before it manifests as a
-   consistency bug. The SplitFS counts reflect the fences removed after
-   the minimizer's REDUNDANT proofs (EXPERIMENTS.md, PR 7). *)
+   splitfs-posix, splitfs-sync, splitfs-strict, splitfs-fams. These are
+   the *entire* crash spaces — any change to fence placement, journal
+   traffic or the persist-order model drifts a count here before it
+   manifests as a consistency bug. The SplitFS counts reflect the fences
+   removed after the minimizer's REDUNDANT proofs (EXPERIMENTS.md,
+   PR 7); the six pre-fams columns are unchanged since then — the fams
+   mode and the CoW machinery must not perturb the other stacks. *)
 let pinned_states =
   [
-    ("create-rename", [ 6; 42; 23; 6; 23; 23 ]);
-    ("two-appends", [ 5; 11; 13; 4; 9; 9 ]);
-    ("chrome", [ 5; 42; 23; 4; 18; 18 ]);
-    ("replace-truncate", [ 8; 22; 15; 8; 24; 18 ]);
-    ("wal-commit", [ 4; 14; 11; 6; 271; 271 ]);
-    ("relink-publish", [ 8; 16; 19; 22; 156; 156 ]);
+    ("create-rename", [ 6; 42; 23; 6; 23; 23; 25 ]);
+    ("two-appends", [ 5; 11; 13; 4; 9; 9; 16 ]);
+    ("chrome", [ 5; 42; 23; 4; 18; 18; 32 ]);
+    ("replace-truncate", [ 8; 22; 15; 8; 24; 18; 20 ]);
+    ("wal-commit", [ 4; 14; 11; 6; 271; 271; 2065 ]);
+    ("relink-publish", [ 8; 16; 19; 22; 156; 156; 1064 ]);
+    ("msync-publish", [ 15; 29; 33; 46; 44; 42; 77 ]);
+    ("snapshot-cow", [ 19; 60; 43; 18; 26; 42; 46 ]);
   ]
 
 let check_pattern name () =
@@ -72,10 +76,10 @@ let test_aux_configs () =
    a site no workload reaches is a site the minimizer cannot vouch
    for. *)
 let test_fence_site_coverage () =
-  Alcotest.(check int) "registered sites" 14
+  Alcotest.(check int) "registered sites" 17
     (List.length (Pmem.Device.fence_sites ()));
   let coverage = L.site_coverage () in
-  Alcotest.(check int) "coverage rows" 14 (List.length coverage);
+  Alcotest.(check int) "coverage rows" 17 (List.length coverage);
   List.iter
     (fun (_site, name, hits) ->
       Alcotest.(check bool) (name ^ " exercised") true (hits > 0))
@@ -134,6 +138,47 @@ let test_strict_truncate_redundant () =
       Alcotest.fail ("expected REDUNDANT for usplit:strict-truncate, got "
                      ^ M.verdict_name v)
 
+(* The fence before the msync commit record orders staged-data lines
+   ahead of the record itself. Elide it and even create-rename on the
+   fams stack breaks: the commit record can persist while a staged line
+   for the data it promotes is still lost — recovery then publishes a
+   torn image, violating the pre-or-post-msync contract. *)
+let test_msync_pre_required () =
+  match
+    M.classify ~combos:[ combo "create-rename/splitfs-fams" ]
+      (site "usplit:msync-pre")
+  with
+  | M.Required { q_combo; q_violation } ->
+      Alcotest.(check string) "combo" "create-rename/splitfs-fams" q_combo;
+      Alcotest.(check bool) "shrunk to a nonempty minimal core" true
+        (q_violation.L.vl_survivors <> [])
+  | v ->
+      Alcotest.fail ("expected REQUIRED for usplit:msync-pre, got "
+                     ^ M.verdict_name v)
+
+(* The CoW unshare fence orders the copied block's lines ahead of the
+   extent-tree switch. The extent tree is DRAM metadata that survives a
+   simulated crash, so without the fence the switch takes effect while
+   the copy's lines can still be lost — the snapshot-cow pattern then
+   reads back zeros in the unwritten region. The snapshot-cow pattern
+   was what surfaced this site in the first place. *)
+let test_cow_unshare_required () =
+  match
+    M.classify ~combos:[ combo "snapshot-cow/splitfs-posix" ]
+      (site "ext4:cow-unshare")
+  with
+  | M.Required { q_combo; _ } ->
+      Alcotest.(check string) "combo" "snapshot-cow/splitfs-posix" q_combo
+  | v ->
+      Alcotest.fail ("expected REQUIRED for ext4:cow-unshare, got "
+                     ^ M.verdict_name v)
+
+(* Harness self-test: with the msync commit record disabled the same
+   exhaustive exploration MUST flag a torn msync. A harness that stays
+   green with the publish protocol broken is vouching for nothing. *)
+let test_catches_torn_msync () =
+  Alcotest.(check bool) "torn-msync bug caught" true (L.catches_torn_msync ())
+
 (* A site that only fires during mount initialisation is outside every
    crash window: no verdict, the fence stays. *)
 let test_oplog_init_unexercised () =
@@ -155,11 +200,20 @@ let suite =
     tc "wal-commit: exhaustive, pinned" `Quick (check_pattern "wal-commit");
     tc "relink-publish: exhaustive, pinned" `Quick
       (check_pattern "relink-publish");
+    tc "msync-publish: exhaustive, pinned" `Quick
+      (check_pattern "msync-publish");
+    tc "snapshot-cow: exhaustive, pinned" `Quick (check_pattern "snapshot-cow");
     tc "aux configs: degraded and no-staging" `Quick test_aux_configs;
     tc "every fence site exercised" `Quick test_fence_site_coverage;
     tc "strict-write fence REQUIRED (pinned counterexample)" `Quick
       test_strict_write_required;
     tc "strict-truncate fence REDUNDANT (exhaustive proof)" `Quick
       test_strict_truncate_redundant;
+    tc "msync-pre fence REQUIRED (pinned counterexample)" `Quick
+      test_msync_pre_required;
+    tc "cow-unshare fence REQUIRED (pinned counterexample)" `Quick
+      test_cow_unshare_required;
+    tc "torn-msync canary: broken protocol is caught" `Quick
+      test_catches_torn_msync;
     tc "mount-time site unexercised" `Quick test_oplog_init_unexercised;
   ]
